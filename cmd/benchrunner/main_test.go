@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment generator in quick mode:
+// the end-to-end guarantee that `benchrunner -all` keeps regenerating every
+// table and figure.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	*quick = true
+	dir := t.TempDir()
+	*outDir = dir
+	// Capture stdout noise away from the test log.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+	experiments := map[string]func() error{
+		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
+		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11,
+	}
+	for id, fn := range experiments {
+		if err := fn(); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+	// E11 wrote its artifacts.
+	for _, f := range []string{"spiral.svg", "city.svg", "city.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("artifact %s missing: %v", f, err)
+		}
+	}
+}

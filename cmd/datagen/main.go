@@ -1,0 +1,38 @@
+// Command datagen emits the synthetic datasets of the reproduction as
+// Turtle or N-Triples.
+//
+// Usage:
+//
+//	datagen -data products -scale 1000 -format ttl > products.ttl
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/rdf"
+)
+
+func main() {
+	data := flag.String("data", "products-small", "dataset: products[-small], invoices[-small], stats")
+	scale := flag.Int("scale", 0, "dataset scale for generated datasets")
+	format := flag.String("format", "ttl", "output format: ttl, nt, rdfb (binary snapshot)")
+	flag.Parse()
+	g, ns, err := datagen.Load(*data, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *format {
+	case "nt":
+		err = rdf.WriteNTriples(os.Stdout, g)
+	case "rdfb":
+		err = g.WriteBinary(os.Stdout)
+	default:
+		err = rdf.WriteTurtle(os.Stdout, g, map[string]string{"ex": ns})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+// Command hifun2sparql translates a textual HIFUN analytic query to SPARQL
+// (the Algorithm 1–4 translator of Chapter 4) and optionally executes it.
+//
+// Usage:
+//
+//	hifun2sparql -ns http://example.org/invoices# '(takesPlaceAt, inQuantity, SUM)'
+//	hifun2sparql -data invoices-small -run '(brand.delivers, inQuantity, SUM/>100)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/hifun"
+	"rdfanalytics/internal/rdf"
+)
+
+func main() {
+	ns := flag.String("ns", "", "attribute namespace (defaults to the dataset's)")
+	data := flag.String("data", "invoices-small", "dataset spec for -run / default namespace")
+	scale := flag.Int("scale", 0, "dataset scale")
+	root := flag.String("root", "", "root class local name for the analysis context")
+	run := flag.Bool("run", false, "execute the query and print the answer")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("hifun2sparql: exactly one HIFUN query expected, e.g. '(takesPlaceAt, inQuantity, SUM)'")
+	}
+	g, dataNS, err := datagen.Load(*data, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *ns == "" {
+		*ns = dataNS
+	}
+	q, err := hifun.Parse(flag.Arg(0), *ns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := hifun.NewContext(g, *ns)
+	if *root != "" {
+		ctx = ctx.WithRoot(rdf.NewIRI(*ns + *root))
+	}
+	src, err := ctx.Translator().Translate(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("# HIFUN:", q)
+	fmt.Println(src)
+	if *run {
+		ans, err := ctx.Execute(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(ans.String())
+	}
+}

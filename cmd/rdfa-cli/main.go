@@ -1,0 +1,302 @@
+// Command rdfa-cli is a terminal client for the faceted-analytics
+// interaction model: the GUI of Fig 5.1/6.2 rendered as text, driven by
+// commands instead of clicks.
+//
+// Usage:
+//
+//	rdfa-cli -data products-small
+//
+// Commands (inside the REPL):
+//
+//	show                          render the current state (facets, objects)
+//	class <Name>                  class-based transition
+//	click <path> <value>          property transition; path = p1/p2/...
+//	range <path> <op> <value>     range filter, e.g. range USBPorts >= 2
+//	group <path> [derive]         toggle the G button, e.g. group releaseDate YEAR
+//	agg <path|ID> <OP>            toggle the Σ button, e.g. agg price AVG
+//	run                           execute the analytic query, print the Answer Frame
+//	chart <bar|pie|column|line|treemap|spiral> <file.svg>   save a chart of the answer
+//	save <file.json>              snapshot the session (replayable bookmark)
+//	load                          explore the answer with FS (HAVING / nesting)
+//	close                         pop back to the outer dataset
+//	back | reset                  undo / restart
+//	hifun | sparql <query>        show the HIFUN query / run raw SPARQL
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"rdfanalytics/internal/core"
+	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/facet"
+	"rdfanalytics/internal/hifun"
+	"rdfanalytics/internal/rdf"
+	"rdfanalytics/internal/sparql"
+	"rdfanalytics/internal/viz"
+)
+
+func main() {
+	data := flag.String("data", "products-small", "dataset spec (see datagen.Load)")
+	scale := flag.Int("scale", 0, "dataset scale")
+	restore := flag.String("restore", "", "restore a session snapshot (JSON file) over the dataset")
+	flag.Parse()
+	g, ns, err := datagen.Load(*data, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sess *core.Session
+	if *restore != "" {
+		snap, err := os.ReadFile(*restore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess, err = core.RestoreSession(g, snap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("restored session from %s (level %d, %d objects)\n",
+			*restore, sess.Depth(), sess.State().Ext.Len())
+	} else {
+		sess = core.NewSession(g, ns)
+	}
+	st := g.Stats()
+	fmt.Printf("rdfa-cli: %q loaded (%d triples). Type 'show' to see the state, 'quit' to exit.\n",
+		*data, st.Triples)
+	repl(sess, ns, os.Stdin, os.Stdout)
+}
+
+func repl(sess *core.Session, ns string, in *os.File, out *os.File) {
+	scanner := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "> ")
+		if !scanner.Scan() {
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := execute(sess, ns, line, out); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
+	}
+}
+
+func execute(sess *core.Session, ns string, line string, out *os.File) error {
+	ns = sess.NS() // nested levels resolve names in the answer namespace
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "show":
+		fmt.Fprint(out, sess.ComputeUIState(20, false).RenderText())
+	case "class":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: class <Name>")
+		}
+		sess.ClickClass(resolve(ns, args[0]))
+		fmt.Fprintf(out, "%d objects\n", sess.State().Ext.Len())
+	case "click":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: click <path> <value>")
+		}
+		sess.ClickValue(parsePath(ns, args[0]), parseValue(ns, args[1]))
+		fmt.Fprintf(out, "%d objects\n", sess.State().Ext.Len())
+	case "range":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: range <path> <op> <value>")
+		}
+		sess.ClickRange(parsePath(ns, args[0]), args[1], parseValue(ns, args[2]))
+		fmt.Fprintf(out, "%d objects\n", sess.State().Ext.Len())
+	case "expand":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: expand <path>")
+		}
+		vals := sess.Model().ExpandPath(sess.State(), parsePath(ns, args[0]))
+		for _, vc := range vals {
+			fmt.Fprintf(out, "  %s (%d)\n", vc.Value.LocalName(), vc.Count)
+		}
+	case "pivot":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: pivot <property>  (prefix with ^ for inverse)")
+		}
+		hop := args[0]
+		inverse := strings.HasPrefix(hop, "^")
+		hop = strings.TrimPrefix(hop, "^")
+		sess.SwitchFocus(facet.PathStep{P: resolve(ns, hop), Inverse: inverse})
+		fmt.Fprintf(out, "focus switched: %d objects\n", sess.State().Ext.Len())
+	case "group":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: group <path> [derive]")
+		}
+		spec := core.GroupSpec{Path: parsePath(ns, args[0])}
+		if len(args) > 1 {
+			spec.Derive = strings.ToUpper(args[1])
+		}
+		sess.ClickGroupBy(spec)
+		fmt.Fprintf(out, "group-by: %v\n", sess.Analytics().GroupBy)
+	case "agg":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: agg <path|ID> <OP>")
+		}
+		var m core.MeasureSpec
+		if !strings.EqualFold(args[0], "ID") {
+			m.Path = parsePath(ns, args[0])
+		}
+		if !hifun.ValidOp(args[1]) {
+			return fmt.Errorf("unknown aggregate %q", args[1])
+		}
+		sess.ClickAggregate(m, hifun.Operation{Op: hifun.AggOp(strings.ToUpper(args[1]))})
+		fmt.Fprintf(out, "measure: %s, ops: %v\n", sess.Analytics().Measure, sess.Analytics().Ops)
+	case "run":
+		ans, err := sess.RunAnalytics()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, ans.String())
+	case "chart":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: chart <bar|pie|column|line|treemap|spiral> <file.svg>")
+		}
+		ans := sess.Answer()
+		if ans == nil {
+			return fmt.Errorf("run an analytic query first")
+		}
+		series, err := viz.AnswerSeries(ans, 0)
+		if err != nil {
+			return err
+		}
+		var svg string
+		switch args[0] {
+		case "pie":
+			svg = viz.PieChartSVG(series, 420)
+		case "column":
+			svg = viz.ColumnChartSVG(series, 640, 320)
+		case "line":
+			svg = viz.LineChartSVG(series, 640, 320)
+		case "treemap":
+			svg = viz.TreemapSVG(series, 640, 400)
+		case "spiral":
+			items := make([]viz.SpiralItem, len(series.Values))
+			for i := range series.Values {
+				items[i] = viz.SpiralItem{Label: series.Labels[i], Value: series.Values[i]}
+			}
+			svg = viz.SpiralSVG(viz.SpiralLayout{}.Layout(items), 4)
+		default:
+			svg = viz.BarChartSVG(series, 640)
+		}
+		if err := os.WriteFile(args[1], []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", args[1])
+	case "save":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: save <file.json>")
+		}
+		data, err := sess.Snapshot()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(args[0], data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "session saved to %s\n", args[0])
+	case "load":
+		if err := sess.LoadAnswerAsDataset(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "answer loaded as dataset (level %d); facets are the answer columns\n", sess.Depth())
+	case "close":
+		if err := sess.CloseLevel(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "back at level %d\n", sess.Depth())
+	case "back":
+		if err := sess.Back(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d objects\n", sess.State().Ext.Len())
+	case "reset":
+		sess.Reset()
+		fmt.Fprintln(out, "reset")
+	case "hifun":
+		q, err := sess.BuildHIFUNQuery()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, q)
+	case "sparql":
+		if len(args) == 0 {
+			return fmt.Errorf("usage: sparql <query>")
+		}
+		res, err := sparql.Select(sess.Model().G, strings.Join(args, " "))
+		if err != nil {
+			return err
+		}
+		res.Sort()
+		fmt.Fprint(out, res.String())
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+// resolve maps a local name (or full IRI) to a term in the session's
+// namespace, honoring the answer namespace at nested levels.
+func resolve(ns, name string) rdf.Term {
+	if strings.Contains(name, "://") {
+		return rdf.NewIRI(name)
+	}
+	return rdf.NewIRI(ns + name)
+}
+
+func parsePath(ns, s string) facet.Path {
+	var path facet.Path
+	for _, hop := range strings.Split(s, "/") {
+		inverse := strings.HasPrefix(hop, "^")
+		hop = strings.TrimPrefix(hop, "^")
+		path = append(path, facet.PathStep{P: resolve(ns, hop), Inverse: inverse})
+	}
+	return path
+}
+
+// parseValue interprets a CLI value: integer, decimal, date, boolean or a
+// name in the dataset namespace.
+func parseValue(ns, s string) rdf.Term {
+	if s == "true" || s == "false" {
+		return rdf.NewTyped(s, rdf.XSDBoolean)
+	}
+	if len(s) == 10 && s[4] == '-' && s[7] == '-' {
+		return rdf.NewTyped(s, rdf.XSDDate)
+	}
+	numeric := true
+	dot := false
+	for i, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case r == '-' && i == 0:
+		case r == '.' && !dot:
+			dot = true
+		default:
+			numeric = false
+		}
+	}
+	if numeric && s != "" && s != "-" {
+		if dot {
+			return rdf.NewTyped(s, rdf.XSDDecimal)
+		}
+		return rdf.NewTyped(s, rdf.XSDInteger)
+	}
+	if strings.HasPrefix(s, `"`) && strings.HasSuffix(s, `"`) {
+		return rdf.NewString(strings.Trim(s, `"`))
+	}
+	return resolve(ns, s)
+}

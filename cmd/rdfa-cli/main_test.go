@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"rdfanalytics/internal/core"
+	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/rdf"
+)
+
+func TestParseValue(t *testing.T) {
+	ns := "http://e/"
+	cases := []struct {
+		in   string
+		want rdf.Term
+	}{
+		{"42", rdf.NewTyped("42", rdf.XSDInteger)},
+		{"-3", rdf.NewTyped("-3", rdf.XSDInteger)},
+		{"3.14", rdf.NewTyped("3.14", rdf.XSDDecimal)},
+		{"true", rdf.NewTyped("true", rdf.XSDBoolean)},
+		{"2021-06-10", rdf.NewTyped("2021-06-10", rdf.XSDDate)},
+		{"DELL", rdf.NewIRI(ns + "DELL")},
+		{`"hello"`, rdf.NewString("hello")},
+		{"http://x/y", rdf.NewIRI("http://x/y")},
+	}
+	for _, c := range cases {
+		if got := parseValue(ns, c.in); got != c.want {
+			t.Errorf("parseValue(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePath(t *testing.T) {
+	ns := "http://e/"
+	p := parsePath(ns, "manufacturer/origin")
+	if len(p) != 2 || p[0].P != rdf.NewIRI(ns+"manufacturer") || p[1].P != rdf.NewIRI(ns+"origin") {
+		t.Fatalf("path = %v", p)
+	}
+	p = parsePath(ns, "^manufacturer")
+	if len(p) != 1 || !p[0].Inverse {
+		t.Fatalf("inverse path = %v", p)
+	}
+}
+
+// TestExecuteScript drives the REPL command layer through a full session:
+// Example 2 plus charting and nesting, asserting on the outputs.
+func TestExecuteScript(t *testing.T) {
+	g, ns, err := datagen.Load("products-small", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := core.NewSession(g, ns)
+	tmp, err := os.CreateTemp(t.TempDir(), "chart-*.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp.Close()
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	snapFile := tmp.Name() + ".json"
+	script := []string{
+		"show",
+		"class Laptop",
+		"pivot manufacturer",
+		"back",
+		"expand manufacturer/origin",
+		"save " + snapFile,
+		"group manufacturer/origin",
+		"agg ID COUNT",
+		"hifun",
+		"run",
+		"chart pie " + tmp.Name(),
+		"load",
+		"show",
+		"close",
+		"range USBPorts >= 2",
+		"back",
+		"reset",
+		"sparql SELECT ?s WHERE { ?s a <" + ns + "Laptop> }",
+	}
+	for _, line := range script {
+		if err := execute(sess, ns, line, out); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	svg, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "<svg") {
+		t.Error("chart file not written")
+	}
+	// Unknown command and bad usages error without panicking.
+	for _, bad := range []string{"nonsense", "class", "agg price NOPE", "chart pie"} {
+		if err := execute(sess, ns, bad, out); err == nil {
+			t.Errorf("%q: expected error", bad)
+		}
+	}
+}

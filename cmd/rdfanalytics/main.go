@@ -1,0 +1,34 @@
+// Command rdfanalytics runs the RDF-Analytics HTTP server: a SPARQL
+// endpoint plus the JSON API of the faceted-analytics interaction model
+// (the system of Chapter 6).
+//
+// Usage:
+//
+//	rdfanalytics [-addr :8080] [-data products|invoices|stats|file.ttl] [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "products-small", "dataset: products[-small], invoices[-small], stats, or a .ttl/.nt file")
+	scale := flag.Int("scale", 0, "dataset scale for generated datasets (0 = default)")
+	flag.Parse()
+	g, ns, err := datagen.Load(*data, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := g.Stats()
+	fmt.Printf("rdf-analytics: dataset %q loaded: %d triples, %d subjects, %d predicates, %d classes\n",
+		*data, st.Triples, st.Subjects, st.Predicates, st.Classes)
+	fmt.Printf("rdf-analytics: listening on %s (API at /api, SPARQL at /sparql)\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(g, ns)))
+}

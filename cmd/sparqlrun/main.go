@@ -1,0 +1,100 @@
+// Command sparqlrun evaluates a SPARQL query against a dataset and prints
+// the results.
+//
+// Usage:
+//
+//	sparqlrun -data products-small 'SELECT ?s WHERE { ?s a <...> }'
+//	sparqlrun -data file.ttl -f query.rq -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/rdf"
+	"rdfanalytics/internal/sparql"
+)
+
+func main() {
+	data := flag.String("data", "products-small", "dataset spec (see datagen.Load)")
+	scale := flag.Int("scale", 0, "dataset scale")
+	file := flag.String("f", "", "read the query from this file instead of argv")
+	format := flag.String("format", "table", "output format: table, csv, json")
+	explain := flag.Bool("explain", false, "print the evaluation plan instead of running the query")
+	flag.Parse()
+	var query string
+	switch {
+	case *file != "":
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		query = string(b)
+	case flag.NArg() > 0:
+		query = flag.Arg(0)
+	default:
+		log.Fatal("sparqlrun: no query given (argument or -f file)")
+	}
+	g, _, err := datagen.Load(*data, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *explain {
+		plan, err := sparql.Explain(g, query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(plan)
+		return
+	}
+	q, err := sparql.Parse(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch q.Form {
+	case sparql.FormSelect:
+		res, err := sparql.ExecSelect(g, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.Sort()
+		switch *format {
+		case "csv":
+			if err := res.WriteCSV(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		case "json":
+			if err := res.WriteJSON(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		default:
+			fmt.Print(res.String())
+			fmt.Printf("(%d rows)\n", res.Len())
+		}
+	case sparql.FormAsk:
+		ok, err := sparql.Ask(g, query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ok)
+	case sparql.FormConstruct:
+		out, err := sparql.Construct(g, query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rdf.WriteNTriples(os.Stdout, out); err != nil {
+			log.Fatal(err)
+		}
+	case sparql.FormDescribe:
+		out, err := sparql.Describe(g, query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rdf.WriteNTriples(os.Stdout, out); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Command voidstats profiles an RDF dataset and publishes the statistics
+// in RDF using the VoID vocabulary (the category-C4 capability of the
+// paper's survey), optionally reporting the degree distribution and its
+// power-law fit (category C5).
+//
+// Usage:
+//
+//	voidstats -data products -scale 1000              # VoID as Turtle
+//	voidstats -data file.ttl -degrees                 # + degree analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/rdf"
+	"rdfanalytics/internal/stats"
+)
+
+func main() {
+	data := flag.String("data", "products-small", "dataset spec (see datagen.Load)")
+	scale := flag.Int("scale", 0, "dataset scale")
+	dataset := flag.String("iri", "http://example.org/dataset", "IRI for the described dataset")
+	degrees := flag.Bool("degrees", false, "print degree distribution and power-law fit to stderr")
+	flag.Parse()
+	g, _, err := datagen.Load(*data, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile := stats.Compute(g)
+	vd := profile.ToVoID(*dataset)
+	if err := rdf.WriteTurtle(os.Stdout, vd, map[string]string{"void": stats.VoIDNS}); err != nil {
+		log.Fatal(err)
+	}
+	if *degrees {
+		dist := stats.DegreeDistribution(g)
+		alpha, n := stats.PowerLawFit(dist, 2)
+		fmt.Fprintf(os.Stderr, "degree distribution: %d distinct degrees, top: %v\n",
+			len(dist), stats.TopK(dist, 5))
+		if n > 0 && alpha > 0 {
+			fmt.Fprintf(os.Stderr, "power-law fit (x>=2): alpha = %.3f over %d resources\n", alpha, n)
+		} else {
+			fmt.Fprintln(os.Stderr, "power-law fit: insufficient data")
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// E-commerce walkthrough: the four interaction examples of §5.1 executed
+// end-to-end over a generated product catalog, with SVG charts of the
+// answers written to the working directory.
+//
+//	go run ./examples/ecommerce
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rdfanalytics/internal/core"
+	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/facet"
+	"rdfanalytics/internal/hifun"
+	"rdfanalytics/internal/rdf"
+	"rdfanalytics/internal/viz"
+)
+
+func main() {
+	// A catalog of 300 laptops across 16 companies and 8 countries.
+	g := datagen.Products(datagen.ProductsConfig{
+		Laptops: 300, Companies: 16, Seed: 42, Materialize: true,
+	})
+	ns := datagen.ExampleNS
+	pe := func(l string) rdf.Term { return rdf.NewIRI(ns + l) }
+	fmt.Printf("catalog: %d triples\n", g.Len())
+
+	// --- Example 1: average price of 2021 laptops with >= 2 USB ports ---
+	s := core.NewSession(g, ns)
+	s.ClickClass(pe("Laptop"))
+	s.ClickRange(facet.Path{{P: pe("releaseDate")}}, ">=", rdf.NewTyped("2021-01-01", rdf.XSDDate))
+	s.ClickRange(facet.Path{{P: pe("releaseDate")}}, "<=", rdf.NewTyped("2021-12-31", rdf.XSDDate))
+	s.ClickRange(facet.Path{{P: pe("USBPorts")}}, ">=", rdf.NewInteger(2))
+	s.ClickAggregate(core.MeasureSpec{Path: facet.Path{{P: pe("price")}}},
+		hifun.Operation{Op: hifun.OpAvg})
+	ans := mustRun(s)
+	fmt.Println("\nExample 1 — AVG price of 2021 laptops with >=2 USB ports:")
+	fmt.Print(ans.String())
+
+	// --- Example 2: count of those laptops by manufacturer's country ---
+	s.ClickGroupBy(core.GroupSpec{Path: facet.Path{{P: pe("manufacturer")}, {P: pe("origin")}}})
+	s.ClickAggregate(core.MeasureSpec{}, hifun.Operation{Op: hifun.OpCount})
+	ans = mustRun(s)
+	fmt.Println("\nExample 2 — COUNT by manufacturer origin:")
+	fmt.Print(ans.String())
+	writeChart(ans, "ecommerce_by_origin.svg", "pie")
+
+	// --- Example 3/Fig 6.2: avg+sum+max price by manufacturer and origin ---
+	s = core.NewSession(g, ns)
+	s.ClickClass(pe("Laptop"))
+	s.ClickRange(facet.Path{{P: pe("USBPorts")}}, ">=", rdf.NewInteger(2))
+	s.ClickRange(facet.Path{{P: pe("USBPorts")}}, "<=", rdf.NewInteger(4))
+	s.ClickGroupBy(core.GroupSpec{Path: facet.Path{{P: pe("manufacturer")}}})
+	m := core.MeasureSpec{Path: facet.Path{{P: pe("price")}}}
+	s.ClickAggregate(m, hifun.Operation{Op: hifun.OpAvg})
+	s.ClickAggregate(m, hifun.Operation{Op: hifun.OpSum})
+	s.ClickAggregate(m, hifun.Operation{Op: hifun.OpMax})
+	ans = mustRun(s)
+	fmt.Println("\nFig 6.2 — AVG, SUM, MAX price by manufacturer (2..4 USB ports):")
+	fmt.Print(ans.String())
+	writeChart(ans, "ecommerce_prices.svg", "bar")
+
+	// --- Example 4: HAVING via answer-as-dataset nesting ---
+	if err := s.LoadAnswerAsDataset(); err != nil {
+		log.Fatal(err)
+	}
+	s.ClickRange(facet.Path{{P: rdf.NewIRI(hifun.AnswerNS + ans.MeasureCols[0])}},
+		">", rdf.NewInteger(1200))
+	fmt.Printf("\nExample 4 — manufacturers with AVG price > 1200: %d of %d groups\n",
+		s.State().Ext.Len(), len(ans.Rows))
+	// The nested dataset is itself analyzable: count qualifying groups by
+	// nothing (ε) — a second-level analytic query.
+	s.ClickAggregate(core.MeasureSpec{}, hifun.Operation{Op: hifun.OpCount})
+	nested := mustRun(s)
+	fmt.Println("nested COUNT over the HAVING-filtered answer:")
+	fmt.Print(nested.String())
+}
+
+func mustRun(s *core.Session) *hifun.Answer {
+	ans, err := s.RunAnalytics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ans
+}
+
+func writeChart(ans *hifun.Answer, file, kind string) {
+	series, err := viz.AnswerSeries(ans, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var svg string
+	if kind == "pie" {
+		svg = viz.PieChartSVG(series, 420)
+	} else {
+		svg = viz.BarChartSVG(series, 640)
+	}
+	if err := os.WriteFile(file, []byte(svg), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", file)
+}

@@ -1,0 +1,3 @@
+module rdfanalytics
+
+go 1.24

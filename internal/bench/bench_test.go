@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var quickCfg = Config{
+	Scales:  []Scale{{"tiny", 60}},
+	Runs:    3,
+	Workers: 2,
+	Seed:    1,
+}
+
+func TestRunCellOffPeak(t *testing.T) {
+	for _, q := range PaperQueries {
+		r, err := RunCell(q, quickCfg.Scales[0], false, quickCfg)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		if r.Mean <= 0 || r.P95 < r.P50 {
+			t.Errorf("%s: implausible timings %+v", q.ID, r)
+		}
+		if r.Triples == 0 {
+			t.Errorf("%s: empty dataset", q.ID)
+		}
+		if r.Peak || r.Workers != 0 {
+			t.Errorf("%s: off-peak cell marked peak", q.ID)
+		}
+	}
+}
+
+func TestRunCellPeak(t *testing.T) {
+	r, err := RunCell(PaperQueries[0], quickCfg.Scales[0], true, quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Peak || r.Workers != 2 {
+		t.Errorf("peak metadata wrong: %+v", r)
+	}
+}
+
+func TestRunSweepAndTable(t *testing.T) {
+	results, err := Run(false, quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(PaperQueries) {
+		t.Fatalf("cells = %d", len(results))
+	}
+	var sb strings.Builder
+	WriteTable(&sb, "Table 6.2 (off-peak)", results)
+	out := sb.String()
+	for _, q := range PaperQueries {
+		if !strings.Contains(out, q.ID) {
+			t.Errorf("table missing %s:\n%s", q.ID, out)
+		}
+	}
+	if !strings.Contains(out, "tiny mean") {
+		t.Errorf("table missing scale column:\n%s", out)
+	}
+}
+
+// TestScalingShape: latency grows with dataset size (the phenomenon of
+// §6.4: "the average query time increases with the dataset size").
+func TestScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep in -short mode")
+	}
+	cfg := Config{
+		Scales: []Scale{{"s", 100}, {"xl", 3000}},
+		Runs:   3,
+		Seed:   1,
+	}
+	q := PaperQueries[3] // the heaviest
+	small, err := RunCell(q, cfg.Scales[0], false, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RunCell(q, cfg.Scales[1], false, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Mean <= small.Mean {
+		t.Errorf("latency did not grow with size: %v (100) vs %v (3000)", small.Mean, large.Mean)
+	}
+}
+
+// TestPeakSlowerThanOffPeak: contention raises latency (the Table 6.1 vs
+// 6.2 phenomenon). Uses generous margins to stay robust on CI machines.
+func TestPeakSlowerThanOffPeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("contention test in -short mode")
+	}
+	cfg := Config{Scales: []Scale{{"m", 1200}}, Runs: 5, Workers: 8, Seed: 1}
+	q := PaperQueries[1]
+	off, err := RunCell(q, cfg.Scales[0], false, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, err := RunCell(q, cfg.Scales[0], true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The peak mean should not be dramatically *faster*; equality is
+	// possible on many-core machines, so assert a weak one-sided bound.
+	if peak.Mean < off.Mean/2 {
+		t.Errorf("peak (%v) implausibly faster than off-peak (%v)", peak.Mean, off.Mean)
+	}
+	t.Logf("off-peak %v, peak %v (x%.2f)", off.Mean, peak.Mean,
+		float64(peak.Mean)/float64(off.Mean))
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Runs != 7 || c.Workers != 8 || len(c.Scales) != 3 || len(c.Queries) != 4 {
+		t.Errorf("defaults: %+v", c)
+	}
+}
+
+func TestPrepareQ3(t *testing.T) {
+	q, err := PrepareQuery(PaperQueries[2], "http://e/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.MeasRestrs) != 1 || q.MeasRestrs[0].Op != ">=" {
+		t.Fatalf("Q3 shape: %+v", q)
+	}
+}
+
+var _ = time.Now

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"rdfanalytics/internal/hifun"
+	"rdfanalytics/internal/rdf"
+)
+
+// Materialized-cube reuse: §3.3.2/§3.3.3 highlight systems ([16], [51])
+// that answer an analytic query from the materialized result of a previous
+// one. The session applies the same idea to its Answer-Frame cache: when a
+// requested query groups by a *subset* of a cached answer's grouping
+// attributes, with the same measure and a decomposable aggregate (SUM,
+// COUNT, MIN, MAX — not AVG), the answer is computed by re-aggregating the
+// cached cube instead of re-running SPARQL. This is exactly the roll-up
+// direction of Fig 7.2, served from memory.
+
+// cubeEntry is one reusable materialized answer.
+type cubeEntry struct {
+	intentionKey string
+	groupBy      []GroupSpec
+	measure      MeasureSpec
+	op           hifun.Operation
+	answer       *hifun.Answer
+}
+
+// decomposable reports whether op can be re-aggregated from partial
+// aggregates of itself.
+func decomposable(op hifun.Operation) bool {
+	if op.Distinct || op.RestrictOp != "" {
+		return false
+	}
+	switch op.Op {
+	case hifun.OpSum, hifun.OpCount, hifun.OpMin, hifun.OpMax:
+		return true
+	}
+	return false
+}
+
+// rememberCube records an answer for reuse when its shape allows it.
+func (l *level) rememberCube(key string, a Analytics, ans *hifun.Answer) {
+	if len(a.Ops) != 1 || !decomposable(a.Ops[0]) || len(a.GroupBy) == 0 {
+		return
+	}
+	// Cap retained cubes (small LRU-ish: keep the latest few).
+	const maxCubes = 8
+	l.cubes = append(l.cubes, cubeEntry{
+		intentionKey: key,
+		groupBy:      append([]GroupSpec{}, a.GroupBy...),
+		measure:      a.Measure,
+		op:           a.Ops[0],
+		answer:       ans,
+	})
+	if len(l.cubes) > maxCubes {
+		l.cubes = l.cubes[len(l.cubes)-maxCubes:]
+	}
+}
+
+// tryCubeReuse answers the current analytics from a cached cube when
+// possible. intentionKey must match (same extension) and the requested
+// grouping must be a subset of the cube's grouping.
+func (l *level) tryCubeReuse(intentionKey string, a Analytics) *hifun.Answer {
+	if len(a.Ops) != 1 || !decomposable(a.Ops[0]) {
+		return nil
+	}
+	for i := len(l.cubes) - 1; i >= 0; i-- {
+		cube := l.cubes[i]
+		if cube.intentionKey != intentionKey {
+			continue
+		}
+		if !samePath(cube.measure, a.Measure) || cube.op.Op != a.Ops[0].Op {
+			continue
+		}
+		idx, ok := groupSubsetIndices(a.GroupBy, cube.groupBy)
+		if !ok {
+			continue
+		}
+		if len(idx) == len(cube.groupBy) {
+			continue // identical grouping is the exact cache's job
+		}
+		return rollupAnswer(cube.answer, idx, a.Ops[0].Op)
+	}
+	return nil
+}
+
+// groupSubsetIndices maps each requested grouping spec to its column index
+// in the cube's grouping; ok=false when any is missing.
+func groupSubsetIndices(want, have []GroupSpec) ([]int, bool) {
+	out := make([]int, 0, len(want))
+	for _, w := range want {
+		found := -1
+		for i, h := range have {
+			if w.Path.Equal(h.Path) && w.Derive == h.Derive {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, false
+		}
+		out = append(out, found)
+	}
+	return out, true
+}
+
+// rollupAnswer aggregates a cube's single measure over the kept grouping
+// columns (by cube column index).
+func rollupAnswer(cube *hifun.Answer, keep []int, op hifun.AggOp) *hifun.Answer {
+	out := &hifun.Answer{SPARQL: "# served from materialized cube\n" + cube.SPARQL}
+	for _, i := range keep {
+		out.GroupCols = append(out.GroupCols, cube.GroupCols[i])
+	}
+	out.MeasureCols = append(out.MeasureCols, cube.MeasureCols...)
+	mi := len(cube.GroupCols) // single measure column
+	type agg struct {
+		value float64
+		set   bool
+	}
+	groups := map[string]*agg{}
+	keyTerms := map[string][]rdf.Term{}
+	for _, row := range cube.Rows {
+		var kb strings.Builder
+		terms := make([]rdf.Term, len(keep))
+		for j, i := range keep {
+			kb.WriteString(row[i].String())
+			kb.WriteByte('\x00')
+			terms[j] = row[i]
+		}
+		key := kb.String()
+		v, okv := row[mi].Float()
+		if !okv {
+			continue
+		}
+		g, ok := groups[key]
+		if !ok {
+			groups[key] = &agg{value: v, set: true}
+			keyTerms[key] = terms
+			continue
+		}
+		switch op {
+		case hifun.OpSum, hifun.OpCount:
+			g.value += v
+		case hifun.OpMin:
+			if v < g.value {
+				g.value = v
+			}
+		case hifun.OpMax:
+			if v > g.value {
+				g.value = v
+			}
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		row := append([]rdf.Term{}, keyTerms[k]...)
+		v := groups[k].value
+		var t rdf.Term
+		if v == float64(int64(v)) {
+			t = rdf.NewInteger(int64(v))
+		} else {
+			t = rdf.NewDecimal(v)
+		}
+		row = append(row, t)
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"rdfanalytics/internal/facet"
+	"rdfanalytics/internal/hifun"
+	"rdfanalytics/internal/rdf"
+)
+
+const xns = "http://e/"
+
+func pathOf(props ...rdf.Term) facet.Path {
+	var p facet.Path
+	for _, pr := range props {
+		p = append(p, facet.PathStep{P: pr})
+	}
+	return p
+}
+
+func parse(t *testing.T, src string) *hifun.Query {
+	t.Helper()
+	q, err := hifun.Parse(src, xns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestExpressiblePositive enumerates the §7.1 cases the model expresses.
+func TestExpressiblePositive(t *testing.T) {
+	for _, src := range []string{
+		"(takesPlaceAt, inQuantity, SUM)",            // simple
+		"(ε, price, AVG)",                            // Example 1
+		"(origin.manufacturer, ID, COUNT)",           // path + identity
+		"(takesPlaceAt & delivers, inQuantity, SUM)", // pairing
+		"(month.hasDate, inQuantity, SUM)",           // derived grouping
+		"(takesPlaceAt/branch1, inQuantity, SUM)",    // URI restriction
+		"(takesPlaceAt, inQuantity/>=2, SUM)",        // literal restriction
+		"(takesPlaceAt, inQuantity, SUM/>1000)",      // HAVING (via AF)
+		"(manufacturer, price, AVG; SUM; MAX)",       // multiple ops
+		"(a & b.c & month.d, q, MIN)",                // pairing of paths
+	} {
+		q := parse(t, src)
+		ok, reasons := Expressible(q)
+		if !ok {
+			t.Errorf("%s: should be expressible, reasons: %v", src, reasons)
+		}
+	}
+}
+
+// TestExpressibleNegative enumerates the documented gaps.
+func TestExpressibleNegative(t *testing.T) {
+	cases := []struct {
+		name string
+		q    *hifun.Query
+	}{
+		{"no operation", &hifun.Query{Grouping: hifun.Prop{Name: "a"}}},
+		{"composition after derived", &hifun.Query{
+			Grouping: hifun.Comp{
+				Outer: hifun.Prop{Name: "p"},
+				Inner: hifun.Derived{Func: "YEAR", Sub: hifun.Prop{Name: "d"}},
+			},
+			Measuring: hifun.Prop{Name: "q"},
+			Ops:       []hifun.Operation{{Op: hifun.OpSum}},
+		}},
+		{"pairing as measure", &hifun.Query{
+			Grouping:  hifun.Prop{Name: "g"},
+			Measuring: hifun.Pair{Items: []hifun.Attr{hifun.Prop{Name: "a"}, hifun.Prop{Name: "b"}}},
+			Ops:       []hifun.Operation{{Op: hifun.OpSum}},
+		}},
+		{"nested pairing", &hifun.Query{
+			Grouping: hifun.Comp{
+				Outer: hifun.Prop{Name: "p"},
+				Inner: hifun.Pair{Items: []hifun.Attr{hifun.Prop{Name: "a"}, hifun.Prop{Name: "b"}}},
+			},
+			Measuring: hifun.Prop{Name: "q"},
+			Ops:       []hifun.Operation{{Op: hifun.OpSum}},
+		}},
+		{"stacked derived", &hifun.Query{
+			Grouping: hifun.Derived{Func: "YEAR",
+				Sub: hifun.Derived{Func: "MONTH", Sub: hifun.Prop{Name: "d"}}},
+			Measuring: hifun.Prop{Name: "q"},
+			Ops:       []hifun.Operation{{Op: hifun.OpSum}},
+		}},
+		{"weird restriction op", &hifun.Query{
+			Grouping:    hifun.Prop{Name: "g"},
+			GroupRestrs: []hifun.Restriction{{Op: "~=", Value: rdf.NewInteger(1)}},
+			Measuring:   hifun.Prop{Name: "q"},
+			Ops:         []hifun.Operation{{Op: hifun.OpSum}},
+		}},
+	}
+	for _, c := range cases {
+		ok, reasons := Expressible(c.q)
+		if ok {
+			t.Errorf("%s: should NOT be expressible", c.name)
+		}
+		if len(reasons) == 0 {
+			t.Errorf("%s: no reasons reported", c.name)
+		}
+	}
+}
+
+// TestSessionQueriesAlwaysExpressible: whatever the session builds from
+// clicks is, by construction, expressible.
+func TestSessionQueriesAlwaysExpressible(t *testing.T) {
+	s := productSession(t)
+	s.ClickClass(pe("Laptop"))
+	s.ClickGroupBy(GroupSpec{Path: pathOf(pe("manufacturer"), pe("origin"))})
+	s.ClickGroupBy(GroupSpec{Path: pathOf(pe("releaseDate")), Derive: "YEAR"})
+	s.ClickAggregate(MeasureSpec{Path: pathOf(pe("price"))}, hifun.Operation{Op: hifun.OpAvg})
+	q, err := s.BuildHIFUNQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, reasons := Expressible(q); !ok {
+		t.Errorf("session-built query not expressible: %v", reasons)
+	}
+}

@@ -1,0 +1,424 @@
+// Package core implements the paper's contribution: the interaction model
+// that unifies Faceted Search and Analytics over RDF knowledge graphs
+// (Chapter 5). A Session extends the base faceted-search state space
+// (internal/facet) with the analytic actions of §5.1–§5.2 — the G (group-by)
+// and Σ (aggregate) buttons next to each facet, range filters, transform
+// (feature-creation) actions — interprets them as a HIFUN query (§5.2.2),
+// translates it to SPARQL (Chapter 4) and materializes the Answer Frame.
+// Answers can be reloaded as new datasets (§5.3.3), which yields HAVING
+// restrictions and arbitrarily nested analytic queries (Example 4 of §5.1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"rdfanalytics/internal/facet"
+	"rdfanalytics/internal/hifun"
+	"rdfanalytics/internal/rdf"
+)
+
+// GroupSpec is one grouping condition selected with the G button: a facet
+// path, optionally wrapped by a derived function (the transform button used
+// to decompose dates into year/month/..., §5.1 "Special cases").
+type GroupSpec struct {
+	Path facet.Path
+	// Derive, when non-empty, is a derived-attribute function (YEAR, MONTH,
+	// DAY, ...) applied to the path's value.
+	Derive string
+}
+
+func (g GroupSpec) String() string {
+	if g.Derive != "" {
+		return strings.ToLower(g.Derive) + "(" + g.Path.String() + ")"
+	}
+	return g.Path.String()
+}
+
+// MeasureSpec is the measure selected with the Σ button.
+type MeasureSpec struct {
+	Path   facet.Path
+	Derive string
+}
+
+func (m MeasureSpec) String() string {
+	if len(m.Path) == 0 {
+		return "ID"
+	}
+	if m.Derive != "" {
+		return strings.ToLower(m.Derive) + "(" + m.Path.String() + ")"
+	}
+	return m.Path.String()
+}
+
+// Analytics is the analytic part of a state: what the G and Σ buttons have
+// accumulated. Per §5.2.2, these actions change the intention but leave the
+// extension and the transitions untouched.
+type Analytics struct {
+	GroupBy []GroupSpec
+	Measure MeasureSpec
+	Ops     []hifun.Operation
+}
+
+// Active reports whether any analytic action has been taken.
+func (a Analytics) Active() bool {
+	return len(a.GroupBy) > 0 || len(a.Ops) > 0 || len(a.Measure.Path) > 0
+}
+
+// level is one dataset level of the session; reloading an answer as a new
+// dataset (§5.3.3) pushes a level, enabling nested analytics.
+type level struct {
+	model     *facet.Model
+	ns        string
+	history   []*facet.State // history[len-1] is current
+	analytics Analytics
+	// answer holds the last Answer Frame computed at this level.
+	answer *hifun.Answer
+	// cache memoizes answers by (intention, HIFUN query): repeated runs of
+	// the same analytic state (e.g. switching chart types in the GUI) skip
+	// re-evaluation. Invalidated whenever the level's graph mutates.
+	cache map[string]*hifun.Answer
+	// log records the replayable click sequence for snapshots.
+	log actionLog
+	// cubes retains recent decomposable answers for roll-up reuse.
+	cubes []cubeEntry
+}
+
+func (l *level) state() *facet.State { return l.history[len(l.history)-1] }
+
+// Session is an interactive faceted-analytics session over a graph: the
+// full state of the GUI in Fig 5.1.
+type Session struct {
+	levels []*level
+}
+
+// NewSession starts a session over g (which should be materialized) with
+// attribute namespace ns. The initial state is s0 (§5.3.2).
+func NewSession(g *rdf.Graph, ns string) *Session {
+	m := facet.NewModel(g)
+	return &Session{levels: []*level{{
+		model:   m,
+		ns:      ns,
+		history: []*facet.State{m.Start()},
+	}}}
+}
+
+// NewSessionFrom starts a session whose initial extension is an external
+// result set (keyword search hand-off, §5.4.1).
+func NewSessionFrom(g *rdf.Graph, ns string, results []rdf.Term) *Session {
+	m := facet.NewModel(g)
+	return &Session{levels: []*level{{
+		model:   m,
+		ns:      ns,
+		history: []*facet.State{m.StartFrom(results)},
+	}}}
+}
+
+func (s *Session) top() *level { return s.levels[len(s.levels)-1] }
+
+// Model exposes the current level's facet model (read-only use).
+func (s *Session) Model() *facet.Model { return s.top().model }
+
+// State returns the current interaction state.
+func (s *Session) State() *facet.State { return s.top().state() }
+
+// Analytics returns the current analytic selections.
+func (s *Session) Analytics() Analytics { return s.top().analytics }
+
+// Depth returns the nesting depth (1 = original dataset).
+func (s *Session) Depth() int { return len(s.levels) }
+
+// NS returns the current level's attribute namespace.
+func (s *Session) NS() string { return s.top().ns }
+
+func (s *Session) push(st *facet.State) {
+	l := s.top()
+	l.history = append(l.history, st)
+}
+
+// ClickClass applies a class-based transition (Fig 5.4 a–b).
+func (s *Session) ClickClass(c rdf.Term) {
+	l := s.top()
+	s.push(l.model.ClickClass(l.state(), c))
+	l.log.actions = append(l.log.actions, actionJSON{Kind: "class", Class: c.Value})
+}
+
+// ClickValue applies a property-value transition, possibly at the end of an
+// expanded path (Fig 5.4 c–d, Fig 5.5).
+func (s *Session) ClickValue(path facet.Path, v rdf.Term) {
+	l := s.top()
+	s.push(l.model.ClickValue(l.state(), path, v))
+	vj := termToJSON(v)
+	l.log.actions = append(l.log.actions, actionJSON{Kind: "value", Path: pathToJSON(path), Value: &vj})
+}
+
+// ClickValueSet applies a multi-value transition.
+func (s *Session) ClickValueSet(path facet.Path, vs []rdf.Term) {
+	l := s.top()
+	s.push(l.model.ClickValueSet(l.state(), path, vs))
+	a := actionJSON{Kind: "valueset", Path: pathToJSON(path)}
+	for _, v := range vs {
+		a.Values = append(a.Values, termToJSON(v))
+	}
+	l.log.actions = append(l.log.actions, a)
+}
+
+// ClickRange applies the range-filter button (Example 3 of §5.1).
+func (s *Session) ClickRange(path facet.Path, op string, v rdf.Term) {
+	l := s.top()
+	s.push(l.model.ClickRange(l.state(), path, op, v))
+	vj := termToJSON(v)
+	l.log.actions = append(l.log.actions, actionJSON{Kind: "range", Path: pathToJSON(path), Op: op, Value: &vj})
+}
+
+// SwitchFocus pivots the focus along a property, changing the entity type
+// under analysis (e.g. from laptops to their manufacturers). The analytic
+// selections are cleared: they referred to the previous entity type.
+func (s *Session) SwitchFocus(step facet.PathStep) {
+	l := s.top()
+	s.push(l.model.SwitchFocus(l.state(), step))
+	l.analytics = Analytics{}
+	l.log.actions = append(l.log.actions, actionJSON{Kind: "pivot", Path: pathToJSON(facet.Path{step})})
+}
+
+// ClickGroupBy toggles the G button on a facet path: clicking an already
+// selected path removes it (the "remove some of them" dialog of §5.1).
+func (s *Session) ClickGroupBy(spec GroupSpec) {
+	l := s.top()
+	for i, g := range l.analytics.GroupBy {
+		if g.Path.Equal(spec.Path) && g.Derive == spec.Derive {
+			l.analytics.GroupBy = append(l.analytics.GroupBy[:i], l.analytics.GroupBy[i+1:]...)
+			return
+		}
+	}
+	l.analytics.GroupBy = append(l.analytics.GroupBy, spec)
+}
+
+// ClickAggregate sets the measure (Σ button on a facet) and adds the chosen
+// operation; clicking an operation already present removes it.
+func (s *Session) ClickAggregate(measure MeasureSpec, op hifun.Operation) {
+	l := s.top()
+	if !samePath(l.analytics.Measure, measure) {
+		l.analytics.Measure = measure
+		l.analytics.Ops = nil
+	}
+	for i, o := range l.analytics.Ops {
+		if o.Op == op.Op && o.RestrictOp == op.RestrictOp && o.RestrictValue == op.RestrictValue {
+			l.analytics.Ops = append(l.analytics.Ops[:i], l.analytics.Ops[i+1:]...)
+			return
+		}
+	}
+	l.analytics.Ops = append(l.analytics.Ops, op)
+}
+
+func samePath(a, b MeasureSpec) bool {
+	return a.Path.Equal(b.Path) && a.Derive == b.Derive
+}
+
+// ClearAnalytics resets the G/Σ selections at the current level.
+func (s *Session) ClearAnalytics() {
+	s.top().analytics = Analytics{}
+}
+
+// Back undoes the last faceted transition at the current level.
+func (s *Session) Back() error {
+	l := s.top()
+	if len(l.history) <= 1 {
+		return errors.New("core: at initial state")
+	}
+	l.history = l.history[:len(l.history)-1]
+	if n := len(l.log.actions); n > 0 {
+		l.log.actions = l.log.actions[:n-1]
+	}
+	return nil
+}
+
+// Reset returns the current level to its initial state and clears analytics.
+func (s *Session) Reset() {
+	l := s.top()
+	l.history = l.history[:1]
+	l.analytics = Analytics{}
+	l.answer = nil
+	l.log.actions = nil
+}
+
+// BuildHIFUNQuery assembles the HIFUN query the current analytic state
+// denotes (§5.2.2): the grouping expression is the pairing of the G-selected
+// paths (each a composition), the measure is the Σ-selected path (or ID),
+// and the current extension becomes the context (via the intention).
+func (s *Session) BuildHIFUNQuery() (*hifun.Query, error) {
+	l := s.top()
+	a := l.analytics
+	if len(a.Ops) == 0 {
+		return nil, errors.New("core: no aggregate operation selected (Σ button)")
+	}
+	q := &hifun.Query{}
+	// Grouping: pairing of compositions.
+	var groupAttrs []hifun.Attr
+	for _, g := range a.GroupBy {
+		attr, err := pathToAttr(g.Path, g.Derive)
+		if err != nil {
+			return nil, err
+		}
+		groupAttrs = append(groupAttrs, attr)
+	}
+	switch len(groupAttrs) {
+	case 0:
+		q.Grouping = nil // ε: aggregate over the whole extension (Example 1)
+	case 1:
+		q.Grouping = groupAttrs[0]
+	default:
+		q.Grouping = hifun.Pair{Items: groupAttrs}
+	}
+	// Measure.
+	if len(a.Measure.Path) == 0 {
+		q.Measuring = hifun.Ident{}
+	} else {
+		attr, err := pathToAttr(a.Measure.Path, a.Measure.Derive)
+		if err != nil {
+			return nil, err
+		}
+		q.Measuring = attr
+	}
+	q.Ops = append(q.Ops, a.Ops...)
+	return q, nil
+}
+
+// pathToAttr converts a facet path p1/.../pk into the HIFUN composition
+// pk ∘ ... ∘ p1, optionally wrapped in a derived function.
+func pathToAttr(p facet.Path, derive string) (hifun.Attr, error) {
+	if len(p) == 0 {
+		return nil, errors.New("core: empty facet path")
+	}
+	var attr hifun.Attr
+	for i, step := range p {
+		prop := hifun.Prop{Name: step.P.Value, Inverse: step.Inverse}
+		if i == 0 {
+			attr = prop
+		} else {
+			attr = hifun.Comp{Outer: prop, Inner: attr}
+		}
+	}
+	if derive != "" {
+		if !hifun.IsDerivedFunc(derive) {
+			return nil, fmt.Errorf("core: unsupported derived function %q", derive)
+		}
+		attr = hifun.Derived{Func: strings.ToUpper(derive), Sub: attr}
+	}
+	return attr, nil
+}
+
+// Context returns the HIFUN analysis context of the current state: the
+// graph with the intention injected as extra patterns, so the analytic query
+// ranges exactly over ctx.Ext (§5.2.2).
+func (s *Session) Context() *hifun.Context {
+	l := s.top()
+	ctx := hifun.NewContext(l.model.G, l.ns)
+	patterns := l.state().Int.Patterns(hifun.RootVar)
+	if strings.TrimSpace(patterns) != "" {
+		// Wrap in a subquery so the extension contributes each entity once,
+		// regardless of how many bindings satisfy the intention patterns.
+		sub := "{ SELECT DISTINCT " + hifun.RootVar + " WHERE {\n" + patterns + "} }"
+		ctx.ExtraPatterns = append(ctx.ExtraPatterns, sub)
+	}
+	return ctx
+}
+
+// RunAnalytics builds, translates and executes the current analytic query,
+// storing and returning the Answer Frame. Identical (state, query) pairs
+// are served from a per-level cache until the graph mutates.
+func (s *Session) RunAnalytics() (*hifun.Answer, error) {
+	q, err := s.BuildHIFUNQuery()
+	if err != nil {
+		return nil, err
+	}
+	l := s.top()
+	intentionKey := l.state().Int.String()
+	key := intentionKey + "\x00" + q.String()
+	if cached, ok := l.cache[key]; ok {
+		l.answer = cached
+		return cached, nil
+	}
+	// Materialized-cube reuse: a coarser grouping of a cached cube rolls up
+	// in memory instead of re-querying (see cube.go).
+	if rolled := l.tryCubeReuse(intentionKey, l.analytics); rolled != nil {
+		if l.cache == nil {
+			l.cache = map[string]*hifun.Answer{}
+		}
+		l.cache[key] = rolled
+		l.answer = rolled
+		return rolled, nil
+	}
+	ans, err := s.Context().Execute(q)
+	if err != nil {
+		return nil, err
+	}
+	if l.cache == nil {
+		l.cache = map[string]*hifun.Answer{}
+	}
+	l.cache[key] = ans
+	l.rememberCube(intentionKey, l.analytics, ans)
+	l.answer = ans
+	return ans, nil
+}
+
+// InvalidateCache drops memoized answers and cubes at every level; call
+// after any out-of-band mutation of the underlying graph (e.g. a SPARQL
+// update).
+func (s *Session) InvalidateCache() {
+	for _, l := range s.levels {
+		l.cache = nil
+		l.cubes = nil
+	}
+}
+
+// InvalidateExactCache drops only the exact-answer memoization, keeping the
+// materialized cubes. Benchmarks and diagnostics use it to exercise the
+// cube roll-up path repeatedly.
+func (s *Session) InvalidateExactCache() {
+	for _, l := range s.levels {
+		l.cache = nil
+	}
+}
+
+// Answer returns the last computed Answer Frame at the current level.
+func (s *Session) Answer() *hifun.Answer { return s.top().answer }
+
+// LoadAnswerAsDataset implements the "Explore with FS" button (§5.3.3 /
+// Fig 5.2): the current answer becomes a new dataset and the session
+// descends into it; subsequent restrictions act as HAVING clauses over the
+// original data. The new level starts at the tuple class.
+func (s *Session) LoadAnswerAsDataset() error {
+	l := s.top()
+	if l.answer == nil {
+		return errors.New("core: no answer to load (run an analytic query first)")
+	}
+	g := l.answer.LoadAsDataset()
+	m := facet.NewModel(g)
+	start := m.ClickClass(m.Start(), rdf.NewIRI(hifun.AnswerNS+"Tuple"))
+	s.levels = append(s.levels, &level{
+		model:   m,
+		ns:      hifun.AnswerNS,
+		history: []*facet.State{start},
+	})
+	return nil
+}
+
+// CloseLevel pops the top dataset level, returning to the outer dataset.
+func (s *Session) CloseLevel() error {
+	if len(s.levels) <= 1 {
+		return errors.New("core: at the base dataset")
+	}
+	s.levels = s.levels[:len(s.levels)-1]
+	return nil
+}
+
+// ApplyTransform materializes a feature-creation operator on the current
+// extension (the transform button of §5.1 "Special cases"), making
+// non-functional properties usable as HIFUN attributes.
+func (s *Session) ApplyTransform(spec hifun.FeatureSpec) (int, error) {
+	l := s.top()
+	s.InvalidateCache()
+	return hifun.ApplyFeature(l.model.G, l.state().Ext.Items(), spec)
+}

@@ -1,0 +1,117 @@
+package datagen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rdfanalytics/internal/rdf"
+)
+
+func TestLoadBuiltinSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"products", "products-small", "invoices", "invoices-small", "stats",
+	} {
+		g, ns, err := Load(spec, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if g.Len() == 0 {
+			t.Errorf("%s: empty graph", spec)
+		}
+		if ns == "" {
+			t.Errorf("%s: empty namespace", spec)
+		}
+	}
+}
+
+func TestLoadScale(t *testing.T) {
+	small, _, _ := Load("products", 50)
+	big, _, _ := Load("products", 500)
+	if big.Len() <= small.Len() {
+		t.Errorf("scale ignored: %d vs %d", small.Len(), big.Len())
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.ttl")
+	doc := `@prefix my: <http://my.org/v#> .
+my:a a my:Thing ; my:weight 3 .
+my:b a my:Thing ; my:weight 5 .
+`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, ns, err := Load(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() < 4 {
+		t.Errorf("triples = %d", g.Len())
+	}
+	if ns != "http://my.org/v#" {
+		t.Errorf("guessed namespace %q", ns)
+	}
+}
+
+func TestLoadBinarySnapshot(t *testing.T) {
+	g, _, err := Load("products-small", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.rdfb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, ns, err := Load(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != g.Len() {
+		t.Fatalf("snapshot roundtrip: %d vs %d triples", back.Len(), g.Len())
+	}
+	if ns != ExampleNS {
+		t.Errorf("guessed namespace %q", ns)
+	}
+	// Corrupt snapshot errors.
+	bad := filepath.Join(dir, "bad.rdfb")
+	os.WriteFile(bad, []byte("NOPE"), 0o644)
+	if _, _, err := Load(bad, 0); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, _, err := Load("not-a-dataset", 0); err == nil {
+		t.Error("unknown spec accepted")
+	}
+	if _, _, err := Load("/nonexistent/file.ttl", 0); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Malformed file.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.ttl")
+	os.WriteFile(path, []byte("this is not turtle"), 0o644)
+	if _, _, err := Load(path, 0); err == nil {
+		t.Error("malformed file accepted")
+	}
+}
+
+func TestGuessNamespaceSkipsMeta(t *testing.T) {
+	g := rdf.MustLoadTurtle(`@prefix my: <http://my.org/v#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+my:A rdfs:subClassOf my:B .
+my:x my:p my:y .
+my:x my:q my:z .
+`)
+	if ns := guessNamespace(g); ns != "http://my.org/v#" {
+		t.Errorf("guessed %q", ns)
+	}
+}

@@ -1,0 +1,73 @@
+package facet
+
+import (
+	"testing"
+
+	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/rdf"
+)
+
+// TestFig54dGroupedValues reproduces Fig 5.4 (d): the hardDrive facet's
+// values grouped by class — SSD (2): SSD1 (1), SSD2 (1); NVMe (1): NVMe1.
+func TestFig54dGroupedValues(t *testing.T) {
+	m := model(t)
+	s := m.ClickClass(m.Start(), pe("Laptop"))
+	groups := m.GroupedValues(s, pe("hardDrive"), false)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if groups[0].Class != pe("SSD") || groups[0].Count != 2 {
+		t.Errorf("first group = %v (%d), want SSD (2)", groups[0].Class, groups[0].Count)
+	}
+	if len(groups[0].Values) != 2 {
+		t.Errorf("SSD values = %v", groups[0].Values)
+	}
+	if groups[1].Class != pe("NVMe") || groups[1].Count != 1 {
+		t.Errorf("second group = %v (%d), want NVMe (1)", groups[1].Class, groups[1].Count)
+	}
+}
+
+func TestGroupedValuesMostSpecificClass(t *testing.T) {
+	// SSD1 is (after materialization) SSD, HDType and Product; it must be
+	// filed under SSD, the most specific.
+	m := model(t)
+	s := m.ClickClass(m.Start(), pe("Laptop"))
+	for _, g := range m.GroupedValues(s, pe("hardDrive"), false) {
+		if g.Class == pe("HDType") || g.Class == pe("Product") {
+			t.Errorf("value filed under non-specific class %v", g.Class)
+		}
+	}
+}
+
+func TestGroupedValuesLiterals(t *testing.T) {
+	// Literal values (prices) have no class: one zero-class group.
+	m := model(t)
+	s := m.ClickClass(m.Start(), pe("Laptop"))
+	groups := m.GroupedValues(s, pe("price"), false)
+	if len(groups) != 1 || !groups[0].Class.IsZero() {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if len(groups[0].Values) != 3 {
+		t.Errorf("values = %v", groups[0].Values)
+	}
+}
+
+func TestGroupedValuesCountsMatchFacet(t *testing.T) {
+	// The summed group counts equal the plain facet's value-count sum.
+	m := model(t)
+	s := m.ClickClass(m.Start(), pe("Laptop"))
+	joins := m.Joins(s.Ext, pe("manufacturer"), false)
+	plain := 0
+	for _, c := range joins {
+		plain += c
+	}
+	grouped := 0
+	for _, g := range m.GroupedValues(s, pe("manufacturer"), false) {
+		grouped += g.Count
+	}
+	if plain != grouped {
+		t.Errorf("counts diverge: %d vs %d", plain, grouped)
+	}
+	_ = datagen.ExampleNS
+	_ = rdf.Term{}
+}

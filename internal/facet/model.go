@@ -1,0 +1,544 @@
+package facet
+
+import (
+	"math"
+	"sort"
+
+	"rdfanalytics/internal/rdf"
+)
+
+// TermSet is an extension: a set of resources with deterministic iteration.
+type TermSet struct {
+	set   map[rdf.Term]struct{}
+	items []rdf.Term // sorted lazily
+	dirty bool
+}
+
+// NewTermSet builds a set from the given terms.
+func NewTermSet(ts ...rdf.Term) *TermSet {
+	s := &TermSet{set: make(map[rdf.Term]struct{}, len(ts))}
+	for _, t := range ts {
+		s.Add(t)
+	}
+	return s
+}
+
+// Add inserts t.
+func (s *TermSet) Add(t rdf.Term) {
+	if _, ok := s.set[t]; !ok {
+		s.set[t] = struct{}{}
+		s.dirty = true
+	}
+}
+
+// Has reports membership.
+func (s *TermSet) Has(t rdf.Term) bool {
+	_, ok := s.set[t]
+	return ok
+}
+
+// Len returns the cardinality.
+func (s *TermSet) Len() int { return len(s.set) }
+
+// Items returns the members, sorted.
+func (s *TermSet) Items() []rdf.Term {
+	if s.dirty || s.items == nil {
+		s.items = make([]rdf.Term, 0, len(s.set))
+		for t := range s.set {
+			s.items = append(s.items, t)
+		}
+		sort.Slice(s.items, func(i, j int) bool { return s.items[i].Less(s.items[j]) })
+		s.dirty = false
+	}
+	return s.items
+}
+
+// State is one interaction state: an extension (the displayed objects) and
+// an intention (the query whose answer the extension is).
+type State struct {
+	Ext *TermSet
+	Int Intention
+}
+
+// Model is the faceted-search model over one graph. It offers the state
+// space primitives of §5.3: Restrict, Joins, class/property transitions and
+// path expansion.
+type Model struct {
+	G      *rdf.Graph
+	Schema *rdf.Schema
+	// MaxValues caps the number of values listed per facet (0 = unlimited);
+	// the GUI shows the top values and a "more" affordance.
+	MaxValues int
+}
+
+// NewModel builds a model over g. The graph should already be materialized
+// (rdf.Materialize) so that inst() honors subclass/subproperty semantics —
+// the closure C(K) of §5.3.1.
+func NewModel(g *rdf.Graph) *Model {
+	return &Model{G: g, Schema: rdf.SchemaOf(g)}
+}
+
+// Start returns the initial state s0: the extension holds every resource
+// that appears as a subject (the named individuals of the dataset) and the
+// intention is unrestricted.
+func (m *Model) Start() *State {
+	ext := NewTermSet()
+	m.G.Match(rdf.Any, rdf.Any, rdf.Any, func(t rdf.Triple) bool {
+		if t.S.IsResource() && !m.isSchemaEntity(t.S) {
+			ext.Add(t.S)
+		}
+		return true
+	})
+	return &State{Ext: ext}
+}
+
+// isSchemaEntity filters classes and properties out of the object list.
+func (m *Model) isSchemaEntity(t rdf.Term) bool {
+	if _, ok := m.Schema.Classes[t]; ok {
+		return true
+	}
+	if _, ok := m.Schema.Properties[t]; ok {
+		return true
+	}
+	return false
+}
+
+// StartFrom returns a state whose extension is an externally produced
+// result set (e.g. a keyword query), per §5.4.1.
+func (m *Model) StartFrom(results []rdf.Term) *State {
+	return &State{
+		Ext: NewTermSet(results...),
+		Int: Intention{Seed: append([]rdf.Term{}, results...)},
+	}
+}
+
+// Restrict implements Restrict(E, p:v) of §5.3.1.
+func (m *Model) Restrict(e *TermSet, p rdf.Term, inverse bool, v rdf.Term) *TermSet {
+	out := NewTermSet()
+	if inverse {
+		// e' survives if (v, p, e') holds.
+		m.G.Match(v, p, rdf.Any, func(t rdf.Triple) bool {
+			if e.Has(t.O) {
+				out.Add(t.O)
+			}
+			return true
+		})
+		return out
+	}
+	m.G.Match(rdf.Any, p, v, func(t rdf.Triple) bool {
+		if e.Has(t.S) {
+			out.Add(t.S)
+		}
+		return true
+	})
+	return out
+}
+
+// RestrictSet implements Restrict(E, p:vset).
+func (m *Model) RestrictSet(e *TermSet, p rdf.Term, inverse bool, vset *TermSet) *TermSet {
+	out := NewTermSet()
+	for _, v := range vset.Items() {
+		for _, t := range m.Restrict(e, p, inverse, v).Items() {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// RestrictClass implements Restrict(E, c).
+func (m *Model) RestrictClass(e *TermSet, c rdf.Term) *TermSet {
+	out := NewTermSet()
+	m.G.Match(rdf.Any, rdf.NewIRI(rdf.RDFType), c, func(t rdf.Triple) bool {
+		if e.Has(t.S) {
+			out.Add(t.S)
+		}
+		return true
+	})
+	return out
+}
+
+// RestrictOp filters e by a literal comparison at the end of a single hop:
+// the range-filter button of Example 3.
+func (m *Model) RestrictOp(e *TermSet, p rdf.Term, op string, v rdf.Term) *TermSet {
+	out := NewTermSet()
+	m.G.Match(rdf.Any, p, rdf.Any, func(t rdf.Triple) bool {
+		if !e.Has(t.S) {
+			return true
+		}
+		if compareHolds(t.O, op, v) {
+			out.Add(t.S)
+		}
+		return true
+	})
+	return out
+}
+
+func compareHolds(a rdf.Term, op string, b rdf.Term) bool {
+	if op == "" || op == "=" {
+		return a == b
+	}
+	if op == "!=" {
+		return a != b
+	}
+	af, okA := a.Float()
+	bf, okB := b.Float()
+	if okA && okB {
+		switch op {
+		case "<":
+			return af < bf
+		case "<=":
+			return af <= bf
+		case ">":
+			return af > bf
+		case ">=":
+			return af >= bf
+		}
+		return false
+	}
+	at, okA2 := a.Time()
+	bt, okB2 := b.Time()
+	if okA2 && okB2 {
+		switch op {
+		case "<":
+			return at.Before(bt)
+		case "<=":
+			return !at.After(bt)
+		case ">":
+			return at.After(bt)
+		case ">=":
+			return !at.Before(bt)
+		}
+	}
+	return false
+}
+
+// Joins implements Joins(E, p) of §5.3.1: the values linked with the
+// elements of E via p, with the count of E-members carrying each value.
+func (m *Model) Joins(e *TermSet, p rdf.Term, inverse bool) map[rdf.Term]int {
+	out := map[rdf.Term]int{}
+	if inverse {
+		// values v such that (v, p, e): count per v of distinct e.
+		seen := map[[2]rdf.Term]struct{}{}
+		m.G.Match(rdf.Any, p, rdf.Any, func(t rdf.Triple) bool {
+			if e.Has(t.O) {
+				key := [2]rdf.Term{t.S, t.O}
+				if _, dup := seen[key]; !dup {
+					seen[key] = struct{}{}
+					out[t.S]++
+				}
+			}
+			return true
+		})
+		return out
+	}
+	seen := map[[2]rdf.Term]struct{}{}
+	m.G.Match(rdf.Any, p, rdf.Any, func(t rdf.Triple) bool {
+		if e.Has(t.S) {
+			key := [2]rdf.Term{t.S, t.O}
+			if _, dup := seen[key]; !dup {
+				seen[key] = struct{}{}
+				out[t.O]++
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ValueCount is one transition marker: a clickable value with its count.
+type ValueCount struct {
+	Value rdf.Term
+	Count int
+}
+
+// sortValueCounts orders markers by descending count, then term order — the
+// usual facet display order.
+func sortValueCounts(vcs []ValueCount) {
+	sort.Slice(vcs, func(i, j int) bool {
+		if vcs[i].Count != vcs[j].Count {
+			return vcs[i].Count > vcs[j].Count
+		}
+		return vcs[i].Value.Less(vcs[j].Value)
+	})
+}
+
+// ClassNode is a node of the hierarchical class facet (Fig 5.4 a–b):
+// a class with the count of current objects it covers and its direct
+// subclasses under the reflexive-transitive reduction.
+type ClassNode struct {
+	Class    rdf.Term
+	Count    int
+	Children []ClassNode
+}
+
+// ClassFacet computes the class-based transition markers for s: the maximal
+// classes with nonzero counts, hierarchically organized (§5.3.2, Alg. 5
+// Part B). Classes covering no current object are pruned (query guidance:
+// no click leads to an empty result).
+func (m *Model) ClassFacet(s *State) []ClassNode {
+	var build func(c rdf.Term) (ClassNode, bool)
+	build = func(c rdf.Term) (ClassNode, bool) {
+		count := m.RestrictClass(s.Ext, c).Len()
+		node := ClassNode{Class: c, Count: count}
+		for _, sub := range m.Schema.DirectSubClasses(c) {
+			if child, ok := build(sub); ok {
+				node.Children = append(node.Children, child)
+			}
+		}
+		if count == 0 && len(node.Children) == 0 {
+			return node, false
+		}
+		return node, true
+	}
+	var out []ClassNode
+	for _, c := range m.Schema.MaximalClasses() {
+		if node, ok := build(c); ok {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// Facet is one property facet: the property, its direction, and its value
+// markers with counts (Fig 5.4 c).
+type Facet struct {
+	P       rdf.Term
+	Inverse bool
+	Values  []ValueCount
+}
+
+// Total returns the number of E-members having the property (the count
+// shown next to the facet name, "by manufacturer (2)").
+func (f Facet) Total(m *Model, e *TermSet) int {
+	out := NewTermSet()
+	if f.Inverse {
+		m.G.Match(rdf.Any, f.P, rdf.Any, func(t rdf.Triple) bool {
+			if e.Has(t.O) {
+				out.Add(t.O)
+			}
+			return true
+		})
+	} else {
+		m.G.Match(rdf.Any, f.P, rdf.Any, func(t rdf.Triple) bool {
+			if e.Has(t.S) {
+				out.Add(t.S)
+			}
+			return true
+		})
+	}
+	return out.Len()
+}
+
+// PropertyFacets computes the property-based transition markers of s
+// (Alg. 5 Part C): one facet per property applicable to the extension, each
+// with its joined values and counts. Inverse facets are included when
+// includeInverse is set (the model's Pr⁻¹).
+func (m *Model) PropertyFacets(s *State, includeInverse bool) []Facet {
+	var out []Facet
+	for _, p := range m.applicableProperties() {
+		values := m.Joins(s.Ext, p, false)
+		if len(values) > 0 {
+			out = append(out, m.makeFacet(p, false, values))
+		}
+		if includeInverse {
+			ivalues := m.Joins(s.Ext, p, true)
+			if len(ivalues) > 0 {
+				out = append(out, m.makeFacet(p, true, ivalues))
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P.Less(out[j].P)
+		}
+		return !out[i].Inverse && out[j].Inverse
+	})
+	return out
+}
+
+func (m *Model) applicableProperties() []rdf.Term {
+	var props []rdf.Term
+	for p := range m.Schema.Properties {
+		props = append(props, p)
+	}
+	sort.Slice(props, func(i, j int) bool { return props[i].Less(props[j]) })
+	return props
+}
+
+func (m *Model) makeFacet(p rdf.Term, inverse bool, values map[rdf.Term]int) Facet {
+	f := Facet{P: p, Inverse: inverse}
+	for v, c := range values {
+		f.Values = append(f.Values, ValueCount{Value: v, Count: c})
+	}
+	sortValueCounts(f.Values)
+	if m.MaxValues > 0 && len(f.Values) > m.MaxValues {
+		f.Values = f.Values[:m.MaxValues]
+	}
+	return f
+}
+
+// RankFacets orders facets by how much a click on them would tell the user:
+// the Shannon entropy of the facet's value distribution over the extension,
+// normalized by its coverage. High-entropy facets split the focus evenly
+// (informative clicks); single-valued facets rank last. Classic faceted-UI
+// ordering; the GUI shows the most useful facets first.
+func RankFacets(m *Model, e *TermSet, facets []Facet) []Facet {
+	type scored struct {
+		f     Facet
+		score float64
+	}
+	out := make([]scored, len(facets))
+	for i, f := range facets {
+		total := 0
+		for _, vc := range f.Values {
+			total += vc.Count
+		}
+		h := 0.0
+		if total > 0 {
+			for _, vc := range f.Values {
+				p := float64(vc.Count) / float64(total)
+				if p > 0 {
+					h -= p * math.Log2(p)
+				}
+			}
+		}
+		coverage := float64(f.Total(m, e)) / float64(max(e.Len(), 1))
+		out[i] = scored{f: f, score: h * coverage}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].score > out[j].score })
+	ranked := make([]Facet, len(out))
+	for i, s := range out {
+		ranked[i] = s.f
+	}
+	return ranked
+}
+
+// ExpandPath computes the transition markers at the end of a successive
+// property path p1…pk (§5.3.2, Fig 5.5): M_i = Joins(M_{i-1}, p_i) with
+// M_0 = s.Ext. It returns the markers of the last step, or nil when the
+// sequence is not successive (produces no values).
+func (m *Model) ExpandPath(s *State, path Path) []ValueCount {
+	cur := s.Ext
+	var values map[rdf.Term]int
+	for _, step := range path {
+		values = m.Joins(cur, step.P, step.Inverse)
+		if len(values) == 0 {
+			return nil
+		}
+		next := NewTermSet()
+		for v := range values {
+			if v.IsResource() || true { // literals can be grouped too
+				next.Add(v)
+			}
+		}
+		cur = next
+	}
+	var out []ValueCount
+	for v, c := range values {
+		out = append(out, ValueCount{Value: v, Count: c})
+	}
+	sortValueCounts(out)
+	return out
+}
+
+// ClickValue performs the transition of selecting value v at the end of
+// path (Eq. 5.1): the extension is restricted backwards through the path
+// and the intention gains the corresponding condition.
+func (m *Model) ClickValue(s *State, path Path, v rdf.Term) *State {
+	ext := m.restrictThroughPath(s.Ext, path, NewTermSet(v))
+	in := s.Int.Clone()
+	in.Conds = append(in.Conds, Cond{Path: append(Path{}, path...), Value: v})
+	return &State{Ext: ext, Int: in}
+}
+
+// ClickValueSet selects a set of values at the path end (multi-select).
+func (m *Model) ClickValueSet(s *State, path Path, vs []rdf.Term) *State {
+	ext := m.restrictThroughPath(s.Ext, path, NewTermSet(vs...))
+	in := s.Int.Clone()
+	in.Conds = append(in.Conds, Cond{Path: append(Path{}, path...), Values: append([]rdf.Term{}, vs...)})
+	return &State{Ext: ext, Int: in}
+}
+
+// ClickRange applies a literal comparison at the end of a 1-hop path: the
+// range filter of Example 3 (§5.1).
+func (m *Model) ClickRange(s *State, path Path, op string, v rdf.Term) *State {
+	if len(path) != 1 {
+		// Ranges over longer paths: restrict through the path by computing
+		// matching end values first.
+		end := m.ExpandPath(s, path)
+		match := NewTermSet()
+		for _, vc := range end {
+			if compareHolds(vc.Value, op, v) {
+				match.Add(vc.Value)
+			}
+		}
+		ext := m.restrictThroughPath(s.Ext, path, match)
+		in := s.Int.Clone()
+		in.Conds = append(in.Conds, Cond{Path: append(Path{}, path...), Op: op, Value: v})
+		return &State{Ext: ext, Int: in}
+	}
+	ext := m.RestrictOp(s.Ext, path[0].P, op, v)
+	in := s.Int.Clone()
+	in.Conds = append(in.Conds, Cond{Path: append(Path{}, path...), Op: op, Value: v})
+	return &State{Ext: ext, Int: in}
+}
+
+// ClickClass performs a class-based transition: the new extension is the
+// current objects of type c; the intention records the class.
+func (m *Model) ClickClass(s *State, c rdf.Term) *State {
+	ext := m.RestrictClass(s.Ext, c)
+	in := s.Int.Clone()
+	in.Class = c
+	return &State{Ext: ext, Int: in}
+}
+
+// SwitchFocus pivots the focus to the other end of property step: the new
+// extension holds the resources joined with the current entities, and the
+// intention records the pivot. This is the "switch between entity types"
+// capability of the base model (§5.2.1 differentiator iii) — e.g. moving
+// from a set of laptops to the set of their manufacturers, which then has
+// its own facets (size, origin, founder ...).
+func (m *Model) SwitchFocus(s *State, step PathStep) *State {
+	vals := m.Joins(s.Ext, step.P, step.Inverse)
+	ext := NewTermSet()
+	for v := range vals {
+		if v.IsResource() {
+			ext.Add(v)
+		}
+	}
+	base := s.Int.Clone()
+	stepCopy := step
+	return &State{
+		Ext: ext,
+		Int: Intention{Base: &base, PivotStep: &stepCopy},
+	}
+}
+
+// restrictThroughPath implements Eq. 5.1: starting from the selected end
+// markers M'_k, restrict each intermediate marker set and finally the
+// extension.
+func (m *Model) restrictThroughPath(ext *TermSet, path Path, endValues *TermSet) *TermSet {
+	// Recompute the forward marker sets M_1..M_k.
+	markers := make([]*TermSet, len(path)+1)
+	markers[0] = ext
+	for i, step := range path {
+		vals := m.Joins(markers[i], step.P, step.Inverse)
+		next := NewTermSet()
+		for v := range vals {
+			next.Add(v)
+		}
+		markers[i+1] = next
+	}
+	// Backward restriction: M'_k = endValues ∩ M_k; M'_i = Restrict(M_i,
+	// p_{i+1} : M'_{i+1}).
+	restricted := NewTermSet()
+	for _, v := range endValues.Items() {
+		if markers[len(path)].Has(v) {
+			restricted.Add(v)
+		}
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		restricted = m.RestrictSet(markers[i], path[i].P, path[i].Inverse, restricted)
+	}
+	return restricted
+}

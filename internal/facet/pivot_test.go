@@ -1,0 +1,104 @@
+package facet
+
+import (
+	"testing"
+
+	"rdfanalytics/internal/rdf"
+)
+
+// TestSwitchFocus: from DELL laptops, pivot to their manufacturers — the
+// focus becomes companies with company facets.
+func TestSwitchFocus(t *testing.T) {
+	m := model(t)
+	s := m.ClickClass(m.Start(), pe("Laptop"))
+	s = m.SwitchFocus(s, PathStep{P: pe("manufacturer")})
+	if s.Ext.Len() != 2 { // DELL, Lenovo
+		t.Fatalf("companies = %v", s.Ext.Items())
+	}
+	if !s.Ext.Has(pe("DELL")) || !s.Ext.Has(pe("Lenovo")) {
+		t.Fatalf("ext = %v", s.Ext.Items())
+	}
+	// Company facets are now available.
+	facets := m.PropertyFacets(s, false)
+	var hasOrigin bool
+	for _, f := range facets {
+		if f.P == pe("origin") {
+			hasOrigin = true
+		}
+	}
+	if !hasOrigin {
+		t.Error("origin facet missing after pivot")
+	}
+	// Further restriction works on the new focus.
+	s2 := m.ClickValue(s, Path{{P: pe("origin")}}, pe("USA"))
+	if s2.Ext.Len() != 1 || !s2.Ext.Has(pe("DELL")) {
+		t.Fatalf("restricted ext = %v", s2.Ext.Items())
+	}
+}
+
+// TestSwitchFocusInverse pivots against the property direction: from
+// companies to the products they manufacture.
+func TestSwitchFocusInverse(t *testing.T) {
+	m := model(t)
+	s := m.ClickClass(m.Start(), pe("Company"))
+	s = m.ClickValue(s, Path{{P: pe("origin")}}, pe("USA"))
+	// US companies: DELL, AVDElectronics.
+	if s.Ext.Len() != 2 {
+		t.Fatalf("US companies = %v", s.Ext.Items())
+	}
+	s = m.SwitchFocus(s, PathStep{P: pe("manufacturer"), Inverse: true})
+	// Products by US companies: laptop1, laptop2 (DELL) + SSD2 (AVD).
+	if s.Ext.Len() != 3 {
+		t.Fatalf("products = %v", s.Ext.Items())
+	}
+}
+
+// TestSwitchFocusIntentionAgreement: the pivoted intention's SPARQL answer
+// equals the set-computed extension, including after further clicks.
+func TestSwitchFocusIntentionAgreement(t *testing.T) {
+	m := model(t)
+	s := m.ClickClass(m.Start(), pe("Laptop"))
+	s = m.ClickValue(s, Path{{P: pe("USBPorts")}}, rdf.NewInteger(2))
+	s = m.SwitchFocus(s, PathStep{P: pe("manufacturer")})
+	s = m.ClickValue(s, Path{{P: pe("origin")}}, pe("USA"))
+	ans, err := s.Int.Answer(m.G)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, s.Int.ToSPARQL())
+	}
+	got := NewTermSet(ans...)
+	if got.Len() != s.Ext.Len() {
+		t.Fatalf("SPARQL %d vs sets %d\n%s\nintention: %s",
+			got.Len(), s.Ext.Len(), s.Int.ToSPARQL(), s.Int)
+	}
+	for _, e := range s.Ext.Items() {
+		if !got.Has(e) {
+			t.Errorf("%v missing from SPARQL answer", e)
+		}
+	}
+}
+
+// TestDoublePivot chains two focus switches: laptops → hard drives → their
+// manufacturers.
+func TestDoublePivot(t *testing.T) {
+	m := model(t)
+	s := m.ClickClass(m.Start(), pe("Laptop"))
+	s = m.SwitchFocus(s, PathStep{P: pe("hardDrive")})
+	if s.Ext.Len() != 3 {
+		t.Fatalf("drives = %v", s.Ext.Items())
+	}
+	s = m.SwitchFocus(s, PathStep{P: pe("manufacturer")})
+	if s.Ext.Len() != 2 { // Maxtor, AVDElectronics
+		t.Fatalf("drive makers = %v", s.Ext.Items())
+	}
+	// Intention chain also evaluates correctly.
+	ans, err := s.Int.Answer(m.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 2 {
+		t.Fatalf("intention answer = %v\n%s", ans, s.Int.ToSPARQL())
+	}
+	if s.Int.String() == "⊤" {
+		t.Error("pivot not reflected in breadcrumb")
+	}
+}

@@ -1,0 +1,238 @@
+// Package hifun implements HIFUN, the high-level functional analytics
+// language of Spyratos & Sugibuchi that the paper (Chapters 2.5 and 4) uses
+// as the intermediate representation between faceted-search interactions and
+// SPARQL. It provides:
+//
+//   - the functional-algebra AST: attribute paths, composition (∘), pairing
+//     (⊗), derived attributes, and restrictions on the grouping, measuring
+//     and operation parts;
+//   - a textual parser for the (g, m, op) query syntax;
+//   - the HIFUN→SPARQL translator implementing Algorithms 1–4 of §4.2;
+//   - the Linked-Data feature creation operators FCO1–FCO9 of Table 4.1;
+//   - query execution against an rdf.Graph through the SPARQL engine, with
+//     answers loadable as new RDF datasets (§5.3.3) to express HAVING and
+//     arbitrarily nested analytics.
+package hifun
+
+import (
+	"fmt"
+	"strings"
+
+	"rdfanalytics/internal/rdf"
+)
+
+// Attr is a HIFUN attribute expression: an operand of the functional
+// algebra. Concrete types: Prop, Comp, Pair, Derived, Ident.
+type Attr interface {
+	fmt.Stringer
+	isAttr()
+}
+
+// Prop is an atomic attribute: a property of the dataset, identified by a
+// short name resolved against the analysis context (or a full IRI).
+type Prop struct {
+	Name string
+	// Inverse marks traversal against the property direction (the model's
+	// p⁻¹, used when a facet was reached by an inverse transition).
+	Inverse bool
+}
+
+// Comp is function composition: Outer ∘ Inner, i.e. "apply Inner first".
+// (brand ∘ delivers)(i) = brand(delivers(i)).
+type Comp struct {
+	Outer, Inner Attr
+}
+
+// Pair is the pairing operation ⊗: grouping by several attributes at once.
+type Pair struct {
+	Items []Attr
+}
+
+// Derived wraps an attribute with a value-level transformation, e.g.
+// month ∘ hasDate where "month" is not a property but a derived attribute
+// computed by a builtin (YEAR, MONTH, DAY, ...).
+type Derived struct {
+	Func string // SPARQL builtin name, upper-case
+	Sub  Attr
+}
+
+// Ident is the identity attribute: it maps each data item to itself.
+// (g, ID, COUNT) counts the items of each group.
+type Ident struct{}
+
+func (Prop) isAttr()    {}
+func (Comp) isAttr()    {}
+func (Pair) isAttr()    {}
+func (Derived) isAttr() {}
+func (Ident) isAttr()   {}
+
+func (p Prop) String() string {
+	name := p.Name
+	// Full IRIs display as their local name (breadcrumbs, logs); bare names
+	// print verbatim so textual queries round-trip.
+	if strings.Contains(name, "://") {
+		if i := strings.LastIndexAny(name, "#/"); i >= 0 && i < len(name)-1 {
+			name = name[i+1:]
+		}
+	}
+	if p.Inverse {
+		return "^" + name
+	}
+	return name
+}
+func (c Comp) String() string { return c.Outer.String() + "∘" + c.Inner.String() }
+func (p Pair) String() string {
+	parts := make([]string, len(p.Items))
+	for i, a := range p.Items {
+		parts[i] = a.String()
+	}
+	return "(" + strings.Join(parts, " ⊗ ") + ")"
+}
+func (d Derived) String() string { return strings.ToLower(d.Func) + "(" + d.Sub.String() + ")" }
+func (Ident) String() string     { return "ID" }
+
+// Restriction restricts an attribute expression (the paper's g/rg, m/rm):
+// the items whose Path-value satisfies (Op, Value) are kept.
+type Restriction struct {
+	// Path is the attribute whose value is restricted. A nil Path restricts
+	// the expression's own value (the common case).
+	Path Attr
+	// Op is one of = != < <= > >=. For URI values only = and != make sense.
+	Op string
+	// Value is the comparison operand (URI or literal).
+	Value rdf.Term
+	// Values, when non-empty, expresses membership in a value set (the
+	// faceted model's Restrict(E, p:vset)); Op is ignored.
+	Values []rdf.Term
+}
+
+func (r Restriction) String() string {
+	var sb strings.Builder
+	if r.Path != nil {
+		sb.WriteString(r.Path.String())
+	}
+	if len(r.Values) > 0 {
+		sb.WriteString("∈{")
+		for i, v := range r.Values {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(termLex(v))
+		}
+		sb.WriteString("}")
+		return sb.String()
+	}
+	sb.WriteString(r.Op)
+	sb.WriteString(termLex(r.Value))
+	return sb.String()
+}
+
+func termLex(t rdf.Term) string {
+	if t.Kind == rdf.KindIRI {
+		return "<" + t.Value + ">"
+	}
+	return t.Value
+}
+
+// AggOp names the reduction operations.
+type AggOp string
+
+// The reduction operations of §2.4 (the SPARQL aggregate set).
+const (
+	OpCount       AggOp = "COUNT"
+	OpSum         AggOp = "SUM"
+	OpAvg         AggOp = "AVG"
+	OpMin         AggOp = "MIN"
+	OpMax         AggOp = "MAX"
+	OpGroupConcat AggOp = "GROUP_CONCAT"
+)
+
+// ValidOp reports whether s names a supported reduction operation.
+func ValidOp(s string) bool {
+	switch AggOp(strings.ToUpper(s)) {
+	case OpCount, OpSum, OpAvg, OpMin, OpMax, OpGroupConcat:
+		return true
+	}
+	return false
+}
+
+// Operation is one reduction with an optional result restriction (op/ro):
+// the HAVING part of the paper's q = (gE/rg, mE/rm, opE/ro).
+type Operation struct {
+	Op       AggOp
+	Distinct bool
+	// RestrictOp/RestrictValue express ro: a condition on the aggregate
+	// value, e.g. SUM/>1000.
+	RestrictOp    string
+	RestrictValue rdf.Term
+}
+
+func (o Operation) String() string {
+	s := string(o.Op)
+	if o.Distinct {
+		s += " DISTINCT"
+	}
+	if o.RestrictOp != "" {
+		s += "/" + o.RestrictOp + termLex(o.RestrictValue)
+	}
+	return s
+}
+
+// Query is a HIFUN analytic query q = (gE/rg, mE/rm, opE/ro). Grouping may
+// be nil (ε — aggregate over the whole context, Example 1 of §5.1).
+// Several operations may be requested at once, matching the paper's GUI
+// ("average, sum and max price ..."); formal HIFUN has exactly one.
+type Query struct {
+	Grouping    Attr
+	GroupRestrs []Restriction
+	Measuring   Attr
+	MeasRestrs  []Restriction
+	Ops         []Operation
+}
+
+func (q Query) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	if q.Grouping == nil {
+		sb.WriteString("ε")
+	} else {
+		sb.WriteString(q.Grouping.String())
+	}
+	for _, r := range q.GroupRestrs {
+		sb.WriteByte('/')
+		sb.WriteString(r.String())
+	}
+	sb.WriteString(", ")
+	if q.Measuring == nil {
+		sb.WriteString("ID")
+	} else {
+		sb.WriteString(q.Measuring.String())
+	}
+	for _, r := range q.MeasRestrs {
+		sb.WriteByte('/')
+		sb.WriteString(r.String())
+	}
+	sb.WriteString(", ")
+	for i, op := range q.Ops {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		sb.WriteString(op.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// derivedFuncs are the value-level transformations accepted as derived
+// attributes (§4.2.4: "all predefined functions of SPARQL with one
+// parameter can be used straightforwardly as derived attributes").
+var derivedFuncs = map[string]bool{
+	"YEAR": true, "MONTH": true, "DAY": true, "HOURS": true,
+	"MINUTES": true, "SECONDS": true, "STR": true, "UCASE": true,
+	"LCASE": true, "ABS": true, "CEIL": true, "FLOOR": true,
+	"ROUND": true, "STRLEN": true,
+}
+
+// IsDerivedFunc reports whether name is a supported derived-attribute
+// function.
+func IsDerivedFunc(name string) bool { return derivedFuncs[strings.ToUpper(name)] }

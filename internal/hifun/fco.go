@@ -1,0 +1,238 @@
+package hifun
+
+import (
+	"fmt"
+	"sort"
+
+	"rdfanalytics/internal/rdf"
+)
+
+// Feature Creation Operators (Table 4.1): Linked-Data-based transformations
+// that derive a *functional* feature for each entity from non-functional RDF
+// data, making HIFUN applicable when its prerequisites fail (§4.2.6:
+// missing values, multi-valued properties). Each operator materializes a new
+// property <feature> on the entities of interest.
+
+// FCO identifies one of the nine operators of Table 4.1.
+type FCO int
+
+// The operators of Table 4.1, in the paper's numbering.
+const (
+	// FCOValue (fco1) copies p's value: the plain functional case.
+	FCOValue FCO = iota + 1
+	// FCOExists (fco2) is 1 when the entity has any p-triple (either
+	// direction), else 0.
+	FCOExists
+	// FCOCount (fco3) counts the entity's p-values.
+	FCOCount
+	// FCOValuesAsFeatures (fco4) creates one boolean feature per value of a
+	// multi-valued property.
+	FCOValuesAsFeatures
+	// FCODegree (fco5) counts all triples mentioning the entity.
+	FCODegree
+	// FCOAvgDegree (fco6) averages the degree of the entity's p-neighbors.
+	FCOAvgDegree
+	// FCOPathExists (fco7) is 1 when a p1/p2 path leaves the entity.
+	FCOPathExists
+	// FCOPathCount (fco8) counts distinct p1/p2 path endpoints.
+	FCOPathCount
+	// FCOPathMaxFreq (fco9) picks the most frequent p1/p2 endpoint.
+	FCOPathMaxFreq
+)
+
+func (f FCO) String() string {
+	names := map[FCO]string{
+		FCOValue: "p.value", FCOExists: "p.exists", FCOCount: "p.count",
+		FCOValuesAsFeatures: "p.values.AsFeatures", FCODegree: "degree",
+		FCOAvgDegree: "average degree", FCOPathExists: "p1.p2.exists",
+		FCOPathCount: "p1.p2.count", FCOPathMaxFreq: "p1.p2.value.maxFreq",
+	}
+	if n, ok := names[f]; ok {
+		return n
+	}
+	return fmt.Sprintf("fco%d", int(f))
+}
+
+// FeatureSpec describes one feature to materialize.
+type FeatureSpec struct {
+	Op FCO
+	// P is the property (fco1–fco4, fco6) or first path step (fco7–fco9).
+	P rdf.Term
+	// P2 is the second path step (fco7–fco9).
+	P2 rdf.Term
+	// Feature is the IRI of the property created. For FCOValuesAsFeatures it
+	// is the IRI *prefix*: one property per value is created by appending
+	// the value's local name.
+	Feature rdf.Term
+}
+
+// ApplyFeature materializes the feature on every entity of entities inside
+// g (new triples are added to g; nothing is removed). It returns the number
+// of triples added.
+//
+// Entities with no relevant data get the operator's neutral value where the
+// paper defines one (0 for exists/count/degree variants), so the resulting
+// feature is total — i.e. functional — over the entity set.
+func ApplyFeature(g *rdf.Graph, entities []rdf.Term, spec FeatureSpec) (int, error) {
+	if spec.Feature.IsZero() {
+		return 0, fmt.Errorf("hifun: feature IRI required")
+	}
+	added := 0
+	add := func(s rdf.Term, p rdf.Term, o rdf.Term) {
+		if g.Add(rdf.Triple{S: s, P: p, O: o}) {
+			added++
+		}
+	}
+	switch spec.Op {
+	case FCOValue:
+		for _, e := range entities {
+			vals := g.Objects(e, spec.P)
+			if len(vals) == 1 {
+				add(e, spec.Feature, vals[0])
+			}
+			// Multi-valued or missing: fco1 does not apply; use fco2/fco4.
+		}
+	case FCOExists:
+		for _, e := range entities {
+			n := g.MatchCount(e, spec.P, rdf.Any) + g.MatchCount(rdf.Any, spec.P, e)
+			v := int64(0)
+			if n > 0 {
+				v = 1
+			}
+			add(e, spec.Feature, rdf.NewInteger(v))
+		}
+	case FCOCount:
+		for _, e := range entities {
+			add(e, spec.Feature, rdf.NewInteger(int64(len(g.Objects(e, spec.P)))))
+		}
+	case FCOValuesAsFeatures:
+		for _, e := range entities {
+			for _, v := range g.Objects(e, spec.P) {
+				f := rdf.NewIRI(spec.Feature.Value + "_" + v.LocalName())
+				add(e, f, rdf.NewInteger(1))
+			}
+		}
+		// The complementary 0s: every entity gets 0 for each feature value
+		// it lacks, keeping features total.
+		valueSet := map[rdf.Term]bool{}
+		g.Match(rdf.Any, spec.P, rdf.Any, func(t rdf.Triple) bool {
+			valueSet[t.O] = true
+			return true
+		})
+		var values []rdf.Term
+		for v := range valueSet {
+			values = append(values, v)
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i].Less(values[j]) })
+		for _, e := range entities {
+			have := map[rdf.Term]bool{}
+			for _, v := range g.Objects(e, spec.P) {
+				have[v] = true
+			}
+			for _, v := range values {
+				if !have[v] {
+					f := rdf.NewIRI(spec.Feature.Value + "_" + v.LocalName())
+					add(e, f, rdf.NewInteger(0))
+				}
+			}
+		}
+	case FCODegree:
+		for _, e := range entities {
+			deg := g.MatchCount(e, rdf.Any, rdf.Any) + g.MatchCount(rdf.Any, rdf.Any, e)
+			add(e, spec.Feature, rdf.NewInteger(int64(deg)))
+		}
+	case FCOAvgDegree:
+		for _, e := range entities {
+			neighbors := g.Objects(e, spec.P)
+			if len(neighbors) == 0 {
+				add(e, spec.Feature, rdf.NewInteger(0))
+				continue
+			}
+			total := 0
+			for _, n := range neighbors {
+				total += g.MatchCount(n, rdf.Any, rdf.Any) + g.MatchCount(rdf.Any, rdf.Any, n)
+			}
+			avg := float64(total) / float64(len(neighbors))
+			add(e, spec.Feature, rdf.NewDecimal(avg))
+		}
+	case FCOPathExists, FCOPathCount, FCOPathMaxFreq:
+		if spec.P2.IsZero() {
+			return added, fmt.Errorf("hifun: %s requires a second property", spec.Op)
+		}
+		for _, e := range entities {
+			ends := map[rdf.Term]int{}
+			for _, mid := range g.Objects(e, spec.P) {
+				for _, end := range g.Objects(mid, spec.P2) {
+					ends[end]++
+				}
+			}
+			switch spec.Op {
+			case FCOPathExists:
+				v := int64(0)
+				if len(ends) > 0 {
+					v = 1
+				}
+				add(e, spec.Feature, rdf.NewInteger(v))
+			case FCOPathCount:
+				add(e, spec.Feature, rdf.NewInteger(int64(len(ends))))
+			default: // FCOPathMaxFreq
+				var best rdf.Term
+				bestN := -1
+				var keys []rdf.Term
+				for k := range ends {
+					keys = append(keys, k)
+				}
+				sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+				for _, k := range keys {
+					if ends[k] > bestN {
+						best, bestN = k, ends[k]
+					}
+				}
+				if bestN >= 0 {
+					add(e, spec.Feature, best)
+				}
+			}
+		}
+	default:
+		return added, fmt.Errorf("hifun: unknown feature operator %d", int(spec.Op))
+	}
+	return added, nil
+}
+
+// MakeFunctional is the §4.2.6 recipe for multi-valued numeric properties:
+// it materializes feature = AVG of the p-values of each entity, giving every
+// entity exactly one value. Non-numeric multi-values fall back to the
+// lexically smallest value (deterministic choice).
+func MakeFunctional(g *rdf.Graph, entities []rdf.Term, p, feature rdf.Term) int {
+	added := 0
+	for _, e := range entities {
+		vals := g.Objects(e, p)
+		if len(vals) == 0 {
+			continue
+		}
+		if len(vals) == 1 {
+			if g.Add(rdf.Triple{S: e, P: feature, O: vals[0]}) {
+				added++
+			}
+			continue
+		}
+		sum, n := 0.0, 0
+		for _, v := range vals {
+			if f, ok := v.Float(); ok {
+				sum += f
+				n++
+			}
+		}
+		var out rdf.Term
+		if n == len(vals) {
+			out = rdf.NewDecimal(sum / float64(n))
+		} else {
+			sort.Slice(vals, func(i, j int) bool { return vals[i].Less(vals[j]) })
+			out = vals[0]
+		}
+		if g.Add(rdf.Triple{S: e, P: feature, O: out}) {
+			added++
+		}
+	}
+	return added
+}

@@ -1,0 +1,465 @@
+package hifun
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"unicode"
+
+	"rdfanalytics/internal/rdf"
+)
+
+// The textual HIFUN syntax accepted by Parse mirrors the paper's notation
+// with ASCII fallbacks:
+//
+//	(takesPlaceAt, inQuantity, SUM)                       simple (§4.2.1)
+//	(takesPlaceAt/branch1, inQuantity, SUM)               URI restriction
+//	(takesPlaceAt, inQuantity/>=1, SUM)                   literal restriction
+//	(takesPlaceAt, inQuantity, SUM/>1000)                 result restriction
+//	(brand∘delivers, inQuantity, SUM)                     composition
+//	(brand.delivers, inQuantity, SUM)                     ASCII composition
+//	(month∘hasDate, inQuantity, SUM)                      derived attribute
+//	(takesPlaceAt ⊗ delivers, inQuantity, SUM)            pairing
+//	(takesPlaceAt & delivers, inQuantity, SUM)            ASCII pairing
+//	(takesPlaceAt & brand.delivers/month.hasDate=1, inQuantity/>=2, SUM/>1000)
+//	(ε, price, AVG)                                       empty grouping
+//	(origin.manufacturer, ID, COUNT)                      identity measure
+//	(manufacturer, price, AVG; SUM; MAX)                  multiple operations
+//
+// Bare identifiers in value position resolve against the namespace given to
+// Parse; <full-iri> values are also accepted.
+
+// ParseError reports a HIFUN syntax error.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("hifun: pos %d: %s", e.Pos, e.Msg)
+}
+
+type hlexKind int
+
+const (
+	hEOF hlexKind = iota
+	hIdent
+	hIRI
+	hNumber
+	hString
+	hPunct // ( ) , ; / = != <= >= < > ∘ . ⊗ & ^ ε
+)
+
+type htoken struct {
+	kind hlexKind
+	text string
+	pos  int
+}
+
+type hparser struct {
+	toks []htoken
+	pos  int
+	ns   string
+}
+
+// Parse parses a textual HIFUN query. ns is the namespace against which
+// bare identifiers in value position are resolved to IRIs.
+func Parse(src, ns string) (*Query, error) {
+	toks, err := hlex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &hparser{toks: toks, ns: ns}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != hEOF {
+		return nil, p.errf("unexpected %q after query", p.cur().text)
+	}
+	return q, nil
+}
+
+// MustParse parses a HIFUN query and panics on error.
+func MustParse(src, ns string) *Query {
+	q, err := Parse(src, ns)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func hlex(src string) ([]htoken, error) {
+	var toks []htoken
+	rs := []rune(src)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		start := i
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '<':
+			j := i + 1
+			for j < len(rs) && rs[j] != '>' {
+				j++
+			}
+			if j >= len(rs) {
+				return nil, &ParseError{Pos: start, Msg: "unterminated IRI"}
+			}
+			toks = append(toks, htoken{hIRI, string(rs[i+1 : j]), start})
+			i = j + 1
+			// A comparison "<" would never be directly followed by ">" this
+			// way; IRIs win, matching the intended syntax.
+		case r == '"':
+			j := i + 1
+			for j < len(rs) && rs[j] != '"' {
+				j++
+			}
+			if j >= len(rs) {
+				return nil, &ParseError{Pos: start, Msg: "unterminated string"}
+			}
+			toks = append(toks, htoken{hString, string(rs[i+1 : j]), start})
+			i = j + 1
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(rs) && (unicode.IsDigit(rs[j]) || rs[j] == '.' || rs[j] == '-' || rs[j] == ':') {
+				j++
+			}
+			// Trailing '.' belongs to composition, not the number.
+			for j > i && rs[j-1] == '.' {
+				j--
+			}
+			toks = append(toks, htoken{hNumber, string(rs[i:j]), start})
+			i = j
+		case r == '!' && i+1 < len(rs) && rs[i+1] == '=':
+			toks = append(toks, htoken{hPunct, "!=", start})
+			i += 2
+		case r == '<' || r == '>':
+			if i+1 < len(rs) && rs[i+1] == '=' {
+				toks = append(toks, htoken{hPunct, string(r) + "=", start})
+				i += 2
+			} else {
+				toks = append(toks, htoken{hPunct, string(r), start})
+				i++
+			}
+		case strings.ContainsRune("(),;/=.&^", r):
+			toks = append(toks, htoken{hPunct, string(r), start})
+			i++
+		case r == '∘':
+			toks = append(toks, htoken{hPunct, ".", start})
+			i++
+		case r == '⊗':
+			toks = append(toks, htoken{hPunct, "&", start})
+			i++
+		case r == 'ε':
+			toks = append(toks, htoken{hPunct, "ε", start})
+			i++
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_' || rs[j] == '-') {
+				j++
+			}
+			toks = append(toks, htoken{hIdent, string(rs[i:j]), start})
+			i = j
+		default:
+			return nil, &ParseError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", r)}
+		}
+	}
+	toks = append(toks, htoken{hEOF, "", len(rs)})
+	return toks, nil
+}
+
+func (p *hparser) cur() htoken { return p.toks[p.pos] }
+
+func (p *hparser) advance() htoken {
+	t := p.toks[p.pos]
+	if t.kind != hEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *hparser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.cur().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *hparser) accept(text string) bool {
+	if t := p.cur(); t.kind == hPunct && t.text == text {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *hparser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, got %q", text, p.cur().text)
+	}
+	return nil
+}
+
+func (p *hparser) parseQuery() (*Query, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	// Grouping part.
+	if p.accept("ε") {
+		q.Grouping = nil
+	} else if t := p.cur(); t.kind == hIdent && t.text == "e" && p.toks[p.pos+1].kind == hPunct && p.toks[p.pos+1].text == "," {
+		p.advance() // ASCII epsilon
+		q.Grouping = nil
+	} else {
+		g, restrs, err := p.parseAttrWithRestrictions()
+		if err != nil {
+			return nil, err
+		}
+		q.Grouping = g
+		q.GroupRestrs = restrs
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	// Measuring part.
+	if t := p.cur(); t.kind == hIdent && strings.EqualFold(t.text, "ID") {
+		p.advance()
+		q.Measuring = Ident{}
+	} else {
+		m, restrs, err := p.parseAttrWithRestrictions()
+		if err != nil {
+			return nil, err
+		}
+		q.Measuring = m
+		q.MeasRestrs = restrs
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	// Operation part: op (/cond)? (';' op (/cond)?)*
+	for {
+		op, err := p.parseOperation()
+		if err != nil {
+			return nil, err
+		}
+		q.Ops = append(q.Ops, op)
+		if !p.accept(";") {
+			break
+		}
+	}
+	return q, p.expect(")")
+}
+
+func (p *hparser) parseOperation() (Operation, error) {
+	t := p.cur()
+	if t.kind != hIdent || !ValidOp(t.text) {
+		return Operation{}, p.errf("expected aggregate operation, got %q", t.text)
+	}
+	p.advance()
+	op := Operation{Op: AggOp(strings.ToUpper(t.text))}
+	if t2 := p.cur(); t2.kind == hIdent && strings.EqualFold(t2.text, "DISTINCT") {
+		p.advance()
+		op.Distinct = true
+	}
+	if p.accept("/") {
+		cmp, ok := p.acceptCmp()
+		if !ok {
+			cmp = "="
+		}
+		v, err := p.parseValue()
+		if err != nil {
+			return Operation{}, err
+		}
+		op.RestrictOp = cmp
+		op.RestrictValue = v
+	}
+	return op, nil
+}
+
+func (p *hparser) acceptCmp() (string, bool) {
+	t := p.cur()
+	if t.kind == hPunct {
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.advance()
+			return t.text, true
+		}
+	}
+	return "", false
+}
+
+// parseAttrWithRestrictions parses pairExpr ('/' restriction)*.
+func (p *hparser) parseAttrWithRestrictions() (Attr, []Restriction, error) {
+	attr, err := p.parsePairing()
+	if err != nil {
+		return nil, nil, err
+	}
+	var restrs []Restriction
+	for p.accept("/") {
+		r, err := p.parseRestriction()
+		if err != nil {
+			return nil, nil, err
+		}
+		restrs = append(restrs, r)
+	}
+	return attr, restrs, nil
+}
+
+func (p *hparser) parsePairing() (Attr, error) {
+	first, err := p.parseComposition()
+	if err != nil {
+		return nil, err
+	}
+	items := []Attr{first}
+	for p.accept("&") {
+		next, err := p.parseComposition()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, next)
+	}
+	if len(items) == 1 {
+		return first, nil
+	}
+	return Pair{Items: items}, nil
+}
+
+// parseComposition parses atom ('.' atom)*. The paper writes f2∘f1 (outer
+// first); the '.'/∘ chain is therefore left-to-right outer-to-inner.
+func (p *hparser) parseComposition() (Attr, error) {
+	first, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	chain := []Attr{first}
+	for p.accept(".") {
+		next, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, next)
+	}
+	// chain[0]∘chain[1]∘...∘chain[n-1]: fold right-to-left.
+	attr := chain[len(chain)-1]
+	for i := len(chain) - 2; i >= 0; i-- {
+		// A derived-function atom composes by wrapping.
+		if d, ok := chain[i].(Derived); ok && d.Sub == nil {
+			attr = Derived{Func: d.Func, Sub: attr}
+			continue
+		}
+		attr = Comp{Outer: chain[i], Inner: attr}
+	}
+	return attr, nil
+}
+
+func (p *hparser) parseAtom() (Attr, error) {
+	inverse := p.accept("^")
+	t := p.cur()
+	switch t.kind {
+	case hIdent:
+		p.advance()
+		if IsDerivedFunc(t.text) {
+			// Either month(expr) or bare "month" composed with '.'.
+			if p.accept("(") {
+				sub, err := p.parseComposition()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				return Derived{Func: strings.ToUpper(t.text), Sub: sub}, nil
+			}
+			return Derived{Func: strings.ToUpper(t.text), Sub: nil}, nil
+		}
+		return Prop{Name: t.text, Inverse: inverse}, nil
+	case hIRI:
+		p.advance()
+		return Prop{Name: t.text, Inverse: inverse}, nil
+	case hPunct:
+		if t.text == "(" {
+			p.advance()
+			inner, err := p.parsePairing()
+			if err != nil {
+				return nil, err
+			}
+			return inner, p.expect(")")
+		}
+	}
+	return nil, p.errf("expected attribute, got %q", t.text)
+}
+
+// parseRestriction parses one restriction after '/': either
+// [path cmp] value, or a bare value (equality on the expression itself).
+func (p *hparser) parseRestriction() (Restriction, error) {
+	// Leading comparison: /=v, />=v etc.
+	if cmp, ok := p.acceptCmp(); ok {
+		v, err := p.parseValue()
+		if err != nil {
+			return Restriction{}, err
+		}
+		return Restriction{Op: cmp, Value: v}, nil
+	}
+	// Number or string or IRI: bare equality value.
+	switch p.cur().kind {
+	case hNumber, hString, hIRI:
+		v, err := p.parseValue()
+		if err != nil {
+			return Restriction{}, err
+		}
+		return Restriction{Op: "=", Value: v}, nil
+	}
+	// Identifier chain: could be a path restriction (path cmp value) or a
+	// bare identifier value.
+	save := p.pos
+	attr, err := p.parseComposition()
+	if err != nil {
+		return Restriction{}, err
+	}
+	if cmp, ok := p.acceptCmp(); ok {
+		v, err := p.parseValue()
+		if err != nil {
+			return Restriction{}, err
+		}
+		return Restriction{Path: attr, Op: cmp, Value: v}, nil
+	}
+	// No comparator: the chain was actually a value identifier.
+	p.pos = save
+	t := p.advance()
+	if t.kind != hIdent {
+		return Restriction{}, p.errf("expected restriction value")
+	}
+	return Restriction{Op: "=", Value: rdf.NewIRI(p.ns + t.text)}, nil
+}
+
+var datePattern = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}$`)
+
+func (p *hparser) parseValue() (rdf.Term, error) {
+	t := p.cur()
+	switch t.kind {
+	case hNumber:
+		p.advance()
+		if datePattern.MatchString(t.text) {
+			return rdf.NewTyped(t.text, rdf.XSDDate), nil
+		}
+		if strings.Contains(t.text, ".") {
+			return rdf.NewTyped(t.text, rdf.XSDDecimal), nil
+		}
+		return rdf.NewTyped(t.text, rdf.XSDInteger), nil
+	case hString:
+		p.advance()
+		return rdf.NewString(t.text), nil
+	case hIRI:
+		p.advance()
+		return rdf.NewIRI(t.text), nil
+	case hIdent:
+		p.advance()
+		switch t.text {
+		case "true", "false":
+			return rdf.NewTyped(t.text, rdf.XSDBoolean), nil
+		}
+		return rdf.NewIRI(p.ns + t.text), nil
+	default:
+		return rdf.Term{}, p.errf("expected value, got %q", t.text)
+	}
+}

@@ -1,0 +1,273 @@
+package hifun
+
+import (
+	"testing"
+
+	"rdfanalytics/internal/rdf"
+)
+
+const ns = "http://e/"
+
+func TestParseSimpleQuery(t *testing.T) {
+	q := MustParse("(takesPlaceAt, inQuantity, SUM)", ns)
+	g, ok := q.Grouping.(Prop)
+	if !ok || g.Name != "takesPlaceAt" {
+		t.Fatalf("grouping: %#v", q.Grouping)
+	}
+	m, ok := q.Measuring.(Prop)
+	if !ok || m.Name != "inQuantity" {
+		t.Fatalf("measuring: %#v", q.Measuring)
+	}
+	if len(q.Ops) != 1 || q.Ops[0].Op != OpSum {
+		t.Fatalf("ops: %#v", q.Ops)
+	}
+}
+
+func TestParseEmptyGrouping(t *testing.T) {
+	for _, src := range []string{"(ε, price, AVG)", "(e, price, AVG)"} {
+		q := MustParse(src, ns)
+		if q.Grouping != nil {
+			t.Errorf("%s: grouping = %#v, want nil", src, q.Grouping)
+		}
+	}
+}
+
+func TestParseIdentityMeasure(t *testing.T) {
+	q := MustParse("(origin.manufacturer, ID, COUNT)", ns)
+	if _, ok := q.Measuring.(Ident); !ok {
+		t.Fatalf("measuring: %#v", q.Measuring)
+	}
+	comp, ok := q.Grouping.(Comp)
+	if !ok {
+		t.Fatalf("grouping: %#v", q.Grouping)
+	}
+	if comp.Outer.(Prop).Name != "origin" || comp.Inner.(Prop).Name != "manufacturer" {
+		t.Fatalf("composition order wrong: %v", comp)
+	}
+}
+
+func TestParseCompositionUnicode(t *testing.T) {
+	a := MustParse("(brand∘delivers, inQuantity, SUM)", ns)
+	b := MustParse("(brand.delivers, inQuantity, SUM)", ns)
+	if a.Grouping.String() != b.Grouping.String() {
+		t.Fatalf("unicode vs ascii composition differ: %s vs %s", a.Grouping, b.Grouping)
+	}
+}
+
+func TestParsePairing(t *testing.T) {
+	for _, src := range []string{
+		"(takesPlaceAt ⊗ delivers, inQuantity, SUM)",
+		"(takesPlaceAt & delivers, inQuantity, SUM)",
+	} {
+		q := MustParse(src, ns)
+		p, ok := q.Grouping.(Pair)
+		if !ok || len(p.Items) != 2 {
+			t.Fatalf("%s: grouping = %#v", src, q.Grouping)
+		}
+	}
+}
+
+func TestParsePairingOfCompositions(t *testing.T) {
+	q := MustParse("(takesPlaceAt & (brand.delivers), inQuantity, SUM)", ns)
+	p := q.Grouping.(Pair)
+	if _, ok := p.Items[1].(Comp); !ok {
+		t.Fatalf("second pair item: %#v", p.Items[1])
+	}
+}
+
+func TestParseDerived(t *testing.T) {
+	q := MustParse("(month.hasDate, inQuantity, SUM)", ns)
+	d, ok := q.Grouping.(Derived)
+	if !ok || d.Func != "MONTH" {
+		t.Fatalf("grouping: %#v", q.Grouping)
+	}
+	if d.Sub.(Prop).Name != "hasDate" {
+		t.Fatalf("derived sub: %#v", d.Sub)
+	}
+	// Function-call form is equivalent.
+	q2 := MustParse("(month(hasDate), inQuantity, SUM)", ns)
+	if q2.Grouping.String() != q.Grouping.String() {
+		t.Fatalf("call form differs: %s vs %s", q2.Grouping, q.Grouping)
+	}
+}
+
+func TestParseRestrictions(t *testing.T) {
+	// URI restriction on grouping.
+	q := MustParse("(takesPlaceAt/branch1, inQuantity, SUM)", ns)
+	if len(q.GroupRestrs) != 1 {
+		t.Fatalf("restrs: %#v", q.GroupRestrs)
+	}
+	r := q.GroupRestrs[0]
+	if r.Op != "=" || r.Value != rdf.NewIRI(ns+"branch1") {
+		t.Fatalf("restr: %#v", r)
+	}
+	// Literal restriction on measuring.
+	q = MustParse("(takesPlaceAt, inQuantity/>=1, SUM)", ns)
+	r = q.MeasRestrs[0]
+	if r.Op != ">=" || r.Value != rdf.NewTyped("1", rdf.XSDInteger) {
+		t.Fatalf("restr: %#v", r)
+	}
+	// Result restriction.
+	q = MustParse("(takesPlaceAt, inQuantity, SUM/>1000)", ns)
+	if q.Ops[0].RestrictOp != ">" || q.Ops[0].RestrictValue.Value != "1000" {
+		t.Fatalf("op restr: %#v", q.Ops[0])
+	}
+}
+
+func TestParsePathRestriction(t *testing.T) {
+	// Algorithm 4's general case: restriction through a composition.
+	q := MustParse("(takesPlaceAt & brand.delivers/month.hasDate=1, inQuantity/>=2, SUM/>1000)", ns)
+	if len(q.GroupRestrs) != 1 {
+		t.Fatalf("restrs: %#v", q.GroupRestrs)
+	}
+	r := q.GroupRestrs[0]
+	if r.Path == nil {
+		t.Fatal("path restriction lost its path")
+	}
+	if _, ok := r.Path.(Derived); !ok {
+		t.Fatalf("path: %#v", r.Path)
+	}
+	if r.Value.Value != "1" {
+		t.Fatalf("value: %#v", r.Value)
+	}
+}
+
+func TestParseDateValue(t *testing.T) {
+	q := MustParse("(releaseDate/=2021-06-10, price, AVG)", ns)
+	r := q.GroupRestrs[0]
+	if r.Value.Datatype != rdf.XSDDate {
+		t.Fatalf("date not recognized: %#v", r.Value)
+	}
+}
+
+func TestParseMultipleOps(t *testing.T) {
+	q := MustParse("(manufacturer, price, AVG; SUM; MAX)", ns)
+	if len(q.Ops) != 3 {
+		t.Fatalf("ops: %#v", q.Ops)
+	}
+	if q.Ops[2].Op != OpMax {
+		t.Fatalf("third op: %#v", q.Ops[2])
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	q := MustParse("(manufacturer, ID, COUNT DISTINCT)", ns)
+	if !q.Ops[0].Distinct {
+		t.Fatal("distinct lost")
+	}
+}
+
+func TestParseInverse(t *testing.T) {
+	q := MustParse("(^manufacturer, price, AVG)", ns)
+	p, ok := q.Grouping.(Prop)
+	if !ok || !p.Inverse {
+		t.Fatalf("inverse grouping: %#v", q.Grouping)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(a, b)",               // missing op
+		"(a, b, NOTANOP)",      // unknown op
+		"(a, b, SUM",           // unclosed
+		"(a, b, SUM) trailing", // trailing tokens
+		"(a,, SUM)",
+		"(a/<unterminated, b, SUM)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, ns); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+// TestQueryStringRoundTripQuick: random attribute trees survive
+// String() -> Parse() unchanged.
+func TestQueryStringRoundTripQuick(t *testing.T) {
+	props := []string{"alpha", "beta", "gamma", "delta"}
+	funcs := []string{"YEAR", "MONTH", "DAY"}
+	var build func(seed uint64, depth int) Attr
+	build = func(seed uint64, depth int) Attr {
+		switch {
+		case depth <= 0 || seed%4 == 0:
+			return Prop{Name: props[seed%uint64(len(props))]}
+		case seed%4 == 1:
+			return Comp{
+				Outer: Prop{Name: props[(seed>>2)%uint64(len(props))]},
+				Inner: build(seed>>4, depth-1),
+			}
+		case seed%4 == 2:
+			return Derived{Func: funcs[(seed>>2)%uint64(len(funcs))], Sub: build(seed>>4, depth-1)}
+		default:
+			return Pair{Items: []Attr{
+				build(seed>>3, depth-1),
+				build(seed>>7, depth-1),
+			}}
+		}
+	}
+	for seed := uint64(0); seed < 400; seed++ {
+		g := build(seed, 3)
+		// Pairing inside compositions or derived functions is not part of
+		// the textual grammar; restrict to top-level pairings.
+		if containsNestedPair(g) {
+			continue
+		}
+		q := &Query{Grouping: g, Measuring: Prop{Name: "m"}, Ops: []Operation{{Op: OpSum}}}
+		src := q.String()
+		q2, err := Parse(src, ns)
+		if err != nil {
+			t.Fatalf("seed %d: re-parse of %q failed: %v", seed, src, err)
+		}
+		if q2.String() != src {
+			t.Fatalf("seed %d: roundtrip %q -> %q", seed, src, q2.String())
+		}
+	}
+}
+
+func containsNestedPair(a Attr) bool {
+	var walk func(a Attr, top bool) bool
+	walk = func(a Attr, top bool) bool {
+		switch x := a.(type) {
+		case Pair:
+			if !top {
+				return true
+			}
+			for _, item := range x.Items {
+				if walk(item, false) {
+					return true
+				}
+			}
+		case Comp:
+			return walk(x.Outer, false) || walk(x.Inner, false)
+		case Derived:
+			if x.Sub == nil {
+				return true
+			}
+			return walk(x.Sub, false)
+		}
+		return false
+	}
+	return walk(a, true)
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"(takesPlaceAt, inQuantity, SUM)",
+		"(brand.delivers, inQuantity, SUM)",
+		"(takesPlaceAt & delivers, inQuantity, SUM/>100)",
+		"(ε, price, AVG)",
+		"(month.hasDate, ID, COUNT)",
+	}
+	for _, src := range srcs {
+		q := MustParse(src, ns)
+		q2, err := Parse(q.String(), ns)
+		if err != nil {
+			t.Errorf("re-parse of %q (from %q) failed: %v", q.String(), src, err)
+			continue
+		}
+		if q2.String() != q.String() {
+			t.Errorf("roundtrip: %q -> %q", q.String(), q2.String())
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package rdf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary snapshot format for graphs: a dictionary section (terms in ID
+// order) followed by a triple section (ID three-tuples, varint-encoded).
+// Loading a snapshot is much faster than re-parsing Turtle and preserves
+// dictionary IDs, so servers can persist materialized graphs.
+//
+// Layout:
+//
+//	magic "RDFA" | version u8
+//	termCount uvarint
+//	per term: kind u8 | value | datatype | lang   (strings are uvarint len + bytes)
+//	tripleCount uvarint
+//	per triple: s uvarint | p uvarint | o uvarint (dictionary IDs)
+
+const (
+	binaryMagic   = "RDFA"
+	binaryVersion = 1
+)
+
+// WriteBinary serializes the graph in the snapshot format.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	bw := bufio.NewWriterSize(w, 64<<10)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	writeString := func(s string) error {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	// Dictionary.
+	if err := writeUvarint(uint64(g.dict.Len())); err != nil {
+		return err
+	}
+	for _, t := range g.dict.toTerm {
+		if err := bw.WriteByte(byte(t.Kind)); err != nil {
+			return err
+		}
+		if err := writeString(t.Value); err != nil {
+			return err
+		}
+		if err := writeString(t.Datatype); err != nil {
+			return err
+		}
+		if err := writeString(t.Lang); err != nil {
+			return err
+		}
+	}
+	// Triples.
+	if err := writeUvarint(uint64(len(g.triples))); err != nil {
+		return err
+	}
+	for key := range g.triples {
+		if err := writeUvarint(uint64(key.s)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(key.p)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(key.o)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary loads a graph from the snapshot format.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("rdf: reading snapshot magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("rdf: not a graph snapshot (magic %q)", magic)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("rdf: unsupported snapshot version %d", version)
+	}
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<24 {
+			return "", fmt.Errorf("rdf: implausible string length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	termCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if termCount > 1<<30 {
+		return nil, fmt.Errorf("rdf: implausible term count %d", termCount)
+	}
+	terms := make([]Term, termCount)
+	for i := range terms {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if TermKind(kind) > KindLiteral {
+			return nil, fmt.Errorf("rdf: bad term kind %d", kind)
+		}
+		value, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		datatype, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		lang, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		terms[i] = Term{Kind: TermKind(kind), Value: value, Datatype: datatype, Lang: lang}
+	}
+	tripleCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	g := NewGraph()
+	readID := func() (ID, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, err
+		}
+		if v == 0 || v > termCount {
+			return 0, fmt.Errorf("rdf: term ID %d out of range", v)
+		}
+		return ID(v), nil
+	}
+	for i := uint64(0); i < tripleCount; i++ {
+		s, err := readID()
+		if err != nil {
+			return nil, err
+		}
+		p, err := readID()
+		if err != nil {
+			return nil, err
+		}
+		o, err := readID()
+		if err != nil {
+			return nil, err
+		}
+		g.Add(Triple{S: terms[s-1], P: terms[p-1], O: terms[o-1]})
+	}
+	return g, nil
+}

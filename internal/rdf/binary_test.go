@@ -1,0 +1,114 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := MustLoadTurtle(`@prefix ex: <http://e/> .
+ex:a a ex:Thing ; ex:label "héllo wörld" ; ex:n 42 ; ex:tagged "hi"@en .
+ex:b ex:knows _:blank1 .
+_:blank1 ex:note """multi
+line""" .
+`)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != g.Len() {
+		t.Fatalf("roundtrip Len = %d, want %d", back.Len(), g.Len())
+	}
+	for _, tr := range g.Triples() {
+		if !back.Has(tr) {
+			t.Errorf("roundtrip lost %v", tr)
+		}
+	}
+	if back.TermCount() != g.TermCount() {
+		t.Errorf("dictionary size changed: %d vs %d", back.TermCount(), g.TermCount())
+	}
+}
+
+func TestBinaryEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewGraph().WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Fatalf("Len = %d", back.Len())
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",                     // empty
+		"NOPE",                 // short
+		"XXXX\x01",             // bad magic
+		"RDFA\x63",             // bad version
+		"RDFA\x01\xff\xff\xff", // truncated dictionary
+	}
+	for _, c := range cases {
+		if _, err := ReadBinary(strings.NewReader(c)); err == nil {
+			t.Errorf("garbage %q accepted", c)
+		}
+	}
+}
+
+func TestBinaryRejectsBadIDs(t *testing.T) {
+	// Hand-craft a snapshot with a triple referencing term 9 when only one
+	// term exists.
+	var buf bytes.Buffer
+	buf.WriteString("RDFA\x01")
+	buf.WriteByte(1) // term count
+	buf.WriteByte(0) // kind IRI
+	buf.WriteByte(3)
+	buf.WriteString("a:b") // value
+	buf.WriteByte(0)       // datatype
+	buf.WriteByte(0)       // lang
+	buf.WriteByte(1)       // triple count
+	buf.WriteByte(9)       // s out of range
+	buf.WriteByte(1)
+	buf.WriteByte(1)
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("out-of-range term ID accepted")
+	}
+}
+
+func BenchmarkBinaryVsTurtle(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("@prefix ex: <http://e/> .\n")
+	for i := 0; i < 2000; i++ {
+		sb.WriteString("ex:s")
+		sb.WriteString(strings.Repeat("x", i%7+1))
+		sb.WriteString(" ex:p \"v\" .\n")
+	}
+	g := MustLoadTurtle(sb.String())
+	var bin bytes.Buffer
+	if err := g.WriteBinary(&bin); err != nil {
+		b.Fatal(err)
+	}
+	ttl := sb.String()
+	b.Run("read-binary", func(b *testing.B) {
+		for b.Loop() {
+			if _, err := ReadBinary(bytes.NewReader(bin.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parse-turtle", func(b *testing.B) {
+		for b.Loop() {
+			if _, err := LoadTurtleString(ttl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTurtleEscapes(t *testing.T) {
+	doc := `@prefix ex: <http://e/> .
+ex:a ex:p "tab\there" .
+ex:a ex:q "newline\nhere" .
+ex:a ex:r "quote\"here" .
+ex:a ex:s "back\\slash" .
+ex:a ex:t "unicodeAhere" .
+ex:a ex:u "wide\U0001F600emoji" .
+ex:a ex:v "cr\rbell" .
+`
+	g, err := LoadTurtleString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]string{
+		"p": "tab\there",
+		"q": "newline\nhere",
+		"r": `quote"here`,
+		"s": `back\slash`,
+		"t": "unicodeAhere",
+		"u": "wide\U0001F600emoji",
+		"v": "cr\rbell",
+	}
+	for p, want := range checks {
+		got := g.Object(NewIRI("http://e/a"), NewIRI("http://e/"+p))
+		if got.Value != want {
+			t.Errorf("%s = %q, want %q", p, got.Value, want)
+		}
+	}
+	// Literal \u / \U escapes (written with raw backslashes so the Turtle
+	// parser, not the Go compiler, decodes them).
+	doc2 := "<http://e/a> <http://e/w> \"esc\\u0041end\" .\n" +
+		"<http://e/a> <http://e/x> \"wide\\U0001F600end\" .\n"
+	g2, err := LoadTurtleString(doc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g2.Object(NewIRI("http://e/a"), NewIRI("http://e/w")); got.Value != "escAend" {
+		t.Errorf("\\u escape = %q", got.Value)
+	}
+	if got := g2.Object(NewIRI("http://e/a"), NewIRI("http://e/x")); got.Value != "wide\U0001F600end" {
+		t.Errorf("\\U escape = %q", got.Value)
+	}
+	// Bad escapes error.
+	for _, bad := range []string{
+		`<http://e/a> <http://e/p> "bad\qescape" .`,
+		`<http://e/a> <http://e/p> "bad\uZZZZ" .`,
+	} {
+		if _, err := LoadTurtleString(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestTurtleBaseDirective(t *testing.T) {
+	doc := `@base <http://base.org/> .
+@prefix ex: <http://e/> .
+<rel1> ex:p <rel2> .
+`
+	g, err := LoadTurtleString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Has(Triple{NewIRI("http://base.org/rel1"), NewIRI("http://e/p"), NewIRI("http://base.org/rel2")}) {
+		t.Errorf("base resolution: %v", g.Triples())
+	}
+}
+
+func TestTurtleIRIEscape(t *testing.T) {
+	doc := `<http://e/with space> <http://e/p> <http://e/o> .`
+	g, err := LoadTurtleString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Has(Triple{NewIRI("http://e/with space"), NewIRI("http://e/p"), NewIRI("http://e/o")}) {
+		t.Errorf("IRI escape: %v", g.Triples())
+	}
+}
+
+func TestTurtleNestedBlankLists(t *testing.T) {
+	doc := `@prefix ex: <http://e/> .
+ex:a ex:p [ ex:q [ ex:r 1 ] ] .
+`
+	g, err := LoadTurtleString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("triples: %v", g.Triples())
+	}
+}
+
+func TestAddAll(t *testing.T) {
+	g := NewGraph()
+	ts := []Triple{
+		{ex("a"), ex("p"), ex("b")},
+		{ex("a"), ex("p"), ex("b")}, // dup
+		{ex("c"), ex("p"), ex("d")},
+	}
+	if n := g.AddAll(ts); n != 2 {
+		t.Fatalf("AddAll added %d, want 2", n)
+	}
+}
+
+func TestDirectSubProperties(t *testing.T) {
+	g := MustLoadTurtle(`@prefix ex: <http://e/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+ex:specific rdfs:subPropertyOf ex:general .
+ex:verySpecific rdfs:subPropertyOf ex:specific .
+ex:verySpecific rdfs:subPropertyOf ex:general .
+`)
+	s := SchemaOf(g)
+	subs := s.DirectSubProperties(NewIRI("http://e/general"))
+	if len(subs) != 1 || subs[0] != NewIRI("http://e/specific") {
+		t.Errorf("DirectSubProperties = %v (reduction should drop the shortcut)", subs)
+	}
+}
+
+func TestTermConstructors(t *testing.T) {
+	tm := time.Date(2021, 6, 10, 13, 45, 0, 0, time.UTC)
+	if d := NewDate(tm); d.Value != "2021-06-10" || d.Datatype != XSDDate {
+		t.Errorf("NewDate = %v", d)
+	}
+	if dt := NewDateTime(tm); !strings.HasPrefix(dt.Value, "2021-06-10T13:45") {
+		t.Errorf("NewDateTime = %v", dt)
+	}
+	if d := NewDouble(1.5e3); d.Datatype != XSDDouble {
+		t.Errorf("NewDouble = %v", d)
+	}
+	if k := KindIRI.String(); k != "IRI" {
+		t.Errorf("KindIRI.String() = %q", k)
+	}
+	if k := TermKind(9).String(); !strings.Contains(k, "9") {
+		t.Errorf("unknown kind string = %q", k)
+	}
+}
+
+func TestParseErrorString(t *testing.T) {
+	_, err := LoadTurtleString("@bad <x> .")
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error rendering: %v", err)
+	}
+}
+
+func TestWriteTurtleFallsBackToFullIRIs(t *testing.T) {
+	g := NewGraph()
+	// A local name with characters outside PN_LOCAL forces <…> form.
+	g.Add(Triple{NewIRI("http://e/a b"), NewIRI("http://e/p"), NewString("v")})
+	var sb strings.Builder
+	if err := WriteTurtle(&sb, g, map[string]string{"e": "http://e/"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<http://e/a b>") {
+		t.Errorf("expected full IRI form:\n%s", sb.String())
+	}
+}

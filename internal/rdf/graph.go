@@ -1,0 +1,439 @@
+package rdf
+
+import (
+	"sort"
+	"sync"
+)
+
+// Any is the wildcard term for Graph.Match: a position holding Any matches
+// every term. It is not a valid RDF term and can never be stored in a graph.
+var Any = Term{Kind: TermKind(0xFF)}
+
+type tripleKey struct{ s, p, o ID }
+
+// Graph is an in-memory RDF triple store with dictionary encoding and three
+// access-path indexes (SPO, POS, OSP). All read operations are safe for
+// concurrent use; writes are serialized by an internal lock.
+//
+// Graph is the "triple store" substrate of the reproduction: the paper runs
+// against a remote SPARQL endpoint, which we replace by this store plus the
+// engine in internal/sparql.
+type Graph struct {
+	mu      sync.RWMutex
+	dict    *Dict
+	triples map[tripleKey]struct{}
+	spo     map[ID]map[ID][]ID // subject -> predicate -> objects
+	pos     map[ID]map[ID][]ID // predicate -> object -> subjects
+	osp     map[ID]map[ID][]ID // object -> subject -> predicates
+	psCount map[ID]int         // predicate -> triple count (facet statistics)
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		dict:    NewDict(),
+		triples: make(map[tripleKey]struct{}),
+		spo:     make(map[ID]map[ID][]ID),
+		pos:     make(map[ID]map[ID][]ID),
+		osp:     make(map[ID]map[ID][]ID),
+		psCount: make(map[ID]int),
+	}
+}
+
+// Len returns the number of triples stored.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.triples)
+}
+
+// TermCount returns the number of distinct terms in the dictionary.
+func (g *Graph) TermCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.dict.Len()
+}
+
+// Add inserts a triple, reporting whether it was new.
+func (g *Graph) Add(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addLocked(t)
+}
+
+// AddAll inserts a batch of triples and returns how many were new.
+func (g *Graph) AddAll(ts []Triple) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, t := range ts {
+		if g.addLocked(t) {
+			n++
+		}
+	}
+	return n
+}
+
+func (g *Graph) addLocked(t Triple) bool {
+	s := g.dict.Intern(t.S)
+	p := g.dict.Intern(t.P)
+	o := g.dict.Intern(t.O)
+	key := tripleKey{s, p, o}
+	if _, dup := g.triples[key]; dup {
+		return false
+	}
+	g.triples[key] = struct{}{}
+	addIndex(g.spo, s, p, o)
+	addIndex(g.pos, p, o, s)
+	addIndex(g.osp, o, s, p)
+	g.psCount[p]++
+	return true
+}
+
+func addIndex(idx map[ID]map[ID][]ID, a, b, c ID) {
+	inner, ok := idx[a]
+	if !ok {
+		inner = make(map[ID][]ID)
+		idx[a] = inner
+	}
+	inner[b] = append(inner[b], c)
+}
+
+// Remove deletes a triple, reporting whether it was present.
+func (g *Graph) Remove(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok1 := g.dict.Lookup(t.S)
+	p, ok2 := g.dict.Lookup(t.P)
+	o, ok3 := g.dict.Lookup(t.O)
+	if !ok1 || !ok2 || !ok3 {
+		return false
+	}
+	key := tripleKey{s, p, o}
+	if _, present := g.triples[key]; !present {
+		return false
+	}
+	delete(g.triples, key)
+	removeIndex(g.spo, s, p, o)
+	removeIndex(g.pos, p, o, s)
+	removeIndex(g.osp, o, s, p)
+	g.psCount[p]--
+	if g.psCount[p] == 0 {
+		delete(g.psCount, p)
+	}
+	return true
+}
+
+func removeIndex(idx map[ID]map[ID][]ID, a, b, c ID) {
+	inner := idx[a]
+	list := inner[b]
+	for i, v := range list {
+		if v == c {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(inner, b)
+		if len(inner) == 0 {
+			delete(idx, a)
+		}
+	} else {
+		inner[b] = list
+	}
+}
+
+// Has reports whether the graph contains the exact triple.
+func (g *Graph) Has(t Triple) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s, ok1 := g.dict.Lookup(t.S)
+	p, ok2 := g.dict.Lookup(t.P)
+	o, ok3 := g.dict.Lookup(t.O)
+	if !ok1 || !ok2 || !ok3 {
+		return false
+	}
+	_, present := g.triples[tripleKey{s, p, o}]
+	return present
+}
+
+// Match calls fn for every triple matching the pattern; rdf.Any in any
+// position acts as a wildcard. Iteration stops early when fn returns false.
+// The triple passed to fn is fully materialized (terms, not IDs).
+func (g *Graph) Match(s, p, o Term, fn func(Triple) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.matchLocked(s, p, o, fn)
+}
+
+func (g *Graph) matchLocked(s, p, o Term, fn func(Triple) bool) {
+	sID, sOK := g.resolve(s)
+	pID, pOK := g.resolve(p)
+	oID, oOK := g.resolve(o)
+	// A bound position with an unknown term can never match.
+	if !sOK || !pOK || !oOK {
+		return
+	}
+	switch {
+	case sID != 0 && pID != 0 && oID != 0:
+		if _, present := g.triples[tripleKey{sID, pID, oID}]; present {
+			fn(Triple{g.dict.Term(sID), g.dict.Term(pID), g.dict.Term(oID)})
+		}
+	case sID != 0 && pID != 0:
+		st, pt := g.dict.Term(sID), g.dict.Term(pID)
+		for _, obj := range g.spo[sID][pID] {
+			if !fn(Triple{st, pt, g.dict.Term(obj)}) {
+				return
+			}
+		}
+	case sID != 0 && oID != 0:
+		st, ot := g.dict.Term(sID), g.dict.Term(oID)
+		for _, pred := range g.osp[oID][sID] {
+			if !fn(Triple{st, g.dict.Term(pred), ot}) {
+				return
+			}
+		}
+	case pID != 0 && oID != 0:
+		pt, ot := g.dict.Term(pID), g.dict.Term(oID)
+		for _, sub := range g.pos[pID][oID] {
+			if !fn(Triple{g.dict.Term(sub), pt, ot}) {
+				return
+			}
+		}
+	case sID != 0:
+		st := g.dict.Term(sID)
+		for pred, objs := range g.spo[sID] {
+			pt := g.dict.Term(pred)
+			for _, obj := range objs {
+				if !fn(Triple{st, pt, g.dict.Term(obj)}) {
+					return
+				}
+			}
+		}
+	case pID != 0:
+		pt := g.dict.Term(pID)
+		for obj, subs := range g.pos[pID] {
+			ot := g.dict.Term(obj)
+			for _, sub := range subs {
+				if !fn(Triple{g.dict.Term(sub), pt, ot}) {
+					return
+				}
+			}
+		}
+	case oID != 0:
+		ot := g.dict.Term(oID)
+		for sub, preds := range g.osp[oID] {
+			st := g.dict.Term(sub)
+			for _, pred := range preds {
+				if !fn(Triple{st, g.dict.Term(pred), ot}) {
+					return
+				}
+			}
+		}
+	default:
+		for key := range g.triples {
+			t := Triple{g.dict.Term(key.s), g.dict.Term(key.p), g.dict.Term(key.o)}
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// resolve maps a pattern term to an ID: Any yields (0, true); a known term
+// yields its ID; an unknown term yields (0, false), meaning "cannot match".
+func (g *Graph) resolve(t Term) (ID, bool) {
+	if t == Any {
+		return 0, true
+	}
+	id, ok := g.dict.Lookup(t)
+	if !ok {
+		return 0, false
+	}
+	return id, true
+}
+
+// MatchCount returns the number of triples matching the pattern without
+// materializing them. It is the cardinality estimator used for BGP join
+// ordering in the SPARQL engine.
+func (g *Graph) MatchCount(s, p, o Term) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	sID, sOK := g.resolve(s)
+	pID, pOK := g.resolve(p)
+	oID, oOK := g.resolve(o)
+	if !sOK || !pOK || !oOK {
+		return 0
+	}
+	switch {
+	case sID != 0 && pID != 0 && oID != 0:
+		if _, present := g.triples[tripleKey{sID, pID, oID}]; present {
+			return 1
+		}
+		return 0
+	case sID != 0 && pID != 0:
+		return len(g.spo[sID][pID])
+	case sID != 0 && oID != 0:
+		return len(g.osp[oID][sID])
+	case pID != 0 && oID != 0:
+		return len(g.pos[pID][oID])
+	case sID != 0:
+		n := 0
+		for _, objs := range g.spo[sID] {
+			n += len(objs)
+		}
+		return n
+	case pID != 0:
+		return g.psCount[pID]
+	case oID != 0:
+		n := 0
+		for _, preds := range g.osp[oID] {
+			n += len(preds)
+		}
+		return n
+	default:
+		return len(g.triples)
+	}
+}
+
+// Triples returns all triples in deterministic (sorted) order. Intended for
+// serialization and tests; prefer Match for queries.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, 0, g.Len())
+	g.Match(Any, Any, Any, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Objects returns the distinct objects of (s, p, ?o).
+func (g *Graph) Objects(s, p Term) []Term {
+	var out []Term
+	seen := make(map[Term]struct{})
+	g.Match(s, p, Any, func(t Triple) bool {
+		if _, dup := seen[t.O]; !dup {
+			seen[t.O] = struct{}{}
+			out = append(out, t.O)
+		}
+		return true
+	})
+	return out
+}
+
+// Object returns one object of (s, p, ?o), or the zero Term if none exists.
+func (g *Graph) Object(s, p Term) Term {
+	var out Term
+	g.Match(s, p, Any, func(t Triple) bool {
+		out = t.O
+		return false
+	})
+	return out
+}
+
+// Subjects returns the distinct subjects of (?s, p, o).
+func (g *Graph) Subjects(p, o Term) []Term {
+	var out []Term
+	seen := make(map[Term]struct{})
+	g.Match(Any, p, o, func(t Triple) bool {
+		if _, dup := seen[t.S]; !dup {
+			seen[t.S] = struct{}{}
+			out = append(out, t.S)
+		}
+		return true
+	})
+	return out
+}
+
+// Predicates returns the distinct predicates appearing in the graph, sorted.
+func (g *Graph) Predicates() []Term {
+	g.mu.RLock()
+	out := make([]Term, 0, len(g.psCount))
+	for p := range g.psCount {
+		out = append(out, g.dict.Term(p))
+	}
+	g.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// PredicateCount returns the number of triples whose predicate is p.
+func (g *Graph) PredicateCount(p Term) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	id, ok := g.dict.Lookup(p)
+	if !ok {
+		return 0
+	}
+	return g.psCount[id]
+}
+
+// SubjectsWithPredicate returns the distinct subjects that have at least one
+// value for predicate p.
+func (g *Graph) SubjectsWithPredicate(p Term) []Term {
+	seen := make(map[Term]struct{})
+	var out []Term
+	g.Match(Any, p, Any, func(t Triple) bool {
+		if _, dup := seen[t.S]; !dup {
+			seen[t.S] = struct{}{}
+			out = append(out, t.S)
+		}
+		return true
+	})
+	return out
+}
+
+// Clone returns a deep copy of the graph (fresh dictionary and indexes).
+func (g *Graph) Clone() *Graph {
+	out := NewGraph()
+	g.Match(Any, Any, Any, func(t Triple) bool {
+		out.Add(t)
+		return true
+	})
+	return out
+}
+
+// Merge adds every triple of other into g and returns the number added.
+func (g *Graph) Merge(other *Graph) int {
+	n := 0
+	other.Match(Any, Any, Any, func(t Triple) bool {
+		if g.Add(t) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// Stats summarizes a graph for diagnostics and the efficiency experiments.
+type Stats struct {
+	Triples    int
+	Terms      int
+	Subjects   int
+	Predicates int
+	Classes    int
+	Literals   int
+}
+
+// Stats computes summary statistics over the graph.
+func (g *Graph) Stats() Stats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	st := Stats{
+		Triples:    len(g.triples),
+		Terms:      g.dict.Len(),
+		Subjects:   len(g.spo),
+		Predicates: len(g.psCount),
+	}
+	for _, t := range g.dict.toTerm {
+		if t.IsLiteral() {
+			st.Literals++
+		}
+	}
+	if typeID, ok := g.dict.Lookup(NewIRI(RDFType)); ok {
+		st.Classes = len(g.pos[typeID])
+	}
+	return st
+}

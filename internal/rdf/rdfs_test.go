@@ -1,0 +1,226 @@
+package rdf
+
+import "testing"
+
+const productSchema = `@prefix ex: <http://ex.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+ex:Product a rdfs:Class .
+ex:Laptop a rdfs:Class ; rdfs:subClassOf ex:Product .
+ex:Gaming a rdfs:Class ; rdfs:subClassOf ex:Laptop .
+ex:HDType a rdfs:Class ; rdfs:subClassOf ex:Product .
+ex:SSD a rdfs:Class ; rdfs:subClassOf ex:HDType .
+ex:Company a rdfs:Class .
+ex:producer a rdf:Property ; rdfs:domain ex:Product ; rdfs:range ex:Company .
+ex:manufacturer rdfs:subPropertyOf ex:producer .
+ex:laptop1 a ex:Gaming ; ex:manufacturer ex:dell .
+ex:laptop2 a ex:Laptop .
+ex:hd1 a ex:SSD .
+`
+
+func TestSchemaHierarchies(t *testing.T) {
+	g := MustLoadTurtle(productSchema)
+	s := SchemaOf(g)
+	laptop := ex("Laptop")
+	gaming := ex("Gaming")
+	product := ex("Product")
+	if _, ok := s.SuperClasses[gaming][product]; !ok {
+		t.Error("transitive superclass Gaming -> Product missing")
+	}
+	if _, ok := s.SubClasses[product][gaming]; !ok {
+		t.Error("transitive subclass Product -> Gaming missing")
+	}
+	// Direct (reduced) parents: Gaming's only direct parent is Laptop.
+	if _, ok := s.DirectSuperClasses[gaming][laptop]; !ok {
+		t.Error("direct superclass Gaming -> Laptop missing")
+	}
+	if _, ok := s.DirectSuperClasses[gaming][product]; ok {
+		t.Error("reduction kept redundant edge Gaming -> Product")
+	}
+}
+
+func TestTransitiveReductionRemovesShortcut(t *testing.T) {
+	// a <= b <= c plus shortcut a <= c must reduce to a<=b, b<=c.
+	doc := `@prefix ex: <http://ex.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+ex:a rdfs:subClassOf ex:b .
+ex:b rdfs:subClassOf ex:c .
+ex:a rdfs:subClassOf ex:c .
+`
+	s := SchemaOf(MustLoadTurtle(doc))
+	if _, ok := s.DirectSuperClasses[ex("a")][ex("c")]; ok {
+		t.Error("shortcut edge a->c survived reduction")
+	}
+	if _, ok := s.DirectSuperClasses[ex("a")][ex("b")]; !ok {
+		t.Error("edge a->b missing after reduction")
+	}
+}
+
+func TestSchemaCycleTolerated(t *testing.T) {
+	doc := `@prefix ex: <http://ex.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+ex:a rdfs:subClassOf ex:b .
+ex:b rdfs:subClassOf ex:a .
+`
+	s := SchemaOf(MustLoadTurtle(doc)) // must not hang or panic
+	if s == nil {
+		t.Fatal("nil schema")
+	}
+}
+
+func TestMaximalClassesAndProperties(t *testing.T) {
+	g := MustLoadTurtle(productSchema)
+	s := SchemaOf(g)
+	maxC := s.MaximalClasses()
+	want := map[Term]bool{ex("Product"): true, ex("Company"): true}
+	for _, c := range maxC {
+		if !want[c] {
+			t.Errorf("unexpected maximal class %v", c)
+		}
+		delete(want, c)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing maximal classes: %v", want)
+	}
+	// producer is maximal; manufacturer is not.
+	foundProducer := false
+	for _, p := range s.MaximalProperties() {
+		if p == ex("manufacturer") {
+			t.Error("manufacturer must not be maximal (has superproperty)")
+		}
+		if p == ex("producer") {
+			foundProducer = true
+		}
+	}
+	if !foundProducer {
+		t.Error("producer missing from maximal properties")
+	}
+}
+
+func TestDirectSubClasses(t *testing.T) {
+	s := SchemaOf(MustLoadTurtle(productSchema))
+	subs := s.DirectSubClasses(ex("Product"))
+	if len(subs) != 2 { // Laptop, HDType
+		t.Errorf("DirectSubClasses(Product) = %v", subs)
+	}
+	subs = s.DirectSubClasses(ex("Laptop"))
+	if len(subs) != 1 || subs[0] != ex("Gaming") {
+		t.Errorf("DirectSubClasses(Laptop) = %v", subs)
+	}
+}
+
+func TestMaterializeSubClassTyping(t *testing.T) {
+	g := MustLoadTurtle(productSchema)
+	stats := Materialize(g)
+	// laptop1: Gaming => Laptop => Product
+	if !g.Has(Triple{ex("laptop1"), NewIRI(RDFType), ex("Laptop")}) {
+		t.Error("rdfs9 inference laptop1 type Laptop missing")
+	}
+	if !g.Has(Triple{ex("laptop1"), NewIRI(RDFType), ex("Product")}) {
+		t.Error("rdfs9 inference laptop1 type Product missing")
+	}
+	if stats.TypeFromSubClass == 0 {
+		t.Error("stats did not count subclass typing")
+	}
+	// Idempotence: second run adds nothing.
+	again := Materialize(g)
+	if again.Total() != 0 {
+		t.Errorf("Materialize not idempotent, added %d", again.Total())
+	}
+}
+
+func TestMaterializeSubPropertyAndDomainRange(t *testing.T) {
+	g := MustLoadTurtle(productSchema)
+	Materialize(g)
+	// rdfs7: manufacturer => producer
+	if !g.Has(Triple{ex("laptop1"), ex("producer"), ex("dell")}) {
+		t.Error("rdfs7 inference missing")
+	}
+	// rdfs2: domain typing of producer already satisfied; range typing makes dell a Company
+	if !g.Has(Triple{ex("dell"), NewIRI(RDFType), ex("Company")}) {
+		t.Error("rdfs3 range typing missing")
+	}
+}
+
+func TestMaterializeTransitiveEdges(t *testing.T) {
+	g := MustLoadTurtle(productSchema)
+	Materialize(g)
+	if !g.Has(Triple{ex("Gaming"), NewIRI(RDFSSubClassOf), ex("Product")}) {
+		t.Error("rdfs11 transitive subClassOf edge missing")
+	}
+}
+
+func TestInstancesOf(t *testing.T) {
+	g := MustLoadTurtle(productSchema)
+	Materialize(g)
+	laptops := InstancesOf(g, ex("Laptop"))
+	if len(laptops) != 2 { // laptop1 (via Gaming) + laptop2
+		t.Errorf("InstancesOf(Laptop) = %v", laptops)
+	}
+	products := InstancesOf(g, ex("Product"))
+	if len(products) != 3 { // laptop1, laptop2, hd1
+		t.Errorf("InstancesOf(Product) = %v", products)
+	}
+}
+
+func TestEffectivelyFunctional(t *testing.T) {
+	g := NewGraph()
+	g.Add(Triple{ex("a"), ex("single"), NewInteger(1)})
+	g.Add(Triple{ex("b"), ex("single"), NewInteger(2)})
+	g.Add(Triple{ex("a"), ex("multi"), NewInteger(1)})
+	g.Add(Triple{ex("a"), ex("multi"), NewInteger(2)})
+	if !EffectivelyFunctional(g, ex("single")) {
+		t.Error("single-valued property reported non-functional")
+	}
+	if EffectivelyFunctional(g, ex("multi")) {
+		t.Error("multi-valued property reported functional")
+	}
+}
+
+func TestIsFunctionalDeclared(t *testing.T) {
+	doc := `@prefix ex: <http://ex.org/> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+ex:price a owl:FunctionalProperty .
+ex:a ex:price 1 .
+ex:a ex:price 2 .
+`
+	g := MustLoadTurtle(doc)
+	s := SchemaOf(g)
+	// Declared functional wins even if data violates it.
+	if !s.IsFunctional(g, ex("price"), true) {
+		t.Error("declared functional property not recognized")
+	}
+	// Undeclared property with single values is effectively functional.
+	g2 := NewGraph()
+	g2.Add(Triple{ex("a"), ex("p"), NewInteger(1)})
+	s2 := SchemaOf(g2)
+	if s2.IsFunctional(g2, ex("p"), true) {
+		t.Error("strict mode must not accept undeclared property")
+	}
+	if !s2.IsFunctional(g2, ex("p"), false) {
+		t.Error("relaxed mode must accept effectively functional property")
+	}
+}
+
+func TestSchemaExcludesMetaVocabulary(t *testing.T) {
+	g := MustLoadTurtle(productSchema)
+	s := SchemaOf(g)
+	for c := range s.Classes {
+		if isBuiltinMetaClass(c.Value) {
+			t.Errorf("meta class %v leaked into schema classes", c)
+		}
+	}
+	for p := range s.Properties {
+		if isMetaProperty(p.Value) {
+			t.Errorf("meta property %v leaked into schema properties", p)
+		}
+	}
+}
+
+func BenchmarkMaterialize(b *testing.B) {
+	// Parsing cost is included (timer manipulation inside b.Loop is
+	// unsupported); it is an order of magnitude below the closure cost.
+	for b.Loop() {
+		g := MustLoadTurtle(productSchema)
+		Materialize(g)
+	}
+}

@@ -1,0 +1,64 @@
+package rdf
+
+// Well-known vocabulary IRIs used across the system.
+const (
+	RDFNS  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+	XSDNS  = "http://www.w3.org/2001/XMLSchema#"
+	OWLNS  = "http://www.w3.org/2002/07/owl#"
+
+	RDFType       = RDFNS + "type"
+	RDFProperty   = RDFNS + "Property"
+	RDFLangString = RDFNS + "langString"
+	RDFNil        = RDFNS + "nil"
+	RDFFirst      = RDFNS + "first"
+	RDFRest       = RDFNS + "rest"
+
+	RDFSClass         = RDFSNS + "Class"
+	RDFSSubClassOf    = RDFSNS + "subClassOf"
+	RDFSSubPropertyOf = RDFSNS + "subPropertyOf"
+	RDFSDomain        = RDFSNS + "domain"
+	RDFSRange         = RDFSNS + "range"
+	RDFSLabel         = RDFSNS + "label"
+	RDFSComment       = RDFSNS + "comment"
+	RDFSResource      = RDFSNS + "Resource"
+	RDFSLiteral       = RDFSNS + "Literal"
+
+	OWLClass              = OWLNS + "Class"
+	OWLFunctionalProperty = OWLNS + "FunctionalProperty"
+	OWLNamedIndividual    = OWLNS + "NamedIndividual"
+	OWLObjectProperty     = OWLNS + "ObjectProperty"
+	OWLDatatypeProperty   = OWLNS + "DatatypeProperty"
+
+	XSDString             = XSDNS + "string"
+	XSDBoolean            = XSDNS + "boolean"
+	XSDInteger            = XSDNS + "integer"
+	XSDInt                = XSDNS + "int"
+	XSDLong               = XSDNS + "long"
+	XSDShort              = XSDNS + "short"
+	XSDByte               = XSDNS + "byte"
+	XSDDecimal            = XSDNS + "decimal"
+	XSDFloat              = XSDNS + "float"
+	XSDDouble             = XSDNS + "double"
+	XSDDate               = XSDNS + "date"
+	XSDDateTime           = XSDNS + "dateTime"
+	XSDTime               = XSDNS + "time"
+	XSDGYear              = XSDNS + "gYear"
+	XSDGMonth             = XSDNS + "gMonth"
+	XSDAnyURI             = XSDNS + "anyURI"
+	XSDNonNegativeInteger = XSDNS + "nonNegativeInteger"
+	XSDNonPositiveInteger = XSDNS + "nonPositiveInteger"
+	XSDPositiveInteger    = XSDNS + "positiveInteger"
+	XSDNegativeInteger    = XSDNS + "negativeInteger"
+	XSDUnsignedInt        = XSDNS + "unsignedInt"
+	XSDUnsignedLong       = XSDNS + "unsignedLong"
+)
+
+// WellKnownPrefixes maps the default prefix labels offered by parsers and
+// serializers when no explicit @prefix directives are present.
+var WellKnownPrefixes = map[string]string{
+	"rdf":  RDFNS,
+	"rdfs": RDFSNS,
+	"xsd":  XSDNS,
+	"owl":  OWLNS,
+}

@@ -1,0 +1,172 @@
+// Package search implements the keyword-search access method of §2.2 /
+// §5.4.1: an inverted index over the literals and local names of a graph
+// with TF-IDF ranking. Its result sets are the "external access method"
+// starting points of the interaction model — Startup(Results) in Alg. 5 —
+// wired into core.NewSessionFrom.
+package search
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+
+	"rdfanalytics/internal/rdf"
+)
+
+// Index is an inverted index from tokens to the resources they describe.
+type Index struct {
+	// postings maps token -> resource -> term frequency.
+	postings map[string]map[rdf.Term]int
+	// docLen counts tokens per resource (for normalization).
+	docLen map[rdf.Term]int
+	docs   int
+}
+
+// Tokenize lowercases and splits text on non-alphanumeric boundaries,
+// dropping single-character tokens.
+func Tokenize(text string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 1 {
+			out = append(out, strings.ToLower(b.String()))
+		}
+		b.Reset()
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(r)
+			continue
+		}
+		flush()
+	}
+	flush()
+	return out
+}
+
+// camelTokens additionally splits CamelCase local names (SouthKorea ->
+// south, korea; HTTPServer -> http, server) and letter/digit boundaries
+// (laptop1 -> laptop) so IRI local names are findable by their words.
+func camelTokens(s string) []string {
+	rs := []rune(s)
+	var words []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			words = append(words, b.String())
+			b.Reset()
+		}
+	}
+	for i, r := range rs {
+		if i > 0 {
+			prev := rs[i-1]
+			switch {
+			case unicode.IsUpper(r) && unicode.IsLower(prev):
+				flush() // camelCase boundary
+			case unicode.IsUpper(r) && unicode.IsUpper(prev) &&
+				i+1 < len(rs) && unicode.IsLower(rs[i+1]):
+				flush() // acronym end: HTTPServer -> HTTP | Server
+			case unicode.IsDigit(r) != unicode.IsDigit(prev):
+				flush() // letter/digit boundary: laptop1 -> laptop | 1
+			}
+		}
+		b.WriteRune(r)
+	}
+	flush()
+	var out []string
+	for _, w := range words {
+		out = append(out, Tokenize(w)...)
+	}
+	return out
+}
+
+// Build indexes every resource of g: its local name (camel-split) and the
+// lexical forms of its literal property values. Resources that only appear
+// as objects are indexed too, so companies found via rdfs:label match.
+func Build(g *rdf.Graph) *Index {
+	idx := &Index{
+		postings: map[string]map[rdf.Term]int{},
+		docLen:   map[rdf.Term]int{},
+	}
+	addToken := func(res rdf.Term, tok string) {
+		m, ok := idx.postings[tok]
+		if !ok {
+			m = map[rdf.Term]int{}
+			idx.postings[tok] = m
+		}
+		m[res]++
+		idx.docLen[res]++
+	}
+	indexed := map[rdf.Term]bool{}
+	indexName := func(res rdf.Term) {
+		if indexed[res] || !res.IsResource() {
+			return
+		}
+		indexed[res] = true
+		for _, tok := range camelTokens(res.LocalName()) {
+			addToken(res, tok)
+		}
+	}
+	g.Match(rdf.Any, rdf.Any, rdf.Any, func(t rdf.Triple) bool {
+		indexName(t.S)
+		if t.O.IsResource() {
+			indexName(t.O)
+		} else {
+			for _, tok := range Tokenize(t.O.Value) {
+				addToken(t.S, tok)
+			}
+		}
+		return true
+	})
+	idx.docs = len(idx.docLen)
+	return idx
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	Resource rdf.Term
+	Score    float64
+}
+
+// Search ranks resources by TF-IDF over the query tokens. Resources must
+// match at least one token; multi-token matches score higher.
+func (idx *Index) Search(query string, limit int) []Hit {
+	tokens := Tokenize(query)
+	scores := map[rdf.Term]float64{}
+	for _, tok := range tokens {
+		postings, ok := idx.postings[tok]
+		if !ok {
+			continue
+		}
+		idf := math.Log(1 + float64(idx.docs)/float64(len(postings)))
+		for res, tf := range postings {
+			norm := float64(idx.docLen[res])
+			scores[res] += (float64(tf) / norm) * idf
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for res, sc := range scores {
+		hits = append(hits, Hit{Resource: res, Score: sc})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Resource.Less(hits[j].Resource)
+	})
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}
+
+// Resources returns just the resources of the hits, in rank order — the
+// shape core.NewSessionFrom expects.
+func Resources(hits []Hit) []rdf.Term {
+	out := make([]rdf.Term, len(hits))
+	for i, h := range hits {
+		out[i] = h.Resource
+	}
+	return out
+}

@@ -1,0 +1,751 @@
+// Package server exposes the RDF-Analytics system over HTTP, mirroring the
+// architecture of Fig 6.1: a SPARQL protocol endpoint backed by the
+// in-process engine, and a JSON API through which a GUI (or the bundled
+// terminal client) drives the interaction model — faceted clicks, the G/Σ
+// analytic buttons, answer-frame retrieval, chart rendering, and reloading
+// answers as new datasets.
+package server
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"rdfanalytics/internal/core"
+	"rdfanalytics/internal/facet"
+	"rdfanalytics/internal/hifun"
+	"rdfanalytics/internal/rdf"
+	"rdfanalytics/internal/sparql"
+	"rdfanalytics/internal/viz"
+)
+
+// Server wires one graph and per-client interaction sessions to HTTP
+// handlers. Clients carry a session id in the X-Session header (or
+// ?session= query parameter); requests without one share the default
+// session, matching the paper's public-demo semantics. All access is
+// serialized by a mutex.
+type Server struct {
+	mu       sync.Mutex
+	graph    *rdf.Graph
+	ns       string
+	sessions map[string]*core.Session
+	mux      *http.ServeMux
+}
+
+// MaxSessions caps concurrently tracked sessions; creating one beyond the
+// cap evicts an arbitrary existing session (demo-server semantics).
+const MaxSessions = 256
+
+// New builds a server over g with attribute namespace ns.
+func New(g *rdf.Graph, ns string) *Server {
+	s := &Server{graph: g, ns: ns, sessions: map[string]*core.Session{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("/sparql", s.handleSPARQL)
+	mux.HandleFunc("GET /api/state", s.handleState)
+	mux.HandleFunc("POST /api/click/class", s.handleClickClass)
+	mux.HandleFunc("POST /api/click/value", s.handleClickValue)
+	mux.HandleFunc("POST /api/click/range", s.handleClickRange)
+	mux.HandleFunc("POST /api/expand", s.handleExpand)
+	mux.HandleFunc("POST /api/pivot", s.handlePivot)
+	mux.HandleFunc("POST /api/groupby", s.handleGroupBy)
+	mux.HandleFunc("POST /api/aggregate", s.handleAggregate)
+	mux.HandleFunc("POST /api/run", s.handleRun)
+	mux.HandleFunc("POST /api/load-answer", s.handleLoadAnswer)
+	mux.HandleFunc("POST /api/close-level", s.handleCloseLevel)
+	mux.HandleFunc("POST /api/back", s.handleBack)
+	mux.HandleFunc("POST /api/reset", s.handleReset)
+	mux.HandleFunc("GET /api/chart", s.handleChart)
+	mux.HandleFunc("GET /api/answer.csv", s.handleAnswerCSV)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /ui", s.handleUI)
+	s.mux = mux
+	return s
+}
+
+// sessionFor returns (creating if needed) the session for the request's
+// X-Session header / ?session= parameter. Callers must hold s.mu.
+func (s *Server) sessionFor(r *http.Request) *core.Session {
+	id := r.Header.Get("X-Session")
+	if id == "" {
+		id = r.URL.Query().Get("session")
+	}
+	if sess, ok := s.sessions[id]; ok {
+		return sess
+	}
+	if len(s.sessions) >= MaxSessions {
+		for k := range s.sessions {
+			delete(s.sessions, k)
+			break
+		}
+	}
+	sess := core.NewSession(s.graph, s.ns)
+	s.sessions[id] = sess
+	return sess
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// ---- term and path JSON codecs ----
+
+// TermJSON is the wire form of an RDF term.
+type TermJSON struct {
+	Kind     string `json:"kind"` // iri | blank | literal
+	Value    string `json:"value"`
+	Datatype string `json:"datatype,omitempty"`
+	Lang     string `json:"lang,omitempty"`
+	Label    string `json:"label,omitempty"` // display hint (output only)
+}
+
+func toTermJSON(t rdf.Term) TermJSON {
+	out := TermJSON{Value: t.Value, Datatype: t.Datatype, Lang: t.Lang, Label: t.LocalName()}
+	switch t.Kind {
+	case rdf.KindIRI:
+		out.Kind = "iri"
+	case rdf.KindBlank:
+		out.Kind = "blank"
+	default:
+		out.Kind = "literal"
+	}
+	return out
+}
+
+func fromTermJSON(j TermJSON) (rdf.Term, error) {
+	switch j.Kind {
+	case "iri":
+		return rdf.NewIRI(j.Value), nil
+	case "blank":
+		return rdf.NewBlank(j.Value), nil
+	case "literal", "":
+		if j.Lang != "" {
+			return rdf.NewLangString(j.Value, j.Lang), nil
+		}
+		if j.Datatype != "" {
+			return rdf.NewTyped(j.Value, j.Datatype), nil
+		}
+		return rdf.NewString(j.Value), nil
+	default:
+		return rdf.Term{}, fmt.Errorf("unknown term kind %q", j.Kind)
+	}
+}
+
+// StepJSON is the wire form of a facet path step.
+type StepJSON struct {
+	P       string `json:"p"`
+	Inverse bool   `json:"inverse,omitempty"`
+}
+
+func fromPathJSON(steps []StepJSON) facet.Path {
+	out := make(facet.Path, len(steps))
+	for i, s := range steps {
+		out[i] = facet.PathStep{P: rdf.NewIRI(s.P), Inverse: s.Inverse}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func decode[T any](r *http.Request, into *T) error {
+	defer r.Body.Close()
+	return json.NewDecoder(r.Body).Decode(into)
+}
+
+// ---- SPARQL protocol ----
+
+func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	var query string
+	switch r.Method {
+	case http.MethodGet:
+		query = r.URL.Query().Get("query")
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		switch {
+		case strings.HasPrefix(ct, "application/sparql-query"):
+			buf := new(strings.Builder)
+			if _, err := copyBody(buf, r); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			query = buf.String()
+		case strings.HasPrefix(ct, "application/sparql-update"):
+			buf := new(strings.Builder)
+			if _, err := copyBody(buf, r); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			s.execUpdate(w, buf.String())
+			return
+		default:
+			if err := r.ParseForm(); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			if upd := r.PostForm.Get("update"); upd != "" {
+				s.execUpdate(w, upd)
+				return
+			}
+			query = r.PostForm.Get("query")
+		}
+	default:
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+		return
+	}
+	if strings.TrimSpace(query) == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing query parameter"))
+		return
+	}
+	q, err := sparql.Parse(query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch q.Form {
+	case sparql.FormSelect:
+		res, err := sparql.ExecSelect(s.graph, q)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		res.Sort()
+		if strings.Contains(r.Header.Get("Accept"), "text/csv") {
+			w.Header().Set("Content-Type", "text/csv")
+			res.WriteCSV(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		res.WriteJSON(w)
+	case sparql.FormAsk:
+		ok, err := sparql.Ask(s.graph, query)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		json.NewEncoder(w).Encode(map[string]any{"head": map[string]any{}, "boolean": ok})
+	case sparql.FormConstruct:
+		out, err := sparql.Construct(s.graph, query)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/n-triples")
+		rdf.WriteNTriples(w, out)
+	case sparql.FormDescribe:
+		out, err := sparql.Describe(s.graph, query)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/n-triples")
+		rdf.WriteNTriples(w, out)
+	}
+}
+
+// execUpdate applies a SPARQL update and reports the change counts. The
+// interaction session keeps working over the mutated graph (its facet
+// counts reflect the new data on the next state computation).
+func (s *Server) execUpdate(w http.ResponseWriter, src string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := sparql.ExecUpdate(s.graph, src)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if res.Inserted > 0 || res.Deleted > 0 {
+		for _, sess := range s.sessions {
+			sess.InvalidateCache()
+		}
+	}
+	writeJSON(w, map[string]int{"inserted": res.Inserted, "deleted": res.Deleted})
+}
+
+func copyBody(dst *strings.Builder, r *http.Request) (int64, error) {
+	defer r.Body.Close()
+	buf := make([]byte, 4096)
+	var n int64
+	for {
+		m, err := r.Body.Read(buf)
+		dst.Write(buf[:m])
+		n += int64(m)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return n, nil
+			}
+			return n, err
+		}
+	}
+}
+
+// ---- interaction API ----
+
+// stateJSON is the wire form of the UI state.
+type stateJSON struct {
+	Breadcrumb   string        `json:"breadcrumb"`
+	TotalObjects int           `json:"totalObjects"`
+	Depth        int           `json:"depth"`
+	HIFUN        string        `json:"hifun,omitempty"`
+	Objects      []objectJSON  `json:"objects"`
+	Classes      []classJSON   `json:"classes"`
+	Facets       []facetJSON   `json:"facets"`
+	Analytics    analyticsJSON `json:"analytics"`
+}
+
+type objectJSON struct {
+	IRI   string `json:"iri"`
+	Label string `json:"label"`
+	Type  string `json:"type,omitempty"`
+}
+
+type classJSON struct {
+	IRI      string      `json:"iri"`
+	Label    string      `json:"label"`
+	Count    int         `json:"count"`
+	Children []classJSON `json:"children,omitempty"`
+}
+
+type facetJSON struct {
+	P        string       `json:"p"`
+	Label    string       `json:"label"`
+	Inverse  bool         `json:"inverse,omitempty"`
+	Grouped  bool         `json:"grouped,omitempty"`
+	Measured bool         `json:"measured,omitempty"`
+	Numeric  bool         `json:"numeric,omitempty"`
+	Values   []valJSON    `json:"values"`
+	Buckets  []bucketJSON `json:"buckets,omitempty"`
+}
+
+type bucketJSON struct {
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Count int     `json:"count"`
+}
+
+type valJSON struct {
+	Term  TermJSON `json:"term"`
+	Count int      `json:"count"`
+}
+
+type analyticsJSON struct {
+	GroupBy []string `json:"groupBy"`
+	Measure string   `json:"measure,omitempty"`
+	Ops     []string `json:"ops"`
+}
+
+func toClassJSON(nodes []facet.ClassNode) []classJSON {
+	out := make([]classJSON, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, classJSON{
+			IRI: n.Class.Value, Label: n.Class.LocalName(), Count: n.Count,
+			Children: toClassJSON(n.Children),
+		})
+	}
+	return out
+}
+
+func (s *Server) stateLocked(sess *core.Session) stateJSON {
+	ui := sess.ComputeUIState(50, true)
+	out := stateJSON{
+		Breadcrumb:   ui.Breadcrumb,
+		TotalObjects: ui.TotalObjects,
+		Depth:        ui.Depth,
+		HIFUN:        ui.HIFUN,
+		Classes:      toClassJSON(ui.Classes),
+	}
+	for _, o := range ui.Objects {
+		oj := objectJSON{IRI: o.Object.Value, Label: o.Object.LocalName()}
+		if !o.Type.IsZero() {
+			oj.Type = o.Type.LocalName()
+		}
+		out.Objects = append(out.Objects, oj)
+	}
+	for _, f := range ui.Facets {
+		fj := facetJSON{
+			P: f.P.Value, Label: f.P.LocalName(), Inverse: f.Inverse,
+			Grouped: f.Grouped, Measured: f.Measured, Numeric: f.Numeric,
+		}
+		for _, vc := range f.Values {
+			fj.Values = append(fj.Values, valJSON{Term: toTermJSON(vc.Value), Count: vc.Count})
+		}
+		for _, b := range f.Buckets {
+			fj.Buckets = append(fj.Buckets, bucketJSON{Lo: b.Lo, Hi: b.Hi, Count: b.Count})
+		}
+		out.Facets = append(out.Facets, fj)
+	}
+	a := ui.Analytics
+	for _, g := range a.GroupBy {
+		out.Analytics.GroupBy = append(out.Analytics.GroupBy, g.String())
+	}
+	if a.Measure.Path != nil || len(a.Ops) > 0 {
+		out.Analytics.Measure = a.Measure.String()
+	}
+	for _, op := range a.Ops {
+		out.Analytics.Ops = append(out.Analytics.Ops, op.String())
+	}
+	return out
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, s.stateLocked(s.sessionFor(r)))
+}
+
+func (s *Server) handleClickClass(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Class string `json:"class"`
+	}
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessionFor(r)
+	sess.ClickClass(rdf.NewIRI(req.Class))
+	writeJSON(w, s.stateLocked(sess))
+}
+
+func (s *Server) handleClickValue(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Path   []StepJSON `json:"path"`
+		Value  *TermJSON  `json:"value"`
+		Values []TermJSON `json:"values"`
+	}
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	path := fromPathJSON(req.Path)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessionFor(r)
+	switch {
+	case len(req.Values) > 0:
+		vs := make([]rdf.Term, 0, len(req.Values))
+		for _, j := range req.Values {
+			t, err := fromTermJSON(j)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			vs = append(vs, t)
+		}
+		sess.ClickValueSet(path, vs)
+	case req.Value != nil:
+		t, err := fromTermJSON(*req.Value)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		sess.ClickValue(path, t)
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("value or values required"))
+		return
+	}
+	writeJSON(w, s.stateLocked(sess))
+}
+
+func (s *Server) handleClickRange(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Path  []StepJSON `json:"path"`
+		Op    string     `json:"op"`
+		Value TermJSON   `json:"value"`
+	}
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := fromTermJSON(req.Value)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessionFor(r)
+	sess.ClickRange(fromPathJSON(req.Path), req.Op, t)
+	writeJSON(w, s.stateLocked(sess))
+}
+
+func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Path []StepJSON `json:"path"`
+	}
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessionFor(r)
+	vals := sess.Model().ExpandPath(sess.State(), fromPathJSON(req.Path))
+	out := make([]valJSON, 0, len(vals))
+	for _, vc := range vals {
+		out = append(out, valJSON{Term: toTermJSON(vc.Value), Count: vc.Count})
+	}
+	writeJSON(w, map[string]any{"values": out})
+}
+
+func (s *Server) handlePivot(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		P       string `json:"p"`
+		Inverse bool   `json:"inverse,omitempty"`
+	}
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.P == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("property required"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessionFor(r)
+	sess.SwitchFocus(facet.PathStep{P: rdf.NewIRI(req.P), Inverse: req.Inverse})
+	writeJSON(w, s.stateLocked(sess))
+}
+
+func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Path   []StepJSON `json:"path"`
+		Derive string     `json:"derive,omitempty"`
+	}
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessionFor(r)
+	sess.ClickGroupBy(core.GroupSpec{Path: fromPathJSON(req.Path), Derive: req.Derive})
+	writeJSON(w, s.stateLocked(sess))
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Path   []StepJSON `json:"path"`
+		Derive string     `json:"derive,omitempty"`
+		Op     string     `json:"op"`
+	}
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !hifun.ValidOp(req.Op) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown aggregate %q", req.Op))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessionFor(r)
+	sess.ClickAggregate(
+		core.MeasureSpec{Path: fromPathJSON(req.Path), Derive: req.Derive},
+		hifun.Operation{Op: hifun.AggOp(strings.ToUpper(req.Op))},
+	)
+	writeJSON(w, s.stateLocked(sess))
+}
+
+// answerJSON is the wire form of an Answer Frame.
+type answerJSON struct {
+	GroupCols   []string     `json:"groupCols"`
+	MeasureCols []string     `json:"measureCols"`
+	Rows        [][]TermJSON `json:"rows"`
+	SPARQL      string       `json:"sparql"`
+	HIFUN       string       `json:"hifun"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessionFor(r)
+	q, err := sess.BuildHIFUNQuery()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ans, err := sess.RunAnalytics()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := answerJSON{
+		GroupCols: ans.GroupCols, MeasureCols: ans.MeasureCols,
+		SPARQL: ans.SPARQL, HIFUN: q.String(),
+	}
+	for _, row := range ans.Rows {
+		jr := make([]TermJSON, len(row))
+		for i, t := range row {
+			jr[i] = toTermJSON(t)
+		}
+		out.Rows = append(out.Rows, jr)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleLoadAnswer(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessionFor(r)
+	if err := sess.LoadAnswerAsDataset(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, s.stateLocked(sess))
+}
+
+func (s *Server) handleCloseLevel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessionFor(r)
+	if err := sess.CloseLevel(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, s.stateLocked(sess))
+}
+
+func (s *Server) handleBack(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessionFor(r)
+	if err := sess.Back(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, s.stateLocked(sess))
+}
+
+func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessionFor(r)
+	sess.Reset()
+	writeJSON(w, s.stateLocked(sess))
+}
+
+func (s *Server) handleChart(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ans := s.sessionFor(r).Answer()
+	if ans == nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("no answer yet; POST /api/run first"))
+		return
+	}
+	measure := 0
+	if m := r.URL.Query().Get("measure"); m != "" {
+		if n, err := strconv.Atoi(m); err == nil {
+			measure = n
+		}
+	}
+	series, err := viz.AnswerSeries(ans, measure)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var svg string
+	switch r.URL.Query().Get("type") {
+	case "pie":
+		svg = viz.PieChartSVG(series, 420)
+	case "column":
+		svg = viz.ColumnChartSVG(series, 640, 320)
+	case "line":
+		svg = viz.LineChartSVG(series, 640, 320)
+	case "treemap":
+		svg = viz.TreemapSVG(series, 640, 400)
+	case "spiral":
+		items := make([]viz.SpiralItem, len(series.Values))
+		for i := range series.Values {
+			items[i] = viz.SpiralItem{Label: series.Labels[i], Value: series.Values[i]}
+		}
+		svg = viz.SpiralSVG(viz.SpiralLayout{}.Layout(items), 4)
+	default:
+		svg = viz.BarChartSVG(series, 640)
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	fmt.Fprint(w, svg)
+}
+
+// handleAnswerCSV downloads the current Answer Frame as CSV.
+func (s *Server) handleAnswerCSV(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ans := s.sessionFor(r).Answer()
+	if ans == nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("no answer yet; POST /api/run first"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("Content-Disposition", `attachment; filename="answer.csv"`)
+	cw := csv.NewWriter(w)
+	cw.Write(ans.Columns())
+	for _, row := range ans.Rows {
+		rec := make([]string, len(row))
+		for i, t := range row {
+			rec[i] = t.Value
+		}
+		cw.Write(rec)
+	}
+	cw.Flush()
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.graph.Stats()
+	writeJSON(w, map[string]int{
+		"triples": st.Triples, "terms": st.Terms, "subjects": st.Subjects,
+		"predicates": st.Predicates, "classes": st.Classes, "literals": st.Literals,
+	})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, uiHTML)
+}
+
+const indexHTML = `<!doctype html>
+<html><head><title>RDF-Analytics</title></head>
+<body style="font-family: sans-serif; max-width: 48rem; margin: 2rem auto">
+<h1>RDF-Analytics</h1>
+<p>Interactive analytics over RDF knowledge graphs (EDBT 2023 reproduction).</p>
+<p><strong><a href="/ui">Open the interactive GUI</a></strong></p>
+<ul>
+<li><code>GET /api/state</code> — current faceted-analytics state</li>
+<li><code>POST /api/click/class|value|range</code> — faceted transitions</li>
+<li><code>POST /api/groupby</code>, <code>POST /api/aggregate</code> — the G and Σ buttons</li>
+<li><code>POST /api/run</code> — translate HIFUN → SPARQL, evaluate, return the Answer Frame</li>
+<li><code>POST /api/load-answer</code> — explore the answer with faceted search (HAVING / nesting)</li>
+<li><code>GET /api/chart?type=bar|pie|column|line|spiral</code> — SVG charts of the answer</li>
+<li><code>GET|POST /sparql?query=…</code> — SPARQL 1.1 protocol endpoint</li>
+</ul>
+</body></html>
+`

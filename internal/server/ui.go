@@ -1,0 +1,156 @@
+package server
+
+// uiHTML is the single-page client of the system: the two-frame GUI of
+// Fig 5.1/6.2 — class tree and property facets with G/Σ/filter buttons on
+// the left, the focus objects on the right, and the Answer Frame (table +
+// chart) below. It drives the JSON API with plain JavaScript; each browser
+// tab gets its own session id.
+const uiHTML = `<!doctype html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>RDF-Analytics</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 0; display: grid;
+         grid-template-columns: 340px 1fr; grid-template-rows: auto 1fr auto;
+         height: 100vh; }
+  header { grid-column: 1 / 3; background: #263238; color: #fff;
+           padding: 8px 16px; display: flex; gap: 16px; align-items: baseline; }
+  header h1 { font-size: 18px; margin: 0; }
+  #breadcrumb { font-size: 13px; opacity: .85; flex: 1; }
+  header button { background: #455a64; color: #fff; border: 0;
+                  padding: 4px 10px; border-radius: 4px; cursor: pointer; }
+  #left { overflow-y: auto; border-right: 1px solid #ddd; padding: 8px; }
+  #right { overflow-y: auto; padding: 8px 16px; }
+  #answer { grid-column: 1 / 3; border-top: 2px solid #263238; padding: 8px 16px;
+            max-height: 40vh; overflow-y: auto; background: #fafafa; }
+  .facet { margin-bottom: 10px; }
+  .facet-name { font-weight: 600; font-size: 14px; display: flex; gap: 6px;
+                align-items: center; }
+  .facet-name .btn { font-size: 11px; border: 1px solid #90a4ae; background: #fff;
+                     border-radius: 3px; cursor: pointer; padding: 0 5px; }
+  .facet-name .btn.active { background: #263238; color: #fff; }
+  .val { font-size: 13px; margin-left: 14px; cursor: pointer; color: #1565c0; }
+  .val:hover { text-decoration: underline; }
+  .count { color: #888; }
+  .cls { cursor: pointer; color: #2e7d32; font-size: 14px; }
+  .cls:hover { text-decoration: underline; }
+  .obj { padding: 3px 0; border-bottom: 1px solid #eee; font-size: 14px; }
+  .obj .type { color: #888; font-size: 12px; }
+  table { border-collapse: collapse; font-size: 13px; }
+  th, td { border: 1px solid #ccc; padding: 3px 10px; text-align: left; }
+  th { background: #eceff1; }
+  #hifun { font-family: monospace; font-size: 12px; color: #555; }
+  .section-title { font-size: 12px; text-transform: uppercase; color: #607d8b;
+                   margin: 10px 0 4px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>RDF-Analytics</h1>
+  <span id="breadcrumb"></span>
+  <button onclick="act('/api/back')">back</button>
+  <button onclick="act('/api/reset')">reset</button>
+  <button onclick="runQuery()">run Σ</button>
+  <button onclick="act('/api/load-answer')">explore answer</button>
+  <button onclick="act('/api/close-level')">close level</button>
+</header>
+<div id="left"></div>
+<div id="right"></div>
+<div id="answer"><em>No analytic query yet — pick a class, toggle G on a facet,
+Σ on a measure, then “run Σ”.</em></div>
+<script>
+const sid = 'ui-' + Math.random().toString(36).slice(2);
+async function api(path, body) {
+  const opts = { headers: { 'X-Session': sid } };
+  if (body !== undefined) {
+    opts.method = 'POST';
+    opts.headers['Content-Type'] = 'application/json';
+    opts.body = JSON.stringify(body);
+  }
+  const resp = await fetch(path, opts);
+  const data = await resp.json();
+  if (!resp.ok) { alert(data.error || resp.status); throw new Error(data.error); }
+  return data;
+}
+async function act(path, body) { render(await api(path, body || {})); }
+function esc(s) { return String(s).replace(/[&<>"]/g,
+  c => ({'&':'&amp;','<':'&lt;','>':'&gt;','"':'&quot;'}[c])); }
+function classTree(nodes, depth) {
+  let html = '';
+  for (const n of nodes || []) {
+    html += '<div style="margin-left:' + depth*14 + 'px" class="cls" ' +
+      'onclick="act(\'/api/click/class\', {class: \'' + n.iri + '\'})">' +
+      esc(n.label) + ' <span class="count">(' + n.count + ')</span></div>';
+    html += classTree(n.children, depth + 1);
+  }
+  return html;
+}
+function render(st) {
+  document.getElementById('breadcrumb').textContent =
+    st.breadcrumb + '  —  ' + st.totalObjects + ' objects, level ' + st.depth +
+    (st.hifun ? '   |   ' + st.hifun : '');
+  let left = '<div class="section-title">Classes</div>' + classTree(st.classes, 0);
+  left += '<div class="section-title">Facets</div>';
+  for (const f of st.facets || []) {
+    const pjson = JSON.stringify([{p: f.p, inverse: !!f.inverse}]).replace(/"/g, '&quot;');
+    left += '<div class="facet"><div class="facet-name">' +
+      (f.inverse ? '⁻¹ ' : '') + esc(f.label) +
+      ' <span class="btn' + (f.grouped ? ' active' : '') + '" title="group by" ' +
+      'onclick="act(\'/api/groupby\', {path: ' + pjson + '})">G</span>' +
+      ' <span class="btn' + (f.measured ? ' active' : '') + '" title="aggregate" ' +
+      'onclick="aggregate(' + pjson + ')">Σ</span>' +
+      (f.numeric ? ' <span class="btn" title="range filter" onclick="range(' + pjson + ')">≷</span>' : '') +
+      '</div>';
+    for (const v of (f.values || []).slice(0, 12)) {
+      const vjson = JSON.stringify(v.term).replace(/"/g, '&quot;');
+      left += '<div class="val" onclick="act(\'/api/click/value\', ' +
+        '{path: ' + pjson + ', value: ' + vjson + '})">' +
+        esc(v.term.label || v.term.value) + ' <span class="count">(' + v.count + ')</span></div>';
+    }
+    left += '</div>';
+  }
+  document.getElementById('left').innerHTML = left;
+  let right = '<div class="section-title">Objects (' + st.totalObjects + ')</div>';
+  for (const o of st.objects || []) {
+    right += '<div class="obj">' + esc(o.label) +
+      (o.type ? ' <span class="type">: ' + esc(o.type) + '</span>' : '') + '</div>';
+  }
+  document.getElementById('right').innerHTML = right;
+}
+async function aggregate(path) {
+  const op = prompt('Aggregate function (COUNT, SUM, AVG, MIN, MAX):', 'AVG');
+  if (!op) return;
+  render(await api('/api/aggregate', {path: path, op: op.toUpperCase()}));
+}
+async function range(path) {
+  const op = prompt('Comparison (>=, >, <=, <, =):', '>=');
+  if (!op) return;
+  const v = prompt('Value:');
+  if (v === null) return;
+  const value = /^-?[0-9.]+$/.test(v)
+    ? {kind: 'literal', value: v, datatype: 'http://www.w3.org/2001/XMLSchema#' +
+       (v.includes('.') ? 'decimal' : 'integer')}
+    : {kind: 'literal', value: v};
+  render(await api('/api/click/range', {path: path, op: op, value: value}));
+}
+async function runQuery() {
+  const ans = await api('/api/run', {});
+  let html = '<div id="hifun">' + esc(ans.hifun) + '</div><table><tr>';
+  for (const c of ans.groupCols.concat(ans.measureCols)) html += '<th>' + esc(c) + '</th>';
+  html += '</tr>';
+  for (const row of ans.rows || []) {
+    html += '<tr>';
+    for (const cell of row) html += '<td>' + esc(cell.label || cell.value || '') + '</td>';
+    html += '</tr>';
+  }
+  html += '</table>';
+  html += '<p><img src="/api/chart?type=bar&session=' + sid + '&t=' + Date.now() + '" alt="chart"></p>';
+  document.getElementById('answer').innerHTML = html;
+  act('/api/state');
+}
+act('/api/state');
+</script>
+</body>
+</html>
+`

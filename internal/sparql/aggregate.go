@@ -1,0 +1,287 @@
+package sparql
+
+import (
+	"sort"
+	"strings"
+
+	"rdfanalytics/internal/rdf"
+)
+
+// aggregate implements GROUP BY + aggregate evaluation: rows are partitioned
+// by the group conditions, every aggregate in the projection/HAVING/ORDER BY
+// is computed per group, and HAVING prunes groups.
+func (ev *evaluator) aggregate(q *Query, rows []Binding) (*Results, error) {
+	env := exprEnv{ev: ev}
+	type group struct {
+		rep  Binding // representative binding incl. group-cond values
+		rows []Binding
+	}
+	groups := map[string]*group{}
+	var order []string
+	// Partition.
+	for _, b := range rows {
+		var keyB strings.Builder
+		rep := Binding{}
+		ok := true
+		for i, gc := range q.GroupBy {
+			var v rdf.Term
+			if gc.Expr != nil {
+				t, err := env.evalExpr(gc.Expr, b)
+				if err != nil {
+					ok = false
+					break
+				}
+				v = t
+			} else {
+				t, bound := b[gc.Var]
+				if !bound {
+					// group key component unbound: group under empty slot
+					keyB.WriteByte('\x00')
+					continue
+				}
+				v = t
+			}
+			keyB.WriteString(v.String())
+			keyB.WriteByte('\x00')
+			name := gc.Var
+			if name == "" && gc.Expr != nil {
+				name = groupCondName(i, gc)
+			}
+			if name != "" {
+				rep[name] = v
+			}
+		}
+		if !ok {
+			continue
+		}
+		key := keyB.String()
+		g, exists := groups[key]
+		if !exists {
+			// Carry the grouping values plus any variables constant within
+			// the group key through the representative binding.
+			for k, v := range b {
+				if _, set := rep[k]; !set {
+					rep[k] = v
+				}
+			}
+			g = &group{rep: rep}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.rows = append(g.rows, b)
+	}
+	// A grouped query with no GROUP BY and no rows still yields one group
+	// (e.g. SELECT (COUNT(*) AS ?n) over an empty match).
+	if len(q.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &group{rep: Binding{}}
+		order = append(order, "")
+	}
+	sort.Strings(order)
+	// Project each group.
+	out := &Results{}
+	for _, it := range q.Select.Items {
+		out.Vars = append(out.Vars, it.Var)
+	}
+	for _, key := range order {
+		g := groups[key]
+		// HAVING.
+		keep := true
+		for _, h := range q.Having {
+			v, err := ev.evalGroupExpr(h, g.rows, g.rep)
+			if err != nil {
+				keep = false
+				break
+			}
+			okv, err := ebv(v)
+			if err != nil || !okv {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		nb := Binding{}
+		for _, it := range q.Select.Items {
+			if it.Expr == nil {
+				if t, ok := g.rep[it.Var]; ok {
+					nb[it.Var] = t
+				}
+				continue
+			}
+			if v, err := ev.evalGroupExpr(it.Expr, g.rows, g.rep); err == nil {
+				nb[it.Var] = v
+			}
+		}
+		out.Rows = append(out.Rows, nb)
+	}
+	return out, nil
+}
+
+func groupCondName(i int, gc GroupCond) string {
+	if gc.Var != "" {
+		return gc.Var
+	}
+	// Derived group expressions like month(?x2) get a stable readable name.
+	if call, ok := gc.Expr.(ExprCall); ok {
+		base := strings.ToLower(call.Func)
+		if j := strings.LastIndexAny(base, "#/"); j >= 0 {
+			base = base[j+1:]
+		}
+		if len(call.Args) == 1 {
+			if v, ok := call.Args[0].(ExprVar); ok {
+				return base + "_" + v.Name
+			}
+		}
+		return base
+	}
+	return ""
+}
+
+// evalGroupExpr evaluates an expression that may contain aggregates: the
+// aggregate sub-expressions are computed over the group's rows, everything
+// else over the representative binding.
+func (ev *evaluator) evalGroupExpr(e Expr, rows []Binding, rep Binding) (rdf.Term, error) {
+	env := exprEnv{ev: ev}
+	switch x := e.(type) {
+	case ExprAggregate:
+		return ev.computeAggregate(x, rows)
+	case ExprUnary:
+		sub, err := ev.evalGroupExpr(x.Sub, rows, rep)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return env.evalUnary(ExprUnary{Op: x.Op, Sub: ExprTerm{Term: sub}}, rep)
+	case ExprBinary:
+		if !HasAggregate(x) {
+			return env.evalExpr(x, rep)
+		}
+		l, err := ev.evalGroupExpr(x.Left, rows, rep)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		r, err := ev.evalGroupExpr(x.Right, rows, rep)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return env.evalBinary(ExprBinary{Op: x.Op, Left: ExprTerm{Term: l}, Right: ExprTerm{Term: r}}, rep)
+	case ExprCall:
+		if !HasAggregate(x) {
+			return env.evalExpr(x, rep)
+		}
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			v, err := ev.evalGroupExpr(a, rows, rep)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			args[i] = ExprTerm{Term: v}
+		}
+		return env.evalCall(ExprCall{Func: x.Func, Args: args}, rep)
+	default:
+		return env.evalExpr(e, rep)
+	}
+}
+
+// computeAggregate evaluates one aggregate over the group's rows.
+func (ev *evaluator) computeAggregate(agg ExprAggregate, rows []Binding) (rdf.Term, error) {
+	env := exprEnv{ev: ev}
+	// Collect the argument values (skipping evaluation errors / unbound).
+	var values []rdf.Term
+	if agg.Star {
+		values = make([]rdf.Term, len(rows))
+		for i := range rows {
+			values[i] = rdf.NewInteger(int64(i)) // placeholders; only counted
+		}
+	} else {
+		for _, b := range rows {
+			v, err := env.evalExpr(agg.Arg, b)
+			if err != nil {
+				continue
+			}
+			values = append(values, v)
+		}
+	}
+	if agg.Distinct {
+		seen := map[rdf.Term]bool{}
+		var dv []rdf.Term
+		for _, v := range values {
+			if !seen[v] {
+				seen[v] = true
+				dv = append(dv, v)
+			}
+		}
+		values = dv
+	}
+	switch agg.Func {
+	case "COUNT":
+		return rdf.NewInteger(int64(len(values))), nil
+	case "SUM":
+		sum := 0.0
+		allInt := true
+		for _, v := range values {
+			f, ok := v.Float()
+			if !ok {
+				return rdf.Term{}, evalErrf("SUM over non-numeric %s", v)
+			}
+			sum += f
+			if v.Datatype != rdf.XSDInteger {
+				allInt = false
+			}
+		}
+		if allInt {
+			return rdf.NewInteger(int64(sum)), nil
+		}
+		return rdf.NewDecimal(sum), nil
+	case "AVG":
+		if len(values) == 0 {
+			return rdf.NewInteger(0), nil
+		}
+		sum := 0.0
+		for _, v := range values {
+			f, ok := v.Float()
+			if !ok {
+				return rdf.Term{}, evalErrf("AVG over non-numeric %s", v)
+			}
+			sum += f
+		}
+		return rdf.NewDecimal(sum / float64(len(values))), nil
+	case "MIN", "MAX":
+		if len(values) == 0 {
+			return rdf.Term{}, evalErrf("%s of empty group", agg.Func)
+		}
+		best := values[0]
+		for _, v := range values[1:] {
+			c, err := compareTerms(v, best)
+			if err != nil {
+				// fall back to term order for mixed types
+				if v.Less(best) {
+					c = -1
+				} else {
+					c = 1
+				}
+			}
+			if (agg.Func == "MIN" && c < 0) || (agg.Func == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case "SAMPLE":
+		if len(values) == 0 {
+			return rdf.Term{}, evalErrf("SAMPLE of empty group")
+		}
+		return values[0], nil
+	case "GROUP_CONCAT":
+		parts := make([]string, len(values))
+		for i, v := range values {
+			parts[i] = v.Value
+		}
+		sep := agg.Separator
+		if sep == "" {
+			sep = " "
+		}
+		return rdf.NewString(strings.Join(parts, sep)), nil
+	default:
+		return rdf.Term{}, evalErrf("unknown aggregate %s", agg.Func)
+	}
+}

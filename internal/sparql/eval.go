@@ -1,0 +1,749 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rdfanalytics/internal/rdf"
+)
+
+// evaluator executes parsed queries against a graph.
+type evaluator struct {
+	g *rdf.Graph
+	// noReorder disables selectivity-based BGP join ordering (ablation #3
+	// in DESIGN.md): patterns evaluate in textual order.
+	noReorder bool
+	// noPushdown disables early filter application: filters evaluate only
+	// after the whole group, as the SPARQL algebra literally states.
+	noPushdown bool
+}
+
+// Options tune query evaluation.
+type Options struct {
+	// NoReorder evaluates BGPs in textual order instead of
+	// selectivity-ordered (for the join-ordering ablation).
+	NoReorder bool
+	// NoPushdown applies filters only at group end (for the filter-pushdown
+	// ablation).
+	NoPushdown bool
+}
+
+// ExecSelectOpts executes a parsed SELECT query with explicit options.
+func ExecSelectOpts(g *rdf.Graph, q *Query, opts Options) (*Results, error) {
+	ev := &evaluator{g: g, noReorder: opts.NoReorder, noPushdown: opts.NoPushdown}
+	return ev.execSelect(q, []Binding{{}})
+}
+
+// Select parses and executes a SELECT query.
+func Select(g *rdf.Graph, src string) (*Results, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if q.Form != FormSelect {
+		return nil, fmt.Errorf("sparql: not a SELECT query")
+	}
+	return ExecSelect(g, q)
+}
+
+// Ask parses and executes an ASK query.
+func Ask(g *rdf.Graph, src string) (bool, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return false, err
+	}
+	if q.Form != FormAsk {
+		return false, fmt.Errorf("sparql: not an ASK query")
+	}
+	ev := &evaluator{g: g}
+	rows := ev.evalGroup(q.Where, []Binding{{}})
+	return len(rows) > 0, nil
+}
+
+// Construct parses and executes a CONSTRUCT query, returning the built graph.
+func Construct(g *rdf.Graph, src string) (*rdf.Graph, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if q.Form != FormConstruct {
+		return nil, fmt.Errorf("sparql: not a CONSTRUCT query")
+	}
+	ev := &evaluator{g: g}
+	rows := ev.evalGroup(q.Where, []Binding{{}})
+	out := rdf.NewGraph()
+	for _, row := range rows {
+		for _, tp := range q.Template {
+			s, okS := instantiate(tp.S, row)
+			p, okP := instantiate(tp.P, row)
+			o, okO := instantiate(tp.O, row)
+			if !okS || !okP || !okO {
+				continue
+			}
+			if s.IsLiteral() || p.Kind != rdf.KindIRI {
+				continue
+			}
+			out.Add(rdf.Triple{S: s, P: p, O: o})
+		}
+	}
+	return out, nil
+}
+
+// Describe parses and executes a DESCRIBE query: the result graph holds
+// every triple whose subject is a described resource, with one level of
+// blank-node closure (a simple concise bounded description).
+func Describe(g *rdf.Graph, src string) (*rdf.Graph, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if q.Form != FormDescribe {
+		return nil, fmt.Errorf("sparql: not a DESCRIBE query")
+	}
+	ev := &evaluator{g: g}
+	resources := map[rdf.Term]struct{}{}
+	var rows []Binding
+	if len(q.Where.Elems) > 0 {
+		rows = ev.evalGroup(q.Where, []Binding{{}})
+	} else {
+		rows = []Binding{{}}
+	}
+	for _, n := range q.Describe {
+		if !n.IsVar() {
+			resources[n.Term] = struct{}{}
+			continue
+		}
+		for _, b := range rows {
+			if t, ok := b[n.Var]; ok && t.IsResource() {
+				resources[t] = struct{}{}
+			}
+		}
+	}
+	out := rdf.NewGraph()
+	for res := range resources {
+		g.Match(res, rdf.Any, rdf.Any, func(t rdf.Triple) bool {
+			out.Add(t)
+			if t.O.IsBlank() {
+				g.Match(t.O, rdf.Any, rdf.Any, func(t2 rdf.Triple) bool {
+					out.Add(t2)
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return out, nil
+}
+
+func instantiate(n Node, b Binding) (rdf.Term, bool) {
+	if !n.IsVar() {
+		return n.Term, true
+	}
+	t, ok := b[n.Var]
+	return t, ok
+}
+
+// ExecSelect executes a parsed SELECT query.
+func ExecSelect(g *rdf.Graph, q *Query) (*Results, error) {
+	ev := &evaluator{g: g}
+	return ev.execSelect(q, []Binding{{}})
+}
+
+func (ev *evaluator) execSelect(q *Query, input []Binding) (*Results, error) {
+	rows := ev.evalGroup(q.Where, input)
+	grouped := len(q.GroupBy) > 0 || selectHasAggregate(q) || len(q.Having) > 0
+	var res *Results
+	var err error
+	if grouped {
+		res, err = ev.aggregate(q, rows)
+	} else {
+		res, err = ev.project(q, rows)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if q.Select.Distinct {
+		res = distinct(res)
+	}
+	if len(q.OrderBy) > 0 {
+		ev.orderBy(res, q.OrderBy)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+func selectHasAggregate(q *Query) bool {
+	for _, it := range q.Select.Items {
+		if it.Expr != nil && HasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// evalGroup evaluates a group graph pattern over input bindings, returning
+// the joined solutions. Per SPARQL group scoping, filters logically apply
+// after the other elements of the group; as an optimization a filter is
+// *pushed down* — applied as soon as every variable it mentions is surely
+// bound — which prunes intermediate results early. Filters using BOUND or
+// EXISTS always wait until group end (their truth can change while the
+// group is still being built).
+func (ev *evaluator) evalGroup(gp *GroupPattern, input []Binding) []Binding {
+	cur := input
+	type pendingFilter struct {
+		expr Expr
+		vars map[string]bool
+		// deferToEnd forces evaluation after the whole group.
+		deferToEnd bool
+		applied    bool
+	}
+	var filters []*pendingFilter
+	// Reorder consecutive triple patterns for join selectivity (ablation #3
+	// in DESIGN.md), leaving every other element in place.
+	elems := ev.reorderTriples(gp.Elems)
+	// Variables surely bound so far (input bindings may bind more per-row,
+	// but only guarantees matter here).
+	bound := map[string]bool{}
+	env := exprEnv{ev: ev}
+	applyFilter := func(f *pendingFilter) {
+		var out []Binding
+		for _, b := range cur {
+			if v, err := env.evalBool(f.expr, b); err == nil && v {
+				out = append(out, b)
+			}
+		}
+		cur = out
+		f.applied = true
+	}
+	applyReady := func() {
+		if ev.noPushdown {
+			return
+		}
+		for _, f := range filters {
+			if f.applied || f.deferToEnd {
+				continue
+			}
+			ready := true
+			for v := range f.vars {
+				if !bound[v] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				applyFilter(f)
+			}
+		}
+	}
+	for _, elem := range elems {
+		switch {
+		case elem.Triple != nil:
+			cur = ev.evalTriple(elem.Triple, cur)
+			for _, v := range elem.Triple.Vars() {
+				bound[v] = true
+			}
+		case elem.Filter != nil:
+			f := &pendingFilter{expr: elem.Filter, vars: map[string]bool{}}
+			collectExprVars(elem.Filter, f.vars)
+			f.deferToEnd = usesBoundOrExists(elem.Filter)
+			filters = append(filters, f)
+		case elem.Optional != nil:
+			cur = ev.evalOptional(elem.Optional, cur)
+			// OPTIONAL binds nothing surely.
+		case elem.Union != nil:
+			cur = ev.evalUnion(elem.Union, cur)
+			for v := range surelyBoundInUnion(elem.Union) {
+				bound[v] = true
+			}
+		case elem.Group != nil:
+			cur = ev.evalGroup(elem.Group, cur)
+			for v := range surelyBound(elem.Group) {
+				bound[v] = true
+			}
+		case elem.Bind != nil:
+			cur = ev.evalBind(elem.Bind, cur)
+			// BIND may leave the var unbound on expression error.
+		case elem.Values != nil:
+			cur = ev.evalValues(elem.Values, cur)
+			// VALUES rows may contain UNDEF; no sure bindings.
+		case elem.SubQuery != nil:
+			cur = ev.evalSubQuery(elem.SubQuery, cur)
+			// Projection may contain unbound results; be conservative.
+		case elem.Minus != nil:
+			cur = ev.evalMinus(elem.Minus, cur)
+		}
+		if len(cur) == 0 {
+			return nil
+		}
+		applyReady()
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	for _, f := range filters {
+		if !f.applied {
+			applyFilter(f)
+		}
+	}
+	return cur
+}
+
+// collectExprVars accumulates the variables an expression mentions.
+func collectExprVars(e Expr, acc map[string]bool) {
+	switch x := e.(type) {
+	case ExprVar:
+		acc[x.Name] = true
+	case ExprUnary:
+		collectExprVars(x.Sub, acc)
+	case ExprBinary:
+		collectExprVars(x.Left, acc)
+		collectExprVars(x.Right, acc)
+	case ExprCall:
+		for _, a := range x.Args {
+			collectExprVars(a, acc)
+		}
+	case ExprIn:
+		collectExprVars(x.Left, acc)
+		for _, a := range x.List {
+			collectExprVars(a, acc)
+		}
+	case ExprAggregate:
+		if x.Arg != nil {
+			collectExprVars(x.Arg, acc)
+		}
+	}
+}
+
+// usesBoundOrExists reports whether the expression's value could change as
+// more of the group is evaluated even with its variables bound.
+func usesBoundOrExists(e Expr) bool {
+	switch x := e.(type) {
+	case ExprExists:
+		return true
+	case ExprCall:
+		if x.Func == "BOUND" || x.Func == "COALESCE" {
+			return true
+		}
+		for _, a := range x.Args {
+			if usesBoundOrExists(a) {
+				return true
+			}
+		}
+	case ExprUnary:
+		return usesBoundOrExists(x.Sub)
+	case ExprBinary:
+		return usesBoundOrExists(x.Left) || usesBoundOrExists(x.Right)
+	case ExprIn:
+		if usesBoundOrExists(x.Left) {
+			return true
+		}
+		for _, a := range x.List {
+			if usesBoundOrExists(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// surelyBound returns the variables a group pattern always binds.
+func surelyBound(gp *GroupPattern) map[string]bool {
+	out := map[string]bool{}
+	for _, e := range gp.Elems {
+		switch {
+		case e.Triple != nil:
+			for _, v := range e.Triple.Vars() {
+				out[v] = true
+			}
+		case e.Group != nil:
+			for v := range surelyBound(e.Group) {
+				out[v] = true
+			}
+		case e.Union != nil:
+			for v := range surelyBoundInUnion(e.Union) {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// surelyBoundInUnion returns the intersection of the branches' sure
+// bindings.
+func surelyBoundInUnion(u *UnionPattern) map[string]bool {
+	if len(u.Alternatives) == 0 {
+		return nil
+	}
+	out := surelyBound(u.Alternatives[0])
+	for _, alt := range u.Alternatives[1:] {
+		b := surelyBound(alt)
+		for v := range out {
+			if !b[v] {
+				delete(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// reorderTriples greedily orders maximal runs of triple patterns by
+// estimated cardinality, preferring patterns connected to already-bound
+// variables. Non-triple elements act as barriers.
+func (ev *evaluator) reorderTriples(elems []PatternElem) []PatternElem {
+	if ev.noReorder {
+		return elems
+	}
+	out := make([]PatternElem, 0, len(elems))
+	i := 0
+	for i < len(elems) {
+		if elems[i].Triple == nil {
+			out = append(out, elems[i])
+			i++
+			continue
+		}
+		j := i
+		for j < len(elems) && elems[j].Triple != nil {
+			j++
+		}
+		run := make([]*TriplePattern, 0, j-i)
+		for _, e := range elems[i:j] {
+			run = append(run, e.Triple)
+		}
+		for _, tp := range ev.orderRun(run) {
+			out = append(out, PatternElem{Triple: tp})
+		}
+		i = j
+	}
+	return out
+}
+
+func (ev *evaluator) orderRun(run []*TriplePattern) []*TriplePattern {
+	if len(run) <= 1 {
+		return run
+	}
+	bound := map[string]bool{}
+	var ordered []*TriplePattern
+	remaining := append([]*TriplePattern(nil), run...)
+	for len(remaining) > 0 {
+		bestIdx, bestScore := -1, 1<<62
+		for idx, tp := range remaining {
+			score := ev.estimate(tp, bound)
+			// Prefer patterns sharing a variable with the bound set.
+			connected := len(bound) == 0
+			for _, v := range tp.Vars() {
+				if bound[v] {
+					connected = true
+					break
+				}
+			}
+			if !connected {
+				score += 1 << 40
+			}
+			if score < bestScore {
+				bestScore, bestIdx = score, idx
+			}
+		}
+		tp := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		ordered = append(ordered, tp)
+		for _, v := range tp.Vars() {
+			bound[v] = true
+		}
+	}
+	return ordered
+}
+
+// estimate approximates the cardinality of a pattern assuming bound
+// variables act as constants of unknown value.
+func (ev *evaluator) estimate(tp *TriplePattern, bound map[string]bool) int {
+	if tp.Path != nil {
+		return 1 << 20 // paths are expensive; schedule late
+	}
+	toTerm := func(n Node) rdf.Term {
+		if n.IsVar() {
+			return rdf.Any
+		}
+		return n.Term
+	}
+	base := ev.g.MatchCount(toTerm(tp.S), toTerm(tp.P), toTerm(tp.O))
+	// Each bound variable position cuts the estimate (heuristic factor 10).
+	for _, n := range []Node{tp.S, tp.O} {
+		if n.IsVar() && bound[n.Var] && base > 1 {
+			base = base/10 + 1
+		}
+	}
+	return base
+}
+
+func (ev *evaluator) evalTriple(tp *TriplePattern, input []Binding) []Binding {
+	if tp.Path != nil {
+		return ev.evalPathTriple(tp, input)
+	}
+	var out []Binding
+	for _, b := range input {
+		s, sVar := substNode(tp.S, b)
+		p, pVar := substNode(tp.P, b)
+		o, oVar := substNode(tp.O, b)
+		ev.g.Match(s, p, o, func(t rdf.Triple) bool {
+			nb := b
+			cloned := false
+			bind := func(v string, term rdf.Term) bool {
+				if v == "" {
+					return true
+				}
+				if cur, ok := nb[v]; ok {
+					return cur == term
+				}
+				if !cloned {
+					nb = nb.clone()
+					cloned = true
+				}
+				nb[v] = term
+				return true
+			}
+			// Same-variable repeats inside one pattern (?x ?p ?x) must agree.
+			if !bind(sVar, t.S) || !bind(pVar, t.P) || !bind(oVar, t.O) {
+				return true
+			}
+			if !cloned {
+				nb = nb.clone()
+			}
+			out = append(out, nb)
+			return true
+		})
+	}
+	return out
+}
+
+// substNode maps a pattern node to a match term given current bindings,
+// returning the variable name still to bind ("" when the position is fixed).
+func substNode(n Node, b Binding) (rdf.Term, string) {
+	if !n.IsVar() {
+		return n.Term, ""
+	}
+	if t, ok := b[n.Var]; ok {
+		return t, ""
+	}
+	return rdf.Any, n.Var
+}
+
+func (ev *evaluator) evalOptional(opt *GroupPattern, input []Binding) []Binding {
+	var out []Binding
+	for _, b := range input {
+		ext := ev.evalGroup(opt, []Binding{b})
+		if len(ext) == 0 {
+			out = append(out, b)
+			continue
+		}
+		out = append(out, ext...)
+	}
+	return out
+}
+
+func (ev *evaluator) evalUnion(u *UnionPattern, input []Binding) []Binding {
+	var out []Binding
+	for _, alt := range u.Alternatives {
+		out = append(out, ev.evalGroup(alt, input)...)
+	}
+	return out
+}
+
+func (ev *evaluator) evalBind(be *BindElem, input []Binding) []Binding {
+	env := exprEnv{ev: ev}
+	out := make([]Binding, 0, len(input))
+	for _, b := range input {
+		nb := b.clone()
+		if v, err := env.evalExpr(be.Expr, b); err == nil {
+			nb[be.Var] = v
+		}
+		out = append(out, nb)
+	}
+	return out
+}
+
+func (ev *evaluator) evalValues(ve *ValuesElem, input []Binding) []Binding {
+	var out []Binding
+	for _, b := range input {
+		for _, row := range ve.Rows {
+			nb := b.clone()
+			ok := true
+			for i, v := range ve.Vars {
+				t := row[i]
+				if t.IsZero() {
+					continue // UNDEF
+				}
+				if cur, bound := nb[v]; bound {
+					if cur != t {
+						ok = false
+						break
+					}
+					continue
+				}
+				nb[v] = t
+			}
+			if ok {
+				out = append(out, nb)
+			}
+		}
+	}
+	return out
+}
+
+func (ev *evaluator) evalSubQuery(q *Query, input []Binding) []Binding {
+	res, err := ev.execSelect(q, []Binding{{}})
+	if err != nil {
+		return nil
+	}
+	var out []Binding
+	for _, b := range input {
+		for _, sub := range res.Rows {
+			if !b.compatible(sub) {
+				continue
+			}
+			nb := b.clone()
+			for _, v := range res.Vars {
+				if t, ok := sub[v]; ok {
+					nb[v] = t
+				}
+			}
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+func (ev *evaluator) evalMinus(m *GroupPattern, input []Binding) []Binding {
+	removed := ev.evalGroup(m, []Binding{{}})
+	var out []Binding
+	for _, b := range input {
+		excluded := false
+		for _, r := range removed {
+			shared := false
+			agree := true
+			for k, v := range r {
+				if w, ok := b[k]; ok {
+					shared = true
+					if w != v {
+						agree = false
+						break
+					}
+				}
+			}
+			if shared && agree {
+				excluded = true
+				break
+			}
+		}
+		if !excluded {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// project builds the result table for an ungrouped SELECT.
+func (ev *evaluator) project(q *Query, rows []Binding) (*Results, error) {
+	env := exprEnv{ev: ev}
+	if q.Select.Star {
+		varSet := map[string]bool{}
+		var vars []string
+		for _, b := range rows {
+			for v := range b {
+				if !varSet[v] && !strings.HasPrefix(v, "_anon") {
+					varSet[v] = true
+					vars = append(vars, v)
+				}
+			}
+		}
+		sort.Strings(vars)
+		out := &Results{Vars: vars}
+		for _, b := range rows {
+			nb := Binding{}
+			for _, v := range vars {
+				if t, ok := b[v]; ok {
+					nb[v] = t
+				}
+			}
+			out.Rows = append(out.Rows, nb)
+		}
+		return out, nil
+	}
+	out := &Results{}
+	for _, it := range q.Select.Items {
+		out.Vars = append(out.Vars, it.Var)
+	}
+	for _, b := range rows {
+		nb := Binding{}
+		for _, it := range q.Select.Items {
+			if it.Expr == nil {
+				if t, ok := b[it.Var]; ok {
+					nb[it.Var] = t
+				}
+				continue
+			}
+			if v, err := env.evalExpr(it.Expr, b); err == nil {
+				nb[it.Var] = v
+			}
+		}
+		out.Rows = append(out.Rows, nb)
+	}
+	return out, nil
+}
+
+func distinct(res *Results) *Results {
+	seen := map[string]bool{}
+	out := &Results{Vars: res.Vars}
+	for _, b := range res.Rows {
+		var sb strings.Builder
+		for _, v := range res.Vars {
+			if t, ok := b[v]; ok {
+				sb.WriteString(t.String())
+			}
+			sb.WriteByte('\x00')
+		}
+		key := sb.String()
+		if !seen[key] {
+			seen[key] = true
+			out.Rows = append(out.Rows, b)
+		}
+	}
+	return out
+}
+
+func (ev *evaluator) orderBy(res *Results, conds []OrderCond) {
+	env := exprEnv{ev: ev}
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		for _, c := range conds {
+			a, errA := env.evalExpr(c.Expr, res.Rows[i])
+			b, errB := env.evalExpr(c.Expr, res.Rows[j])
+			if errA != nil && errB != nil {
+				continue
+			}
+			if errA != nil {
+				return !c.Desc // unbound sorts first ascending
+			}
+			if errB != nil {
+				return c.Desc
+			}
+			if a == b {
+				continue
+			}
+			less := a.Less(b)
+			if c.Desc {
+				return !less
+			}
+			return less
+		}
+		return false
+	})
+}

@@ -1,0 +1,111 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"rdfanalytics/internal/rdf"
+)
+
+// Explain reports how the engine would evaluate a SELECT query: the join
+// order chosen for each basic graph pattern run (with the cardinality
+// estimates that drove it), where filters apply, and the solution
+// modifiers. A diagnostic facility in the spirit of endpoint EXPLAIN
+// features; the output is human-readable text.
+func Explain(g *rdf.Graph, src string) (string, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	if q.Form != FormSelect {
+		return "", fmt.Errorf("sparql: EXPLAIN supports SELECT queries")
+	}
+	ev := &evaluator{g: g}
+	var sb strings.Builder
+	sb.WriteString("SELECT plan:\n")
+	explainGroup(ev, q.Where, &sb, 1)
+	if len(q.GroupBy) > 0 {
+		fmt.Fprintf(&sb, "  group by %d condition(s), %d aggregate column(s)\n",
+			len(q.GroupBy), countAggregates(q))
+	}
+	if len(q.Having) > 0 {
+		fmt.Fprintf(&sb, "  having: %d condition(s)\n", len(q.Having))
+	}
+	if len(q.OrderBy) > 0 {
+		fmt.Fprintf(&sb, "  order by %d condition(s)\n", len(q.OrderBy))
+	}
+	if q.Select.Distinct {
+		sb.WriteString("  distinct\n")
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&sb, "  limit %d offset %d\n", q.Limit, q.Offset)
+	}
+	return sb.String(), nil
+}
+
+func countAggregates(q *Query) int {
+	n := 0
+	for _, it := range q.Select.Items {
+		if it.Expr != nil && HasAggregate(it.Expr) {
+			n++
+		}
+	}
+	return n
+}
+
+func explainGroup(ev *evaluator, gp *GroupPattern, sb *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	elems := ev.reorderTriples(gp.Elems)
+	step := 0
+	bound := map[string]bool{}
+	for _, e := range elems {
+		switch {
+		case e.Triple != nil:
+			step++
+			est := ev.estimate(e.Triple, bound)
+			fmt.Fprintf(sb, "%s%d. scan %s  (est. %d)\n", indent, step, e.Triple, est)
+			for _, v := range e.Triple.Vars() {
+				bound[v] = true
+			}
+		case e.Filter != nil:
+			step++
+			when := "pushed down when bound"
+			if usesBoundOrExists(e.Filter) {
+				when = "at group end"
+			}
+			fmt.Fprintf(sb, "%s%d. filter %s  (%s)\n", indent, step, e.Filter, when)
+		case e.Optional != nil:
+			step++
+			fmt.Fprintf(sb, "%s%d. optional {\n", indent, step)
+			explainGroup(ev, e.Optional, sb, depth+1)
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case e.Union != nil:
+			step++
+			fmt.Fprintf(sb, "%s%d. union of %d alternatives\n", indent, step, len(e.Union.Alternatives))
+			for _, alt := range e.Union.Alternatives {
+				explainGroup(ev, alt, sb, depth+1)
+			}
+		case e.Group != nil:
+			step++
+			fmt.Fprintf(sb, "%s%d. group {\n", indent, step)
+			explainGroup(ev, e.Group, sb, depth+1)
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case e.Bind != nil:
+			step++
+			fmt.Fprintf(sb, "%s%d. bind %s as ?%s\n", indent, step, e.Bind.Expr, e.Bind.Var)
+		case e.Values != nil:
+			step++
+			fmt.Fprintf(sb, "%s%d. values %v (%d rows)\n", indent, step, e.Values.Vars, len(e.Values.Rows))
+		case e.SubQuery != nil:
+			step++
+			fmt.Fprintf(sb, "%s%d. subquery {\n", indent, step)
+			explainGroup(ev, e.SubQuery.Where, sb, depth+1)
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case e.Minus != nil:
+			step++
+			fmt.Fprintf(sb, "%s%d. minus {\n", indent, step)
+			explainGroup(ev, e.Minus, sb, depth+1)
+			fmt.Fprintf(sb, "%s}\n", indent)
+		}
+	}
+}

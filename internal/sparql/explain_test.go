@@ -1,0 +1,67 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainJoinOrder(t *testing.T) {
+	g := invoices(t)
+	plan, err := Explain(g, `PREFIX ex: <http://e/>
+SELECT ?i WHERE {
+  ?i ?p ?o .
+  ?i ex:delivers ex:fanta .
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The selective pattern (delivers fanta, est. 1) must be scheduled
+	// before the full scan.
+	fanta := strings.Index(plan, "fanta")
+	scanAll := strings.Index(plan, "?i ?p ?o")
+	if fanta < 0 || scanAll < 0 || fanta > scanAll {
+		t.Errorf("selective pattern not first:\n%s", plan)
+	}
+	if !strings.Contains(plan, "est. 1") {
+		t.Errorf("estimates missing:\n%s", plan)
+	}
+}
+
+func TestExplainClauses(t *testing.T) {
+	g := invoices(t)
+	plan, err := Explain(g, `PREFIX ex: <http://e/>
+SELECT DISTINCT ?b (SUM(?q) AS ?t) WHERE {
+  ?i ex:takesPlaceAt ?b .
+  ?i ex:inQuantity ?q .
+  FILTER(?q > 10)
+  OPTIONAL { ?i ex:note ?n }
+  FILTER(BOUND(?n))
+  { SELECT ?z WHERE { ?z ex:brand ?w } }
+  BIND(?q * 2 AS ?qq)
+  VALUES ?v { 1 2 }
+  MINUS { ?i ex:delivers ex:coca }
+  { ?i ex:a ?x } UNION { ?i ex:b ?x }
+} GROUP BY ?b HAVING (SUM(?q) > 0) ORDER BY ?b LIMIT 5 OFFSET 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"pushed down when bound", "at group end", "optional {", "subquery {",
+		"bind", "values", "minus {", "union of 2", "group by", "having",
+		"order by", "distinct", "limit 5 offset 1",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	g := invoices(t)
+	if _, err := Explain(g, `ASK { ?s ?p ?o }`); err == nil {
+		t.Error("ASK accepted by Explain")
+	}
+	if _, err := Explain(g, `NOT A QUERY`); err == nil {
+		t.Error("garbage accepted by Explain")
+	}
+}

@@ -1,0 +1,408 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokKeyword
+	tokVar     // ?x or $x (name without sigil)
+	tokIRI     // <...> (expanded value)
+	tokPName   // prefix:local (raw, expansion happens in parser)
+	tokLiteral // string literal body
+	tokNumber  // numeric literal lexical form
+	tokPunct   // single/multi char punctuation: { } ( ) . ; , = != <= >= < > && || ! + - * / ^ | ?
+	tokLangTag // @en
+	tokDTSep   // ^^
+	tokA       // the keyword 'a'
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "EOF"
+	case tokVar:
+		return "?" + t.text
+	case tokIRI:
+		return "<" + t.text + ">"
+	default:
+		return t.text
+	}
+}
+
+// sparqlKeywords is the set of case-insensitive reserved words recognized by
+// the lexer. Everything else alphabetic becomes a PName candidate.
+var sparqlKeywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "REDUCED": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "OFFSET": true, "PREFIX": true, "BASE": true,
+	"AS": true, "FILTER": true, "OPTIONAL": true, "UNION": true, "MINUS": true,
+	"BIND": true, "VALUES": true, "UNDEF": true, "ASK": true,
+	"CONSTRUCT": true, "DESCRIBE": true, "FROM": true, "NAMED": true,
+	"EXISTS": true, "NOT": true, "IN": true, "TRUE": true, "FALSE": true,
+	"SEPARATOR": true, "GRAPH": true,
+	// SPARQL Update keywords.
+	"INSERT": true, "DELETE": true, "DATA": true, "CLEAR": true, "ALL": true,
+}
+
+// aggregateNames recognizes aggregate function keywords.
+var aggregateNames = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"GROUP_CONCAT": true, "SAMPLE": true,
+}
+
+// builtinNames recognizes non-aggregate builtin call keywords.
+var builtinNames = map[string]bool{
+	"STR": true, "LANG": true, "LANGMATCHES": true, "DATATYPE": true,
+	"BOUND": true, "IRI": true, "URI": true, "BNODE": true, "RAND": true,
+	"ABS": true, "CEIL": true, "FLOOR": true, "ROUND": true, "CONCAT": true,
+	"STRLEN": true, "UCASE": true, "LCASE": true, "ENCODE_FOR_URI": true,
+	"CONTAINS": true, "STRSTARTS": true, "STRENDS": true, "STRBEFORE": true,
+	"STRAFTER": true, "YEAR": true, "MONTH": true, "DAY": true, "HOURS": true,
+	"MINUTES": true, "SECONDS": true, "TIMEZONE": true, "TZ": true,
+	"NOW": true, "UUID": true, "STRUUID": true, "MD5": true, "SHA1": true,
+	"SHA256": true, "COALESCE": true, "IF": true, "STRLANG": true,
+	"STRDT": true, "SAMETERM": true, "ISIRI": true, "ISURI": true,
+	"ISBLANK": true, "ISLITERAL": true, "ISNUMERIC": true, "REGEX": true,
+	"SUBSTR": true, "REPLACE": true,
+}
+
+type lexError struct {
+	line, col int
+	msg       string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("sparql: line %d col %d: %s", e.line, e.col, e.msg)
+}
+
+type lexer struct {
+	src       []rune
+	pos       int
+	line, col int
+	toks      []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src), line: 1, col: 1}
+	if err := l.run(); err != nil {
+		return nil, err
+	}
+	return l.toks, nil
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &lexError{line: l.line, col: l.col, msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) cur() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) at(off int) rune {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) emit(kind tokKind, text string, line, col int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, line: line, col: col})
+}
+
+func (l *lexer) run() error {
+	for l.pos < len(l.src) {
+		r := l.cur()
+		line, col := l.line, l.col
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '#':
+			for l.pos < len(l.src) && l.cur() != '\n' {
+				l.advance()
+			}
+		case r == '?' || r == '$':
+			// A variable only if followed by a name char; bare '?' is the
+			// zero-or-one path modifier.
+			if nxt := l.at(1); unicode.IsLetter(nxt) || unicode.IsDigit(nxt) || nxt == '_' {
+				l.advance()
+				name := l.lexName()
+				l.emit(tokVar, name, line, col)
+			} else {
+				l.advance()
+				l.emit(tokPunct, "?", line, col)
+			}
+		case r == '<':
+			// IRI or comparison operator: IRI when followed by a non-space,
+			// non-'=' run ending in '>'.
+			if l.looksLikeIRI() {
+				iri, err := l.lexIRI()
+				if err != nil {
+					return err
+				}
+				l.emit(tokIRI, iri, line, col)
+			} else {
+				l.advance()
+				if l.cur() == '=' {
+					l.advance()
+					l.emit(tokPunct, "<=", line, col)
+				} else {
+					l.emit(tokPunct, "<", line, col)
+				}
+			}
+		case r == '"' || r == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return err
+			}
+			l.emit(tokLiteral, s, line, col)
+		case r == '@':
+			l.advance()
+			var b strings.Builder
+			for l.pos < len(l.src) {
+				c := l.cur()
+				if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '-' {
+					b.WriteRune(c)
+					l.advance()
+					continue
+				}
+				break
+			}
+			l.emit(tokLangTag, b.String(), line, col)
+		case r == '^':
+			if l.at(1) == '^' {
+				l.advance()
+				l.advance()
+				l.emit(tokDTSep, "^^", line, col)
+			} else {
+				l.advance()
+				l.emit(tokPunct, "^", line, col)
+			}
+		case unicode.IsDigit(r) || (r == '.' && unicode.IsDigit(l.at(1))):
+			l.emit(tokNumber, l.lexNumber(), line, col)
+		case r == '+' || r == '-':
+			// Sign glued to a digit is a signed number.
+			if unicode.IsDigit(l.at(1)) {
+				sign := string(l.advance())
+				l.emit(tokNumber, sign+l.lexNumber(), line, col)
+			} else {
+				l.advance()
+				l.emit(tokPunct, string(r), line, col)
+			}
+		case r == '!':
+			l.advance()
+			if l.cur() == '=' {
+				l.advance()
+				l.emit(tokPunct, "!=", line, col)
+			} else {
+				l.emit(tokPunct, "!", line, col)
+			}
+		case r == '>':
+			l.advance()
+			if l.cur() == '=' {
+				l.advance()
+				l.emit(tokPunct, ">=", line, col)
+			} else {
+				l.emit(tokPunct, ">", line, col)
+			}
+		case r == '&':
+			if l.at(1) != '&' {
+				return l.errf("unexpected '&'")
+			}
+			l.advance()
+			l.advance()
+			l.emit(tokPunct, "&&", line, col)
+		case r == '|':
+			if l.at(1) == '|' {
+				l.advance()
+				l.advance()
+				l.emit(tokPunct, "||", line, col)
+			} else {
+				l.advance()
+				l.emit(tokPunct, "|", line, col)
+			}
+		case r == '=':
+			l.advance()
+			l.emit(tokPunct, "=", line, col)
+		case strings.ContainsRune("{}().,;*/", r):
+			l.advance()
+			l.emit(tokPunct, string(r), line, col)
+		case r == '_' && l.at(1) == ':':
+			l.advance()
+			l.advance()
+			name := l.lexName()
+			l.emit(tokPName, "_:"+name, line, col)
+		case unicode.IsLetter(r) || r == '_':
+			word := l.lexPNameOrKeyword()
+			upper := strings.ToUpper(word)
+			switch {
+			case word == "a":
+				l.emit(tokA, "a", line, col)
+			case strings.Contains(word, ":"):
+				l.emit(tokPName, word, line, col)
+			case sparqlKeywords[upper] || aggregateNames[upper] || builtinNames[upper]:
+				l.emit(tokKeyword, upper, line, col)
+			default:
+				return l.errf("unexpected identifier %q (missing ':'?)", word)
+			}
+		default:
+			return l.errf("unexpected character %q", r)
+		}
+	}
+	l.emit(tokEOF, "", l.line, l.col)
+	return nil
+}
+
+// looksLikeIRI scans ahead from '<' for '>' with no whitespace in between.
+func (l *lexer) looksLikeIRI() bool {
+	for i := l.pos + 1; i < len(l.src); i++ {
+		r := l.src[i]
+		if r == '>' {
+			return true
+		}
+		if unicode.IsSpace(r) || r == '<' {
+			return false
+		}
+	}
+	return false
+}
+
+func (l *lexer) lexIRI() (string, error) {
+	l.advance() // '<'
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		r := l.advance()
+		if r == '>' {
+			return b.String(), nil
+		}
+		b.WriteRune(r)
+	}
+	return "", l.errf("unterminated IRI")
+}
+
+func (l *lexer) lexString() (string, error) {
+	quote := l.advance()
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		r := l.advance()
+		if r == quote {
+			return b.String(), nil
+		}
+		if r == '\\' {
+			if l.pos >= len(l.src) {
+				return "", l.errf("unterminated escape")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteRune('\n')
+			case 't':
+				b.WriteRune('\t')
+			case 'r':
+				b.WriteRune('\r')
+			case '"', '\'', '\\':
+				b.WriteRune(e)
+			default:
+				return "", l.errf("unknown escape \\%c", e)
+			}
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return "", l.errf("unterminated string literal")
+}
+
+func (l *lexer) lexNumber() string {
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		r := l.cur()
+		if unicode.IsDigit(r) || r == '.' || r == 'e' || r == 'E' {
+			// A '.' not followed by a digit/e terminates the number.
+			if r == '.' {
+				nxt := l.at(1)
+				if !unicode.IsDigit(nxt) {
+					break
+				}
+			}
+			if r == 'e' || r == 'E' {
+				nxt := l.at(1)
+				if !unicode.IsDigit(nxt) && nxt != '+' && nxt != '-' {
+					break
+				}
+				b.WriteRune(l.advance()) // e
+				if c := l.cur(); c == '+' || c == '-' {
+					b.WriteRune(l.advance())
+				}
+				continue
+			}
+			b.WriteRune(l.advance())
+			continue
+		}
+		break
+	}
+	return b.String()
+}
+
+func (l *lexer) lexName() string {
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		r := l.cur()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			b.WriteRune(l.advance())
+			continue
+		}
+		break
+	}
+	return b.String()
+}
+
+// lexPNameOrKeyword reads a word that may contain one ':' (prefixed name)
+// and name characters including '-' and '.' (dot only when followed by a
+// name character).
+func (l *lexer) lexPNameOrKeyword() string {
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		r := l.cur()
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == ':':
+			b.WriteRune(l.advance())
+		case r == '.':
+			nxt := l.at(1)
+			if unicode.IsLetter(nxt) || unicode.IsDigit(nxt) || nxt == '_' {
+				b.WriteRune(l.advance())
+			} else {
+				return b.String()
+			}
+		default:
+			return b.String()
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package sparql
+
+import (
+	"rdfanalytics/internal/rdf"
+)
+
+// Property-path evaluation. Paths are evaluated by node-set expansion:
+// forward from bound subjects, backward from bound objects, and — when both
+// ends are variables — from the candidate sources of the path's first step.
+
+func (ev *evaluator) evalPathTriple(tp *TriplePattern, input []Binding) []Binding {
+	var out []Binding
+	for _, b := range input {
+		s, sVar := substNode(tp.S, b)
+		o, oVar := substNode(tp.O, b)
+		emit := func(sT, oT rdf.Term) {
+			nb := b.clone()
+			if sVar != "" {
+				if cur, ok := nb[sVar]; ok && cur != sT {
+					return
+				}
+				nb[sVar] = sT
+			}
+			if oVar != "" {
+				if cur, ok := nb[oVar]; ok && cur != oT {
+					return
+				}
+				if sVar == oVar && sT != oT {
+					return
+				}
+				nb[oVar] = oT
+			}
+			out = append(out, nb)
+		}
+		switch {
+		case s != rdf.Any && o != rdf.Any:
+			if ev.pathConnects(tp.Path, s, o) {
+				emit(s, o)
+			}
+		case s != rdf.Any:
+			for _, oT := range ev.pathForward(tp.Path, s) {
+				emit(s, oT)
+			}
+		case o != rdf.Any:
+			for _, sT := range ev.pathBackward(tp.Path, o) {
+				emit(sT, o)
+			}
+		default:
+			for _, sT := range ev.pathSources(tp.Path) {
+				for _, oT := range ev.pathForward(tp.Path, sT) {
+					emit(sT, oT)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// pathForward returns the distinct nodes reachable from s via the path.
+func (ev *evaluator) pathForward(p Path, s rdf.Term) []rdf.Term {
+	set := map[rdf.Term]struct{}{}
+	ev.pathStep(p, s, false, set)
+	out := make([]rdf.Term, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	return out
+}
+
+// pathBackward returns the distinct nodes from which o is reachable.
+func (ev *evaluator) pathBackward(p Path, o rdf.Term) []rdf.Term {
+	set := map[rdf.Term]struct{}{}
+	ev.pathStep(p, o, true, set)
+	out := make([]rdf.Term, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	return out
+}
+
+// pathStep expands one path from node n (reverse=true walks the inverse
+// direction) accumulating reached nodes into acc.
+func (ev *evaluator) pathStep(p Path, n rdf.Term, reverse bool, acc map[rdf.Term]struct{}) {
+	switch x := p.(type) {
+	case PathIRI:
+		if reverse {
+			ev.g.Match(rdf.Any, x.IRI, n, func(t rdf.Triple) bool {
+				acc[t.S] = struct{}{}
+				return true
+			})
+		} else {
+			ev.g.Match(n, x.IRI, rdf.Any, func(t rdf.Triple) bool {
+				acc[t.O] = struct{}{}
+				return true
+			})
+		}
+	case PathInverse:
+		ev.pathStep(x.Sub, n, !reverse, acc)
+	case PathSeq:
+		first, second := x.Left, x.Right
+		if reverse {
+			first, second = x.Right, x.Left
+		}
+		mid := map[rdf.Term]struct{}{}
+		ev.pathStep(first, n, reverse, mid)
+		for m := range mid {
+			ev.pathStep(second, m, reverse, acc)
+		}
+	case PathAlt:
+		ev.pathStep(x.Left, n, reverse, acc)
+		ev.pathStep(x.Right, n, reverse, acc)
+	case PathMod:
+		// BFS expansion with the sub-path as the edge relation.
+		frontier := []rdf.Term{n}
+		visited := map[rdf.Term]struct{}{n: {}}
+		depth := 0
+		if x.Min == 0 {
+			acc[n] = struct{}{}
+		}
+		for len(frontier) > 0 {
+			if x.Max == 1 && depth >= 1 {
+				break
+			}
+			depth++
+			next := map[rdf.Term]struct{}{}
+			for _, f := range frontier {
+				ev.pathStep(x.Sub, f, reverse, next)
+			}
+			frontier = frontier[:0]
+			for t := range next {
+				if _, seen := visited[t]; seen {
+					continue
+				}
+				visited[t] = struct{}{}
+				if depth >= x.Min || x.Min == 0 {
+					acc[t] = struct{}{}
+				}
+				frontier = append(frontier, t)
+			}
+		}
+	}
+}
+
+// pathConnects reports whether o is reachable from s via the path.
+func (ev *evaluator) pathConnects(p Path, s, o rdf.Term) bool {
+	for _, t := range ev.pathForward(p, s) {
+		if t == o {
+			return true
+		}
+	}
+	return false
+}
+
+// pathSources returns candidate starting nodes for a path whose subject is
+// an unbound variable: the subjects (or objects, for inverse heads) of the
+// path's first atomic step. For zero-length-capable paths every graph node
+// is a candidate.
+func (ev *evaluator) pathSources(p Path) []rdf.Term {
+	set := map[rdf.Term]struct{}{}
+	ev.collectSources(p, false, set)
+	out := make([]rdf.Term, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	return out
+}
+
+func (ev *evaluator) collectSources(p Path, reverse bool, acc map[rdf.Term]struct{}) {
+	switch x := p.(type) {
+	case PathIRI:
+		if reverse {
+			ev.g.Match(rdf.Any, x.IRI, rdf.Any, func(t rdf.Triple) bool {
+				acc[t.O] = struct{}{}
+				return true
+			})
+		} else {
+			ev.g.Match(rdf.Any, x.IRI, rdf.Any, func(t rdf.Triple) bool {
+				acc[t.S] = struct{}{}
+				return true
+			})
+		}
+	case PathInverse:
+		ev.collectSources(x.Sub, !reverse, acc)
+	case PathSeq:
+		if reverse {
+			ev.collectSources(x.Right, reverse, acc)
+		} else {
+			ev.collectSources(x.Left, reverse, acc)
+		}
+	case PathAlt:
+		ev.collectSources(x.Left, reverse, acc)
+		ev.collectSources(x.Right, reverse, acc)
+	case PathMod:
+		if x.Min == 0 {
+			// Zero-length paths relate every node to itself: candidates are
+			// all subjects and objects in the graph.
+			ev.g.Match(rdf.Any, rdf.Any, rdf.Any, func(t rdf.Triple) bool {
+				acc[t.S] = struct{}{}
+				if t.O.IsResource() {
+					acc[t.O] = struct{}{}
+				}
+				return true
+			})
+			return
+		}
+		ev.collectSources(x.Sub, reverse, acc)
+	}
+}

@@ -1,0 +1,231 @@
+package sparql
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rdfanalytics/internal/rdf"
+)
+
+// Binding is one solution mapping: variable name -> bound term. Absent keys
+// are unbound variables.
+type Binding map[string]rdf.Term
+
+// clone returns a copy of the binding.
+func (b Binding) clone() Binding {
+	out := make(Binding, len(b)+1)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// compatible reports whether two bindings agree on every shared variable.
+func (b Binding) compatible(other Binding) bool {
+	for k, v := range b {
+		if w, ok := other[k]; ok && w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Results is a SELECT result table.
+type Results struct {
+	// Vars is the projection, in declaration order.
+	Vars []string
+	// Rows holds one binding per solution.
+	Rows []Binding
+}
+
+// Len returns the number of solution rows.
+func (r *Results) Len() int { return len(r.Rows) }
+
+// Get returns the term bound to v in row i (zero Term when unbound).
+func (r *Results) Get(i int, v string) rdf.Term { return r.Rows[i][v] }
+
+// Column returns all values of one variable, in row order; unbound positions
+// hold the zero Term.
+func (r *Results) Column(v string) []rdf.Term {
+	out := make([]rdf.Term, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row[v]
+	}
+	return out
+}
+
+// Sort orders rows by the projected variables (term order), making result
+// tables deterministic for tests and serialization.
+func (r *Results) Sort() {
+	sort.SliceStable(r.Rows, func(i, j int) bool {
+		for _, v := range r.Vars {
+			a, b := r.Rows[i][v], r.Rows[j][v]
+			if a == b {
+				continue
+			}
+			return a.Less(b)
+		}
+		return false
+	})
+}
+
+// String renders the results as an aligned text table (debug/REPL helper).
+func (r *Results) String() string {
+	var sb strings.Builder
+	widths := make([]int, len(r.Vars))
+	cells := make([][]string, len(r.Rows))
+	for i, v := range r.Vars {
+		widths[i] = len(v) + 1
+	}
+	for i, row := range r.Rows {
+		cells[i] = make([]string, len(r.Vars))
+		for j, v := range r.Vars {
+			s := ""
+			if t, ok := row[v]; ok {
+				s = displayTerm(t)
+			}
+			cells[i][j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	for j, v := range r.Vars {
+		fmt.Fprintf(&sb, "%-*s ", widths[j], "?"+v)
+	}
+	sb.WriteByte('\n')
+	for j := range r.Vars {
+		sb.WriteString(strings.Repeat("-", widths[j]))
+		sb.WriteByte(' ')
+	}
+	sb.WriteByte('\n')
+	for _, row := range cells {
+		for j, c := range row {
+			fmt.Fprintf(&sb, "%-*s ", widths[j], c)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func displayTerm(t rdf.Term) string {
+	switch t.Kind {
+	case rdf.KindIRI:
+		return t.LocalName()
+	case rdf.KindBlank:
+		return "_:" + t.Value
+	default:
+		return t.Value
+	}
+}
+
+// WriteCSV writes the results as CSV with a header row of variable names.
+func (r *Results) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Vars); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := make([]string, len(r.Vars))
+		for i, v := range r.Vars {
+			if t, ok := row[v]; ok {
+				rec[i] = t.Value
+				if t.Kind == rdf.KindBlank {
+					rec[i] = "_:" + t.Value
+				}
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// sparqlJSON mirrors the W3C "SPARQL 1.1 Query Results JSON Format".
+type sparqlJSON struct {
+	Head struct {
+		Vars []string `json:"vars"`
+	} `json:"head"`
+	Results struct {
+		Bindings []map[string]sparqlJSONTerm `json:"bindings"`
+	} `json:"results"`
+}
+
+type sparqlJSONTerm struct {
+	Type     string `json:"type"`
+	Value    string `json:"value"`
+	Datatype string `json:"datatype,omitempty"`
+	Lang     string `json:"xml:lang,omitempty"`
+}
+
+// WriteJSON writes the results in the SPARQL 1.1 JSON results format.
+func (r *Results) WriteJSON(w io.Writer) error {
+	doc := sparqlJSON{}
+	doc.Head.Vars = r.Vars
+	doc.Results.Bindings = make([]map[string]sparqlJSONTerm, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		jb := map[string]sparqlJSONTerm{}
+		for _, v := range r.Vars {
+			t, ok := row[v]
+			if !ok {
+				continue
+			}
+			jt := sparqlJSONTerm{Value: t.Value}
+			switch t.Kind {
+			case rdf.KindIRI:
+				jt.Type = "uri"
+			case rdf.KindBlank:
+				jt.Type = "bnode"
+			default:
+				jt.Type = "literal"
+				if t.Lang != "" {
+					jt.Lang = t.Lang
+				} else if t.Datatype != "" && t.Datatype != rdf.XSDString {
+					jt.Datatype = t.Datatype
+				}
+			}
+			jb[v] = jt
+		}
+		doc.Results.Bindings = append(doc.Results.Bindings, jb)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ParseJSONResults parses the SPARQL 1.1 JSON results format back into
+// Results (used by the HTTP client side of the endpoint tests).
+func ParseJSONResults(r io.Reader) (*Results, error) {
+	var doc sparqlJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, err
+	}
+	out := &Results{Vars: doc.Head.Vars}
+	for _, jb := range doc.Results.Bindings {
+		row := Binding{}
+		for v, jt := range jb {
+			switch jt.Type {
+			case "uri":
+				row[v] = rdf.NewIRI(jt.Value)
+			case "bnode":
+				row[v] = rdf.NewBlank(jt.Value)
+			default:
+				switch {
+				case jt.Lang != "":
+					row[v] = rdf.NewLangString(jt.Value, jt.Lang)
+				case jt.Datatype != "":
+					row[v] = rdf.NewTyped(jt.Value, jt.Datatype)
+				default:
+					row[v] = rdf.NewString(jt.Value)
+				}
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+// Package stats computes dataset-level statistics over an RDF graph and
+// publishes them in RDF using the W3C VoID vocabulary — the "publishing of
+// statistical data in RDF" capability that category C4 of the paper's
+// survey (§3.3.5, Table 3.3: Aether, Loupe, LODStats, SPORTAL…) provides,
+// plus the distribution analytics (degree distributions, power-law
+// detection) category C5 measures over such datasets (§3.3.6).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rdfanalytics/internal/rdf"
+)
+
+// VoIDNS is the Vocabulary of Interlinked Datasets namespace.
+const VoIDNS = "http://rdfs.org/ns/void#"
+
+// PropertyStat is one property partition: a predicate and its triple count.
+type PropertyStat struct {
+	P       rdf.Term
+	Triples int
+}
+
+// ClassStat is one class partition: a class and its instance count.
+type ClassStat struct {
+	Class     rdf.Term
+	Instances int
+}
+
+// Profile is the computed statistics of one dataset.
+type Profile struct {
+	Triples          int
+	DistinctSubjects int
+	DistinctObjects  int
+	Properties       []PropertyStat // sorted by descending triple count
+	Classes          []ClassStat    // sorted by descending instance count
+}
+
+// Compute profiles g.
+func Compute(g *rdf.Graph) *Profile {
+	p := &Profile{Triples: g.Len()}
+	subjects := map[rdf.Term]struct{}{}
+	objects := map[rdf.Term]struct{}{}
+	classCounts := map[rdf.Term]int{}
+	typeT := rdf.NewIRI(rdf.RDFType)
+	g.Match(rdf.Any, rdf.Any, rdf.Any, func(t rdf.Triple) bool {
+		subjects[t.S] = struct{}{}
+		objects[t.O] = struct{}{}
+		if t.P == typeT {
+			classCounts[t.O]++
+		}
+		return true
+	})
+	p.DistinctSubjects = len(subjects)
+	p.DistinctObjects = len(objects)
+	for _, pred := range g.Predicates() {
+		p.Properties = append(p.Properties, PropertyStat{P: pred, Triples: g.PredicateCount(pred)})
+	}
+	sort.Slice(p.Properties, func(i, j int) bool {
+		if p.Properties[i].Triples != p.Properties[j].Triples {
+			return p.Properties[i].Triples > p.Properties[j].Triples
+		}
+		return p.Properties[i].P.Less(p.Properties[j].P)
+	})
+	for c, n := range classCounts {
+		p.Classes = append(p.Classes, ClassStat{Class: c, Instances: n})
+	}
+	sort.Slice(p.Classes, func(i, j int) bool {
+		if p.Classes[i].Instances != p.Classes[j].Instances {
+			return p.Classes[i].Instances > p.Classes[j].Instances
+		}
+		return p.Classes[i].Class.Less(p.Classes[j].Class)
+	})
+	return p
+}
+
+// ToVoID publishes the profile as an RDF graph describing datasetIRI with
+// the VoID vocabulary: void:triples, void:distinctSubjects,
+// void:distinctObjects, void:properties, void:classes, and per-property /
+// per-class partitions.
+func (p *Profile) ToVoID(datasetIRI string) *rdf.Graph {
+	g := rdf.NewGraph()
+	ds := rdf.NewIRI(datasetIRI)
+	v := func(l string) rdf.Term { return rdf.NewIRI(VoIDNS + l) }
+	g.Add(rdf.Triple{S: ds, P: rdf.NewIRI(rdf.RDFType), O: v("Dataset")})
+	g.Add(rdf.Triple{S: ds, P: v("triples"), O: rdf.NewInteger(int64(p.Triples))})
+	g.Add(rdf.Triple{S: ds, P: v("distinctSubjects"), O: rdf.NewInteger(int64(p.DistinctSubjects))})
+	g.Add(rdf.Triple{S: ds, P: v("distinctObjects"), O: rdf.NewInteger(int64(p.DistinctObjects))})
+	g.Add(rdf.Triple{S: ds, P: v("properties"), O: rdf.NewInteger(int64(len(p.Properties)))})
+	g.Add(rdf.Triple{S: ds, P: v("classes"), O: rdf.NewInteger(int64(len(p.Classes)))})
+	for i, ps := range p.Properties {
+		part := rdf.NewIRI(fmt.Sprintf("%s/propertyPartition/%d", datasetIRI, i+1))
+		g.Add(rdf.Triple{S: ds, P: v("propertyPartition"), O: part})
+		g.Add(rdf.Triple{S: part, P: v("property"), O: ps.P})
+		g.Add(rdf.Triple{S: part, P: v("triples"), O: rdf.NewInteger(int64(ps.Triples))})
+	}
+	for i, cs := range p.Classes {
+		part := rdf.NewIRI(fmt.Sprintf("%s/classPartition/%d", datasetIRI, i+1))
+		g.Add(rdf.Triple{S: ds, P: v("classPartition"), O: part})
+		g.Add(rdf.Triple{S: part, P: v("class"), O: cs.Class})
+		g.Add(rdf.Triple{S: part, P: v("entities"), O: rdf.NewInteger(int64(cs.Instances))})
+	}
+	return g
+}
+
+// DegreeDistribution returns (degree -> number of resources with that
+// degree) counting both triple directions, the quantity whose power-law
+// shape C5 works inspect (§3.3.6, Theoharis et al., LOD-a-lot).
+func DegreeDistribution(g *rdf.Graph) map[int]int {
+	degrees := map[rdf.Term]int{}
+	g.Match(rdf.Any, rdf.Any, rdf.Any, func(t rdf.Triple) bool {
+		degrees[t.S]++
+		if t.O.IsResource() {
+			degrees[t.O]++
+		}
+		return true
+	})
+	dist := map[int]int{}
+	for _, d := range degrees {
+		dist[d]++
+	}
+	return dist
+}
+
+// PowerLawFit estimates the exponent alpha of a discrete power law
+// p(x) ∝ x^(-alpha) over the sample implied by the distribution (value ->
+// frequency), for values >= xmin, using the standard MLE
+// alpha ≈ 1 + n / Σ ln(x_i / (xmin - 0.5)). Returns alpha and the sample
+// size used; n == 0 means no data at or above xmin.
+func PowerLawFit(dist map[int]int, xmin int) (alpha float64, n int) {
+	if xmin < 1 {
+		xmin = 1
+	}
+	sum := 0.0
+	distinct := 0
+	for x, freq := range dist {
+		if x < xmin || freq <= 0 {
+			continue
+		}
+		distinct++
+		n += freq
+		sum += float64(freq) * math.Log(float64(x)/(float64(xmin)-0.5))
+	}
+	// A slope needs at least two distinct values.
+	if n == 0 || sum == 0 || distinct < 2 {
+		return 0, n
+	}
+	return 1 + float64(n)/sum, n
+}
+
+// TopK returns the k largest (value, frequency) pairs of a distribution by
+// value — the tail the power-law plots show.
+func TopK(dist map[int]int, k int) [][2]int {
+	out := make([][2]int, 0, len(dist))
+	for x, f := range dist {
+		out = append(out, [2]int{x, f})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] > out[j][0] })
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

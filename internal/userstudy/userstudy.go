@@ -1,0 +1,413 @@
+// Package userstudy simulates the task-based evaluation of Chapter 8
+// (Figs 8.1–8.2). The paper ran a study with human participants who carried
+// out analytic tasks of increasing complexity with RDF-ANALYTICS and rated
+// the experience; we cannot run humans, so we substitute a calibrated
+// stochastic user model (see DESIGN.md): simulated users of three expertise
+// levels attempt each task in two conditions — through the interaction
+// model (UI) and by writing raw SPARQL (baseline). In the UI condition, a
+// task is a scripted click sequence that is *actually executed* against a
+// core.Session, so a completion also verifies the system can perform the
+// task; the stochastic part models per-step user error. The reproduction
+// target is the *shape* of the paper's findings: high completion and
+// ratings through the UI across expertise levels, low completion for
+// non-experts with raw SPARQL.
+package userstudy
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"rdfanalytics/internal/core"
+	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/facet"
+	"rdfanalytics/internal/hifun"
+	"rdfanalytics/internal/rdf"
+)
+
+// Expertise levels of simulated participants.
+type Expertise int
+
+// The three participant groups of the study.
+const (
+	Novice Expertise = iota
+	Intermediate
+	Expert
+)
+
+func (e Expertise) String() string {
+	switch e {
+	case Novice:
+		return "novice"
+	case Intermediate:
+		return "intermediate"
+	case Expert:
+		return "expert"
+	}
+	return "unknown"
+}
+
+// Task is one evaluation task: a description, a complexity weight (1 =
+// trivial faceted lookup … 5 = nested analytics), and the scripted click
+// sequence that solves it through the interaction model.
+type Task struct {
+	ID         string
+	Desc       string
+	Complexity int
+	// Steps is the solution script; each step is one UI action.
+	Steps func(s *core.Session) error
+	// WantRows sanity-checks the final answer (0 = no analytic answer).
+	WantRows int
+}
+
+func pe(l string) rdf.Term { return rdf.NewIRI(datagen.ExampleNS + l) }
+
+// Tasks are the eight tasks of the evaluation, spanning plain faceted
+// search (T1–T2), simple analytics (T3–T5), path and range analytics
+// (T6–T7) and nested analytics with HAVING (T8).
+var Tasks = []Task{
+	{
+		ID: "T1", Desc: "Find all laptops", Complexity: 1,
+		Steps: func(s *core.Session) error {
+			s.ClickClass(pe("Laptop"))
+			if s.State().Ext.Len() == 0 {
+				return fmt.Errorf("no laptops")
+			}
+			return nil
+		},
+	},
+	{
+		ID: "T2", Desc: "Find laptops manufactured by DELL", Complexity: 1,
+		Steps: func(s *core.Session) error {
+			s.ClickClass(pe("Laptop"))
+			s.ClickValue(facet.Path{{P: pe("manufacturer")}}, pe("DELL"))
+			if s.State().Ext.Len() == 0 {
+				return fmt.Errorf("empty result")
+			}
+			return nil
+		},
+	},
+	{
+		ID: "T3", Desc: "Average price of laptops", Complexity: 2,
+		Steps: func(s *core.Session) error {
+			s.ClickClass(pe("Laptop"))
+			s.ClickAggregate(core.MeasureSpec{Path: facet.Path{{P: pe("price")}}},
+				hifun.Operation{Op: hifun.OpAvg})
+			_, err := s.RunAnalytics()
+			return err
+		},
+		WantRows: 1,
+	},
+	{
+		ID: "T4", Desc: "Count of laptops per manufacturer", Complexity: 2,
+		Steps: func(s *core.Session) error {
+			s.ClickClass(pe("Laptop"))
+			s.ClickGroupBy(core.GroupSpec{Path: facet.Path{{P: pe("manufacturer")}}})
+			s.ClickAggregate(core.MeasureSpec{}, hifun.Operation{Op: hifun.OpCount})
+			_, err := s.RunAnalytics()
+			return err
+		},
+		WantRows: 2,
+	},
+	{
+		ID: "T5", Desc: "Max price per manufacturer", Complexity: 3,
+		Steps: func(s *core.Session) error {
+			s.ClickClass(pe("Laptop"))
+			s.ClickGroupBy(core.GroupSpec{Path: facet.Path{{P: pe("manufacturer")}}})
+			s.ClickAggregate(core.MeasureSpec{Path: facet.Path{{P: pe("price")}}},
+				hifun.Operation{Op: hifun.OpMax})
+			_, err := s.RunAnalytics()
+			return err
+		},
+		WantRows: 2,
+	},
+	{
+		ID: "T6", Desc: "Count of laptops grouped by the origin of their manufacturer", Complexity: 4,
+		Steps: func(s *core.Session) error {
+			s.ClickClass(pe("Laptop"))
+			s.ClickGroupBy(core.GroupSpec{Path: facet.Path{{P: pe("manufacturer")}, {P: pe("origin")}}})
+			s.ClickAggregate(core.MeasureSpec{}, hifun.Operation{Op: hifun.OpCount})
+			_, err := s.RunAnalytics()
+			return err
+		},
+		WantRows: 2,
+	},
+	{
+		ID: "T7", Desc: "Average price of laptops with at least 2 USB ports, by manufacturer", Complexity: 4,
+		Steps: func(s *core.Session) error {
+			s.ClickClass(pe("Laptop"))
+			s.ClickRange(facet.Path{{P: pe("USBPorts")}}, ">=", rdf.NewInteger(2))
+			s.ClickGroupBy(core.GroupSpec{Path: facet.Path{{P: pe("manufacturer")}}})
+			s.ClickAggregate(core.MeasureSpec{Path: facet.Path{{P: pe("price")}}},
+				hifun.Operation{Op: hifun.OpAvg})
+			_, err := s.RunAnalytics()
+			return err
+		},
+		WantRows: 2,
+	},
+	{
+		ID: "T8", Desc: "Manufacturers whose average laptop price exceeds 900 (nested/HAVING)", Complexity: 5,
+		Steps: func(s *core.Session) error {
+			s.ClickClass(pe("Laptop"))
+			s.ClickGroupBy(core.GroupSpec{Path: facet.Path{{P: pe("manufacturer")}}})
+			s.ClickAggregate(core.MeasureSpec{Path: facet.Path{{P: pe("price")}}},
+				hifun.Operation{Op: hifun.OpAvg})
+			ans, err := s.RunAnalytics()
+			if err != nil {
+				return err
+			}
+			if err := s.LoadAnswerAsDataset(); err != nil {
+				return err
+			}
+			s.ClickRange(facet.Path{{P: rdf.NewIRI(hifun.AnswerNS + ans.MeasureCols[0])}},
+				">", rdf.NewDecimal(900))
+			if s.State().Ext.Len() == 0 {
+				return fmt.Errorf("empty nested result")
+			}
+			return nil
+		},
+	},
+}
+
+// Condition is the study arm.
+type Condition int
+
+// The two study arms: the proposed UI and the raw-SPARQL baseline.
+const (
+	UI Condition = iota
+	RawSPARQL
+)
+
+func (c Condition) String() string {
+	if c == UI {
+		return "RDF-Analytics UI"
+	}
+	return "raw SPARQL"
+}
+
+// LevelResult aggregates one expertise group within a task/condition cell.
+type LevelResult struct {
+	Level     Expertise
+	Attempts  int
+	Completed int
+	RatingSum float64
+}
+
+// CompletionRate returns the group's completion percentage.
+func (r LevelResult) CompletionRate() float64 {
+	if r.Attempts == 0 {
+		return 0
+	}
+	return 100 * float64(r.Completed) / float64(r.Attempts)
+}
+
+// MeanRating returns the group's mean 1–5 rating.
+func (r LevelResult) MeanRating() float64 {
+	if r.Attempts == 0 {
+		return 0
+	}
+	return r.RatingSum / float64(r.Attempts)
+}
+
+// TaskResult aggregates one task in one condition.
+type TaskResult struct {
+	Task       Task
+	Condition  Condition
+	Attempts   int
+	Completed  int
+	MeanRating float64 // 1..5
+	// ByLevel breaks the cell down by participant expertise.
+	ByLevel []LevelResult
+}
+
+// CompletionRate returns the completion percentage.
+func (r TaskResult) CompletionRate() float64 {
+	if r.Attempts == 0 {
+		return 0
+	}
+	return 100 * float64(r.Completed) / float64(r.Attempts)
+}
+
+// Config parameterizes the simulated study.
+type Config struct {
+	// UsersPerLevel is the number of simulated participants per expertise
+	// level (default 10, i.e. 30 participants).
+	UsersPerLevel int
+	Seed          int64
+}
+
+// stepSuccess is the per-step probability a simulated user performs one UI
+// action correctly, by expertise. The UI is click-based, so even novices
+// rarely err; complexity multiplies the number of chances to fail.
+var stepSuccess = map[Expertise]float64{
+	Novice:       0.93,
+	Intermediate: 0.97,
+	Expert:       0.99,
+}
+
+// sparqlSuccess is the probability of writing a correct SPARQL query for a
+// task of complexity 1, by expertise; each extra complexity point applies a
+// multiplicative penalty (conjunctions, paths, grouping, HAVING).
+var sparqlSuccess = map[Expertise]float64{
+	Novice:       0.25,
+	Intermediate: 0.60,
+	Expert:       0.92,
+}
+
+const sparqlComplexityPenalty = 0.80
+
+// Run simulates the study and returns one TaskResult per (task, condition).
+func Run(cfg Config) ([]TaskResult, error) {
+	if cfg.UsersPerLevel <= 0 {
+		cfg.UsersPerLevel = 10
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 2023
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := datagen.SmallProducts()
+	rdf.Materialize(base)
+	var out []TaskResult
+	for _, task := range Tasks {
+		for _, cond := range []Condition{UI, RawSPARQL} {
+			res := TaskResult{Task: task, Condition: cond}
+			var ratingSum float64
+			for _, level := range []Expertise{Novice, Intermediate, Expert} {
+				lr := LevelResult{Level: level}
+				for u := 0; u < cfg.UsersPerLevel; u++ {
+					res.Attempts++
+					lr.Attempts++
+					ok, rating := attempt(rng, base, task, cond, level)
+					if ok {
+						res.Completed++
+						lr.Completed++
+					}
+					ratingSum += rating
+					lr.RatingSum += rating
+				}
+				res.ByLevel = append(res.ByLevel, lr)
+			}
+			res.MeanRating = ratingSum / float64(res.Attempts)
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// attempt simulates one participant on one task.
+func attempt(rng *rand.Rand, base *rdf.Graph, task Task, cond Condition, level Expertise) (bool, float64) {
+	switch cond {
+	case UI:
+		// The user must get `complexity` consecutive steps right...
+		p := stepSuccess[level]
+		for i := 0; i < task.Complexity; i++ {
+			if rng.Float64() > p {
+				// ...but the UI's guidance lets them retry once (the system
+				// never leads into empty results, so errors are visible).
+				if rng.Float64() > p {
+					return false, rating(rng, false, cond, level)
+				}
+			}
+		}
+		// Execute the scripted solution for real: a completion claim is
+		// only valid if the system actually supports the task.
+		s := core.NewSession(base.Clone(), datagen.ExampleNS)
+		if err := task.Steps(s); err != nil {
+			return false, rating(rng, false, cond, level)
+		}
+		if task.WantRows > 0 {
+			if a := s.Answer(); a == nil || len(a.Rows) != task.WantRows {
+				return false, rating(rng, false, cond, level)
+			}
+		}
+		return true, rating(rng, true, cond, level)
+	default: // RawSPARQL
+		p := sparqlSuccess[level]
+		for i := 1; i < task.Complexity; i++ {
+			p *= sparqlComplexityPenalty
+		}
+		ok := rng.Float64() < p
+		return ok, rating(rng, ok, cond, level)
+	}
+}
+
+// rating samples a 1–5 satisfaction score: completing through the UI is
+// pleasant (4–5); completing via SPARQL is workmanlike (3–5); failing is
+// frustrating in both (1–3, harsher for SPARQL).
+func rating(rng *rand.Rand, completed bool, cond Condition, level Expertise) float64 {
+	switch {
+	case completed && cond == UI:
+		return 4 + rng.Float64()
+	case completed:
+		return 3 + 2*rng.Float64()
+	case cond == UI:
+		return 2 + rng.Float64()*1.5
+	default:
+		return 1 + rng.Float64()*1.5
+	}
+}
+
+// Summary aggregates over all tasks (Fig 8.2).
+type Summary struct {
+	Condition      Condition
+	CompletionRate float64
+	MeanRating     float64
+}
+
+// Summarize computes per-condition totals.
+func Summarize(results []TaskResult) []Summary {
+	agg := map[Condition]*Summary{}
+	counts := map[Condition]int{}
+	attempts := map[Condition]int{}
+	completed := map[Condition]int{}
+	for _, r := range results {
+		if _, ok := agg[r.Condition]; !ok {
+			agg[r.Condition] = &Summary{Condition: r.Condition}
+		}
+		agg[r.Condition].MeanRating += r.MeanRating
+		counts[r.Condition]++
+		attempts[r.Condition] += r.Attempts
+		completed[r.Condition] += r.Completed
+	}
+	var out []Summary
+	for _, cond := range []Condition{UI, RawSPARQL} {
+		s := agg[cond]
+		s.MeanRating /= float64(counts[cond])
+		s.CompletionRate = 100 * float64(completed[cond]) / float64(attempts[cond])
+		out = append(out, *s)
+	}
+	return out
+}
+
+// WriteFig81 renders the per-task table behind Fig 8.1.
+func WriteFig81(w io.Writer, results []TaskResult) {
+	fmt.Fprintf(w, "%-4s %-68s %-18s %12s %8s\n", "Task", "Description", "Condition", "Completion", "Rating")
+	fmt.Fprintln(w, strings.Repeat("-", 116))
+	for _, r := range results {
+		fmt.Fprintf(w, "%-4s %-68s %-18s %11.1f%% %8.2f\n",
+			r.Task.ID, r.Task.Desc, r.Condition, r.CompletionRate(), r.MeanRating)
+	}
+}
+
+// WriteByExpertise renders the per-expertise breakdown of Fig 8.1: how the
+// gap between the UI and raw SPARQL varies with participant skill.
+func WriteByExpertise(w io.Writer, results []TaskResult) {
+	fmt.Fprintf(w, "%-4s %-18s %-14s %12s %8s\n", "Task", "Condition", "Expertise", "Completion", "Rating")
+	fmt.Fprintln(w, strings.Repeat("-", 62))
+	for _, r := range results {
+		for _, lr := range r.ByLevel {
+			fmt.Fprintf(w, "%-4s %-18s %-14s %11.1f%% %8.2f\n",
+				r.Task.ID, r.Condition, lr.Level, lr.CompletionRate(), lr.MeanRating())
+		}
+	}
+}
+
+// WriteFig82 renders the aggregate table behind Fig 8.2.
+func WriteFig82(w io.Writer, results []TaskResult) {
+	fmt.Fprintf(w, "%-18s %12s %8s\n", "Condition", "Completion", "Rating")
+	fmt.Fprintln(w, strings.Repeat("-", 42))
+	for _, s := range Summarize(results) {
+		fmt.Fprintf(w, "%-18s %11.1f%% %8.2f\n", s.Condition, s.CompletionRate, s.MeanRating)
+	}
+}

@@ -1,0 +1,175 @@
+package userstudy
+
+import (
+	"strings"
+	"testing"
+
+	"rdfanalytics/internal/core"
+	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/rdf"
+)
+
+// TestTasksExecutable: every task's scripted solution actually succeeds
+// against the system — the "testing implementability" part of Chapter 8.
+func TestTasksExecutable(t *testing.T) {
+	base := datagen.SmallProducts()
+	rdf.Materialize(base)
+	for _, task := range Tasks {
+		s := core.NewSession(base.Clone(), datagen.ExampleNS)
+		if err := task.Steps(s); err != nil {
+			t.Errorf("%s (%s): %v", task.ID, task.Desc, err)
+			continue
+		}
+		if task.WantRows > 0 {
+			ans := s.Answer()
+			if ans == nil || len(ans.Rows) != task.WantRows {
+				t.Errorf("%s: answer rows mismatch", task.ID)
+			}
+		}
+	}
+}
+
+func TestRunShape(t *testing.T) {
+	results, err := Run(Config{UsersPerLevel: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Tasks)*2 {
+		t.Fatalf("results = %d, want %d", len(results), len(Tasks)*2)
+	}
+	for _, r := range results {
+		if r.Attempts != 18 { // 6 users x 3 levels
+			t.Errorf("%s/%s: attempts = %d", r.Task.ID, r.Condition, r.Attempts)
+		}
+		if r.MeanRating < 1 || r.MeanRating > 5 {
+			t.Errorf("%s/%s: rating %v out of scale", r.Task.ID, r.Condition, r.MeanRating)
+		}
+	}
+}
+
+// TestPaperShape: the qualitative findings of Figs 8.1–8.2 hold — the UI
+// condition dominates raw SPARQL in both completion and rating, and the
+// SPARQL condition degrades sharply with task complexity.
+func TestPaperShape(t *testing.T) {
+	results, err := Run(Config{UsersPerLevel: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]TaskResult{}
+	for _, r := range results {
+		byKey[r.Task.ID+"/"+r.Condition.String()] = r
+	}
+	for _, task := range Tasks {
+		ui := byKey[task.ID+"/RDF-Analytics UI"]
+		sp := byKey[task.ID+"/raw SPARQL"]
+		if ui.CompletionRate() <= sp.CompletionRate() {
+			t.Errorf("%s: UI completion %.1f%% not above SPARQL %.1f%%",
+				task.ID, ui.CompletionRate(), sp.CompletionRate())
+		}
+		if ui.MeanRating <= sp.MeanRating {
+			t.Errorf("%s: UI rating %.2f not above SPARQL %.2f",
+				task.ID, ui.MeanRating, sp.MeanRating)
+		}
+	}
+	// Complexity effect in the SPARQL arm: the hardest task completes less
+	// often than the easiest.
+	t1 := byKey["T1/raw SPARQL"].CompletionRate()
+	t8 := byKey["T8/raw SPARQL"].CompletionRate()
+	if t8 >= t1 {
+		t.Errorf("SPARQL arm: T8 (%.1f%%) should underperform T1 (%.1f%%)", t8, t1)
+	}
+	// UI completion stays high even for complex tasks.
+	if ui := byKey["T8/RDF-Analytics UI"]; ui.CompletionRate() < 60 {
+		t.Errorf("UI completion for T8 too low: %.1f%%", ui.CompletionRate())
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a, _ := Run(Config{UsersPerLevel: 5, Seed: 3})
+	b, _ := Run(Config{UsersPerLevel: 5, Seed: 3})
+	for i := range a {
+		if a[i].Completed != b[i].Completed || a[i].MeanRating != b[i].MeanRating {
+			t.Fatal("same seed, different outcomes")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	results, _ := Run(Config{UsersPerLevel: 8, Seed: 5})
+	sums := Summarize(results)
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	if sums[0].Condition != UI || sums[1].Condition != RawSPARQL {
+		t.Fatalf("order: %+v", sums)
+	}
+	if sums[0].CompletionRate <= sums[1].CompletionRate {
+		t.Errorf("aggregate: UI %.1f%% vs SPARQL %.1f%%",
+			sums[0].CompletionRate, sums[1].CompletionRate)
+	}
+}
+
+// TestExpertiseGradient: in the SPARQL arm, experts complete more than
+// novices; in the UI arm the gradient is far smaller — the paper's central
+// accessibility claim.
+func TestExpertiseGradient(t *testing.T) {
+	results, err := Run(Config{UsersPerLevel: 25, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sparqlNovice, sparqlExpert, uiNovice, uiExpert struct{ completed, attempts int }
+	for _, r := range results {
+		for _, lr := range r.ByLevel {
+			switch {
+			case r.Condition == RawSPARQL && lr.Level == Novice:
+				sparqlNovice.completed += lr.Completed
+				sparqlNovice.attempts += lr.Attempts
+			case r.Condition == RawSPARQL && lr.Level == Expert:
+				sparqlExpert.completed += lr.Completed
+				sparqlExpert.attempts += lr.Attempts
+			case r.Condition == UI && lr.Level == Novice:
+				uiNovice.completed += lr.Completed
+				uiNovice.attempts += lr.Attempts
+			case r.Condition == UI && lr.Level == Expert:
+				uiExpert.completed += lr.Completed
+				uiExpert.attempts += lr.Attempts
+			}
+		}
+	}
+	rate := func(c struct{ completed, attempts int }) float64 {
+		return float64(c.completed) / float64(c.attempts)
+	}
+	if rate(sparqlExpert) <= rate(sparqlNovice) {
+		t.Errorf("SPARQL arm: experts (%.2f) must outperform novices (%.2f)",
+			rate(sparqlExpert), rate(sparqlNovice))
+	}
+	sparqlGap := rate(sparqlExpert) - rate(sparqlNovice)
+	uiGap := rate(uiExpert) - rate(uiNovice)
+	if uiGap >= sparqlGap {
+		t.Errorf("UI expertise gap (%.2f) must be smaller than SPARQL's (%.2f)", uiGap, sparqlGap)
+	}
+	// Novices through the UI beat even experts writing SPARQL on average —
+	// the accessibility headline.
+	if rate(uiNovice) <= rate(sparqlExpert) {
+		t.Errorf("UI novices (%.2f) should outperform SPARQL experts (%.2f)",
+			rate(uiNovice), rate(sparqlExpert))
+	}
+	var sb strings.Builder
+	WriteByExpertise(&sb, results[:2])
+	if !strings.Contains(sb.String(), "novice") {
+		t.Errorf("breakdown table:\n%s", sb.String())
+	}
+}
+
+func TestWriteTables(t *testing.T) {
+	results, _ := Run(Config{UsersPerLevel: 4, Seed: 9})
+	var f81, f82 strings.Builder
+	WriteFig81(&f81, results)
+	WriteFig82(&f82, results)
+	if !strings.Contains(f81.String(), "T8") || !strings.Contains(f81.String(), "raw SPARQL") {
+		t.Errorf("fig 8.1 table:\n%s", f81.String())
+	}
+	if !strings.Contains(f82.String(), "RDF-Analytics UI") {
+		t.Errorf("fig 8.2 table:\n%s", f82.String())
+	}
+}

@@ -1,0 +1,212 @@
+package viz
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// The 3D visualization of §6.3 adopts the metaphor of an urban area: each
+// entity (country, dataset, group) is a multi-storey cube; each segment of
+// the cube corresponds to one feature and its volume is proportional to the
+// feature's value.
+
+// Entity3D is one entity with its feature values.
+type Entity3D struct {
+	Label    string
+	Features map[string]float64
+}
+
+// Segment is one storey of a building.
+type Segment struct {
+	Feature string  `json:"feature"`
+	Value   float64 `json:"value"`
+	Height  float64 `json:"height"`
+	Z       float64 `json:"z"` // base elevation
+}
+
+// Building is one entity's cube stack placed on the city grid.
+type Building struct {
+	Label    string    `json:"label"`
+	X        float64   `json:"x"`
+	Y        float64   `json:"y"`
+	Base     float64   `json:"base"` // footprint side
+	Segments []Segment `json:"segments"`
+}
+
+// Scene is the complete 3D scene.
+type Scene struct {
+	Buildings []Building `json:"buildings"`
+	Features  []string   `json:"features"`
+}
+
+// CityConfig parameterizes the layout.
+type CityConfig struct {
+	// Base is the footprint side of every building (default 10).
+	Base float64
+	// MaxHeight is the height of the tallest segment stack (default 60).
+	MaxHeight float64
+	// Gap separates buildings on the grid (default 4).
+	Gap float64
+}
+
+// BuildCity lays the entities out on a square grid, ordered by total value
+// (largest first), with segment heights scaled so the largest total reaches
+// MaxHeight. Volume proportionality holds because footprints are equal.
+func BuildCity(entities []Entity3D, cfg CityConfig) *Scene {
+	if cfg.Base <= 0 {
+		cfg.Base = 10
+	}
+	if cfg.MaxHeight <= 0 {
+		cfg.MaxHeight = 60
+	}
+	if cfg.Gap <= 0 {
+		cfg.Gap = 4
+	}
+	// Stable feature order across buildings.
+	featSet := map[string]bool{}
+	for _, e := range entities {
+		for f := range e.Features {
+			featSet[f] = true
+		}
+	}
+	features := make([]string, 0, len(featSet))
+	for f := range featSet {
+		features = append(features, f)
+	}
+	sort.Strings(features)
+	// Order entities by total.
+	ents := append([]Entity3D(nil), entities...)
+	total := func(e Entity3D) float64 {
+		t := 0.0
+		for _, v := range e.Features {
+			t += math.Abs(v)
+		}
+		return t
+	}
+	sort.SliceStable(ents, func(i, j int) bool {
+		ti, tj := total(ents[i]), total(ents[j])
+		if ti != tj {
+			return ti > tj
+		}
+		return ents[i].Label < ents[j].Label
+	})
+	maxTotal := 1e-9
+	for _, e := range ents {
+		maxTotal = math.Max(maxTotal, total(e))
+	}
+	side := int(math.Ceil(math.Sqrt(float64(len(ents)))))
+	scene := &Scene{Features: features}
+	for i, e := range ents {
+		row, col := i/side, i%side
+		b := Building{
+			Label: e.Label,
+			X:     float64(col) * (cfg.Base + cfg.Gap),
+			Y:     float64(row) * (cfg.Base + cfg.Gap),
+			Base:  cfg.Base,
+		}
+		z := 0.0
+		for _, f := range features {
+			v, ok := e.Features[f]
+			if !ok {
+				continue
+			}
+			h := cfg.MaxHeight * math.Abs(v) / maxTotal
+			b.Segments = append(b.Segments, Segment{Feature: f, Value: v, Height: h, Z: z})
+			z += h
+		}
+		scene.Buildings = append(scene.Buildings, b)
+	}
+	return scene
+}
+
+// JSON serializes the scene for a 3D client.
+func (s *Scene) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// IsometricSVG renders the scene as an isometric projection: each segment
+// becomes a parallelogram-faced box. Good enough to inspect the layout
+// without a WebGL client.
+func (s *Scene) IsometricSVG(scale float64) string {
+	if scale <= 0 {
+		scale = 3
+	}
+	// Isometric projection: screenX = (x - y) * cos30, screenY = (x + y) *
+	// sin30 - z.
+	cos30, sin30 := math.Sqrt(3)/2, 0.5
+	proj := func(x, y, z float64) (float64, float64) {
+		return (x - y) * cos30 * scale, ((x+y)*sin30 - z) * scale
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	consider := func(px, py float64) {
+		minX, minY = math.Min(minX, px), math.Min(minY, py)
+		maxX, maxY = math.Max(maxX, px), math.Max(maxY, py)
+	}
+	for _, b := range s.Buildings {
+		totalH := 0.0
+		for _, seg := range b.Segments {
+			totalH += seg.Height
+		}
+		for _, dx := range []float64{0, b.Base} {
+			for _, dy := range []float64{0, b.Base} {
+				px, py := proj(b.X+dx, b.Y+dy, 0)
+				consider(px, py)
+				px, py = proj(b.X+dx, b.Y+dy, totalH)
+				consider(px, py)
+			}
+		}
+	}
+	pad := 20.0
+	w := int(maxX-minX+2*pad) + 1
+	h := int(maxY-minY+2*pad) + 1
+	tx := func(px float64) float64 { return px - minX + pad }
+	ty := func(py float64) float64 { return py - minY + pad }
+	var sb strings.Builder
+	fmt.Fprintf(&sb, svgHeader, w, h, w, h)
+	// Paint back-to-front: sort buildings by x+y descending? Isometric with
+	// -z upward: larger x+y is closer to the viewer; draw far ones first.
+	bs := append([]Building(nil), s.Buildings...)
+	sort.SliceStable(bs, func(i, j int) bool { return bs[i].X+bs[i].Y < bs[j].X+bs[j].Y })
+	for _, b := range bs {
+		for si, seg := range b.Segments {
+			color := palette[si%len(palette)]
+			drawBox(&sb, b, seg, color, proj, tx, ty)
+		}
+		// Label above the stack.
+		totalH := 0.0
+		for _, seg := range b.Segments {
+			totalH += seg.Height
+		}
+		px, py := proj(b.X+b.Base/2, b.Y+b.Base/2, totalH+3)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			tx(px), ty(py), escapeXML(b.Label))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func drawBox(sb *strings.Builder, b Building, seg Segment,
+	color string, proj func(x, y, z float64) (float64, float64),
+	tx, ty func(float64) float64) {
+	z0, z1 := seg.Z, seg.Z+seg.Height
+	pt := func(x, y, z float64) string {
+		px, py := proj(x, y, z)
+		return fmt.Sprintf("%.1f,%.1f", tx(px), ty(py))
+	}
+	// Top face.
+	fmt.Fprintf(sb, `<polygon points="%s %s %s %s" fill="%s" stroke="#333"/>`+"\n",
+		pt(b.X, b.Y, z1), pt(b.X+b.Base, b.Y, z1),
+		pt(b.X+b.Base, b.Y+b.Base, z1), pt(b.X, b.Y+b.Base, z1), color)
+	// Front-left face (y = base edge).
+	fmt.Fprintf(sb, `<polygon points="%s %s %s %s" fill="%s" stroke="#333" opacity="0.8"/>`+"\n",
+		pt(b.X, b.Y+b.Base, z0), pt(b.X+b.Base, b.Y+b.Base, z0),
+		pt(b.X+b.Base, b.Y+b.Base, z1), pt(b.X, b.Y+b.Base, z1), color)
+	// Front-right face (x = base edge).
+	fmt.Fprintf(sb, `<polygon points="%s %s %s %s" fill="%s" stroke="#333" opacity="0.6"/>`+"\n",
+		pt(b.X+b.Base, b.Y, z0), pt(b.X+b.Base, b.Y+b.Base, z0),
+		pt(b.X+b.Base, b.Y+b.Base, z1), pt(b.X+b.Base, b.Y, z1), color)
+}

@@ -1,0 +1,134 @@
+// Package viz implements the result-visualization substrate of the paper's
+// Chapter 6: tabular rendering, 2D SVG charts (bar, column, pie, line) for
+// the Answer Frame, the spiral placement algorithm of Tzitzikas, Papadaki &
+// Chatzakis [116] ("a spiral-like method to place in the space too many
+// values"), and the 3D "urban area" layout of §6.3 in which each entity is
+// a multi-storey cube whose segments have volume proportional to feature
+// values (rendered as a JSON scene and an isometric SVG projection).
+package viz
+
+import (
+	"math"
+	"sort"
+)
+
+// SpiralItem is one value to place.
+type SpiralItem struct {
+	Label string
+	Value float64
+}
+
+// Placed is a placed square: center coordinates and side length.
+type Placed struct {
+	Label string
+	Value float64
+	X, Y  float64 // center
+	Side  float64
+	Ring  int // placement order (0 = center)
+}
+
+// SpiralLayout places values as squares on a spiral: the largest value sits
+// at the center, successive values wind outward, and squares never overlap.
+// Sides scale with sqrt(value) so area is proportional to value. The
+// algorithm is linear-time in the number of placement probes and needs no
+// global optimization — the properties [116] claims (big values evident,
+// no empty periphery, bounded drawing) follow from the construction.
+type SpiralLayout struct {
+	// Gap is the minimum spacing between squares (default 1).
+	Gap float64
+	// Step is the angular probe step in radians (default 0.2).
+	Step float64
+	// MinSide clamps the smallest square (default 1).
+	MinSide float64
+	// MaxSide clamps the largest square (0 = derived from the largest value).
+	MaxSide float64
+}
+
+// Layout computes the placement. Items are sorted by descending value; ties
+// break by label for determinism.
+func (cfg SpiralLayout) Layout(items []SpiralItem) []Placed {
+	if len(items) == 0 {
+		return nil
+	}
+	gap := cfg.Gap
+	if gap <= 0 {
+		gap = 1
+	}
+	step := cfg.Step
+	if step <= 0 {
+		step = 0.2
+	}
+	minSide := cfg.MinSide
+	if minSide <= 0 {
+		minSide = 1
+	}
+	sorted := append([]SpiralItem(nil), items...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Value != sorted[j].Value {
+			return sorted[i].Value > sorted[j].Value
+		}
+		return sorted[i].Label < sorted[j].Label
+	})
+	maxVal := math.Max(sorted[0].Value, 1e-9)
+	maxSide := cfg.MaxSide
+	if maxSide <= 0 {
+		maxSide = 40
+	}
+	side := func(v float64) float64 {
+		if v < 0 {
+			v = 0
+		}
+		s := math.Sqrt(v/maxVal) * maxSide
+		if s < minSide {
+			s = minSide
+		}
+		return s
+	}
+	var placed []Placed
+	overlaps := func(x, y, s float64) bool {
+		for _, p := range placed {
+			if math.Abs(x-p.X) < (s+p.Side)/2+gap &&
+				math.Abs(y-p.Y) < (s+p.Side)/2+gap {
+				return true
+			}
+		}
+		return false
+	}
+	theta := 0.0
+	for i, it := range sorted {
+		s := side(it.Value)
+		if i == 0 {
+			placed = append(placed, Placed{Label: it.Label, Value: it.Value, X: 0, Y: 0, Side: s, Ring: 0})
+			continue
+		}
+		// Walk the Archimedean spiral r = a*theta until a free slot.
+		a := (maxSide + gap) / (2 * math.Pi)
+		for {
+			theta += step
+			r := a * theta
+			x := r * math.Cos(theta)
+			y := r * math.Sin(theta)
+			if !overlaps(x, y, s) {
+				placed = append(placed, Placed{Label: it.Label, Value: it.Value, X: x, Y: y, Side: s, Ring: i})
+				break
+			}
+		}
+	}
+	return placed
+}
+
+// Bounds returns the bounding box (minX, minY, maxX, maxY) of a placement.
+func Bounds(ps []Placed) (float64, float64, float64, float64) {
+	if len(ps) == 0 {
+		return 0, 0, 0, 0
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range ps {
+		minX = math.Min(minX, p.X-p.Side/2)
+		minY = math.Min(minY, p.Y-p.Side/2)
+		maxX = math.Max(maxX, p.X+p.Side/2)
+		maxY = math.Max(maxY, p.Y+p.Side/2)
+	}
+	return minX, minY, maxX, maxY
+}

@@ -1,0 +1,155 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Squarified treemap layout (Bruls, Huizing & van Wijk): values become
+// rectangles whose areas are proportional to the values and whose aspect
+// ratios stay close to 1. §3.4.2 lists treemaps among the chart types used
+// for hierarchical analytical results.
+
+// TreemapItem is one value to place.
+type TreemapItem struct {
+	Label string
+	Value float64
+}
+
+// Rect is one placed rectangle.
+type Rect struct {
+	Label      string
+	Value      float64
+	X, Y, W, H float64
+}
+
+// Treemap lays the items into the (0,0)–(width,height) rectangle. Items
+// with non-positive values are dropped. The result is deterministic: items
+// sort by descending value, ties by label.
+func Treemap(items []TreemapItem, width, height float64) []Rect {
+	var kept []TreemapItem
+	total := 0.0
+	for _, it := range items {
+		if it.Value > 0 {
+			kept = append(kept, it)
+			total += it.Value
+		}
+	}
+	if len(kept) == 0 || width <= 0 || height <= 0 {
+		return nil
+	}
+	sort.SliceStable(kept, func(i, j int) bool {
+		if kept[i].Value != kept[j].Value {
+			return kept[i].Value > kept[j].Value
+		}
+		return kept[i].Label < kept[j].Label
+	})
+	// Normalize values to areas.
+	scale := width * height / total
+	areas := make([]float64, len(kept))
+	for i, it := range kept {
+		areas[i] = it.Value * scale
+	}
+	var out []Rect
+	squarify(kept, areas, 0, 0, width, height, &out)
+	return out
+}
+
+// squarify places areas into the free rectangle, greedily growing a row
+// while the worst aspect ratio improves.
+func squarify(items []TreemapItem, areas []float64, x, y, w, h float64, out *[]Rect) {
+	if len(items) == 0 {
+		return
+	}
+	// The row lays along the shorter side.
+	rowStart := 0
+	rowSum := 0.0
+	for i := range items {
+		side := math.Min(w, h)
+		if i == rowStart {
+			rowSum = areas[i]
+			continue
+		}
+		if worst(areas[rowStart:i], rowSum, side) >= worst(areas[rowStart:i+1], rowSum+areas[i], side) {
+			rowSum += areas[i]
+			continue
+		}
+		// Fix the row [rowStart, i), recurse on the rest.
+		x, y, w, h = layRow(items[rowStart:i], areas[rowStart:i], rowSum, x, y, w, h, out)
+		squarify(items[i:], areas[i:], x, y, w, h, out)
+		return
+	}
+	layRow(items[rowStart:], areas[rowStart:], rowSum, x, y, w, h, out)
+}
+
+// worst returns the worst aspect ratio of a row of areas with total sum
+// laid along a side of the given length.
+func worst(areas []float64, sum, side float64) float64 {
+	if len(areas) == 0 || sum <= 0 {
+		return math.Inf(1)
+	}
+	rowThickness := sum / side
+	worstRatio := 0.0
+	for _, a := range areas {
+		length := a / rowThickness
+		ratio := math.Max(length/rowThickness, rowThickness/length)
+		worstRatio = math.Max(worstRatio, ratio)
+	}
+	return worstRatio
+}
+
+// layRow emits the rectangles of one row and returns the remaining free
+// rectangle.
+func layRow(items []TreemapItem, areas []float64, sum, x, y, w, h float64, out *[]Rect) (float64, float64, float64, float64) {
+	if w >= h {
+		// Vertical row on the left edge.
+		rowW := sum / h
+		cy := y
+		for i, it := range items {
+			rh := areas[i] / rowW
+			*out = append(*out, Rect{Label: it.Label, Value: it.Value, X: x, Y: cy, W: rowW, H: rh})
+			cy += rh
+		}
+		return x + rowW, y, w - rowW, h
+	}
+	// Horizontal row on the top edge.
+	rowH := sum / w
+	cx := x
+	for i, it := range items {
+		rw := areas[i] / rowH
+		*out = append(*out, Rect{Label: it.Label, Value: it.Value, X: cx, Y: y, W: rw, H: rowH})
+		cx += rw
+	}
+	return x, y + rowH, w, h - rowH
+}
+
+// TreemapSVG renders a treemap of the series.
+func TreemapSVG(s Series, width, height int) string {
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 400
+	}
+	items := make([]TreemapItem, len(s.Values))
+	for i := range s.Values {
+		items[i] = TreemapItem{Label: s.Labels[i], Value: math.Abs(s.Values[i])}
+	}
+	rects := Treemap(items, float64(width), float64(height)-20)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, svgHeader, width, height, width, height)
+	fmt.Fprintf(&sb, `<text x="4" y="14" font-weight="bold">%s</text>`+"\n", escapeXML(s.Title))
+	for i, r := range rects {
+		fmt.Fprintf(&sb,
+			`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#fff"><title>%s: %s</title></rect>`+"\n",
+			r.X, r.Y+20, r.W, r.H, palette[i%len(palette)], escapeXML(r.Label), formatNum(r.Value))
+		if r.W > 40 && r.H > 16 {
+			fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" fill="#fff">%s</text>`+"\n",
+				r.X+4, r.Y+20+14, escapeXML(trim(r.Label, int(r.W/7))))
+		}
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}

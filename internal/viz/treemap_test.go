@@ -1,0 +1,115 @@
+package viz
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreemapAreasProportional(t *testing.T) {
+	items := []TreemapItem{{"a", 50}, {"b", 30}, {"c", 20}}
+	rects := Treemap(items, 100, 100)
+	if len(rects) != 3 {
+		t.Fatalf("rects = %d", len(rects))
+	}
+	totalArea := 0.0
+	for _, r := range rects {
+		area := r.W * r.H
+		wantArea := r.Value / 100 * 100 * 100
+		if math.Abs(area-wantArea) > 1e-6 {
+			t.Errorf("%s: area %.2f, want %.2f", r.Label, area, wantArea)
+		}
+		totalArea += area
+	}
+	if math.Abs(totalArea-10000) > 1e-6 {
+		t.Errorf("total area %.2f, want 10000", totalArea)
+	}
+}
+
+func TestTreemapNoOverlapAndInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := make([]TreemapItem, 20)
+	for i := range items {
+		items[i] = TreemapItem{Label: string(rune('a' + i)), Value: rng.Float64()*100 + 1}
+	}
+	rects := Treemap(items, 200, 120)
+	const eps = 1e-6
+	for i, a := range rects {
+		if a.X < -eps || a.Y < -eps || a.X+a.W > 200+eps || a.Y+a.H > 120+eps {
+			t.Errorf("rect %d out of bounds: %+v", i, a)
+		}
+		for j := i + 1; j < len(rects); j++ {
+			b := rects[j]
+			if a.X+eps < b.X+b.W && b.X+eps < a.X+a.W &&
+				a.Y+eps < b.Y+b.H && b.Y+eps < a.Y+a.H {
+				t.Errorf("rects %d and %d overlap: %+v / %+v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestTreemapAspectQuality(t *testing.T) {
+	// Squarified layouts should avoid extreme slivers for balanced values.
+	items := []TreemapItem{{"a", 6}, {"b", 6}, {"c", 4}, {"d", 3}, {"e", 2}, {"f", 2}, {"g", 1}}
+	rects := Treemap(items, 600, 400)
+	for _, r := range rects {
+		ratio := math.Max(r.W/r.H, r.H/r.W)
+		if ratio > 4.5 {
+			t.Errorf("%s: aspect ratio %.2f too extreme (%+v)", r.Label, ratio, r)
+		}
+	}
+}
+
+func TestTreemapEdgeCases(t *testing.T) {
+	if r := Treemap(nil, 100, 100); r != nil {
+		t.Error("empty input must yield nil")
+	}
+	if r := Treemap([]TreemapItem{{"neg", -5}, {"zero", 0}}, 100, 100); r != nil {
+		t.Error("non-positive values must be dropped")
+	}
+	if r := Treemap([]TreemapItem{{"a", 1}}, 0, 100); r != nil {
+		t.Error("degenerate rectangle must yield nil")
+	}
+	r := Treemap([]TreemapItem{{"only", 7}}, 50, 40)
+	if len(r) != 1 || r[0].W != 50 || r[0].H != 40 {
+		t.Errorf("single item must fill the rectangle: %+v", r)
+	}
+}
+
+func TestTreemapQuickInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 24 {
+			return true
+		}
+		items := make([]TreemapItem, len(raw))
+		for i, v := range raw {
+			items[i] = TreemapItem{Label: string(rune('a' + i)), Value: float64(v) + 1}
+		}
+		rects := Treemap(items, 300, 200)
+		if len(rects) != len(items) {
+			return false
+		}
+		// Areas sum to the canvas.
+		total := 0.0
+		for _, r := range rects {
+			if r.W < 0 || r.H < 0 {
+				return false
+			}
+			total += r.W * r.H
+		}
+		return math.Abs(total-60000) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreemapSVG(t *testing.T) {
+	s := Series{Title: "t", Labels: []string{"x", "y"}, Values: []float64{3, 1}}
+	svg := TreemapSVG(s, 300, 200)
+	if strings.Count(svg, "<rect") != 2 {
+		t.Fatalf("svg: %s", svg)
+	}
+}

@@ -1,0 +1,271 @@
+package viz
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/hifun"
+)
+
+func answer(t testing.TB) *hifun.Answer {
+	t.Helper()
+	c := hifun.NewContext(datagen.SmallInvoices(), datagen.InvoicesNS)
+	ans, err := c.ExecuteText("(takesPlaceAt, inQuantity, SUM)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ans
+}
+
+func TestAnswerSeries(t *testing.T) {
+	ans := answer(t)
+	s, err := AnswerSeries(ans, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Labels) != 3 || len(s.Values) != 3 {
+		t.Fatalf("series: %+v", s)
+	}
+	total := 0.0
+	for _, v := range s.Values {
+		total += v
+	}
+	if total != 1500 {
+		t.Errorf("total = %v", total)
+	}
+	if _, err := AnswerSeries(ans, 5); err == nil {
+		t.Error("bad measure index accepted")
+	}
+}
+
+func TestChartSVGsWellFormed(t *testing.T) {
+	ans := answer(t)
+	s, _ := AnswerSeries(ans, 0)
+	charts := map[string]string{
+		"bar":    BarChartSVG(s, 640),
+		"column": ColumnChartSVG(s, 640, 320),
+		"pie":    PieChartSVG(s, 360),
+		"line":   LineChartSVG(s, 640, 320),
+	}
+	for name, svg := range charts {
+		if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+			t.Errorf("%s: not a complete SVG", name)
+		}
+		for _, label := range s.Labels {
+			if !strings.Contains(svg, label) && name != "line" { // line trims long labels
+				t.Errorf("%s: label %q missing", name, label)
+			}
+		}
+		// Balanced tags (rough well-formedness proxy).
+		if strings.Count(svg, "<rect") != strings.Count(svg, "/>")-strings.Count(svg, "<circle")-strings.Count(svg, "<path")-strings.Count(svg, "<polygon")-strings.Count(svg, "<polyline") && name == "bar" {
+			t.Logf("%s: tag accounting odd (informational)", name)
+		}
+	}
+}
+
+func TestPieChartSingleSlice(t *testing.T) {
+	svg := PieChartSVG(Series{Title: "t", Labels: []string{"only"}, Values: []float64{5}}, 200)
+	if !strings.Contains(svg, "<circle") {
+		t.Error("full pie must degrade to a circle")
+	}
+}
+
+func TestEmptySeriesCharts(t *testing.T) {
+	s := Series{Title: "empty"}
+	for _, svg := range []string{
+		ColumnChartSVG(s, 100, 100), PieChartSVG(s, 100), LineChartSVG(s, 100, 100), BarChartSVG(s, 100),
+	} {
+		if !strings.Contains(svg, "<svg") {
+			t.Error("empty series must still yield an SVG")
+		}
+	}
+}
+
+func TestSpiralNoOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := make([]SpiralItem, 40)
+	for i := range items {
+		// Power-law-ish values, the case [116] targets.
+		items[i] = SpiralItem{
+			Label: strings.Repeat("x", 1+i%5),
+			Value: math.Pow(10, 4*rng.Float64()),
+		}
+	}
+	ps := SpiralLayout{}.Layout(items)
+	if len(ps) != len(items) {
+		t.Fatalf("placed %d of %d", len(ps), len(items))
+	}
+	for i := range ps {
+		for j := i + 1; j < len(ps); j++ {
+			a, b := ps[i], ps[j]
+			if math.Abs(a.X-b.X) < (a.Side+b.Side)/2 && math.Abs(a.Y-b.Y) < (a.Side+b.Side)/2 {
+				t.Fatalf("overlap between %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSpiralBiggestInCenter(t *testing.T) {
+	items := []SpiralItem{
+		{"small1", 1}, {"big", 100}, {"small2", 2}, {"mid", 50}, {"small3", 1.5},
+	}
+	ps := SpiralLayout{}.Layout(items)
+	// The biggest value sits at the origin.
+	if ps[0].Label != "big" || ps[0].X != 0 || ps[0].Y != 0 {
+		t.Fatalf("center: %+v", ps[0])
+	}
+	// Distances from center weakly increase with placement order.
+	dist := func(p Placed) float64 { return math.Hypot(p.X, p.Y) }
+	for i := 2; i < len(ps); i++ {
+		if dist(ps[i])+ps[i].Side/2+ps[i-1].Side/2 < dist(ps[i-1])-20 {
+			t.Errorf("placement %d much closer than %d", i, i-1)
+		}
+	}
+}
+
+func TestSpiralAreaProportional(t *testing.T) {
+	items := []SpiralItem{{"a", 100}, {"b", 25}}
+	ps := SpiralLayout{}.Layout(items)
+	// side ∝ sqrt(value): ratio of sides = sqrt(100/25) = 2.
+	ratio := ps[0].Side / ps[1].Side
+	if math.Abs(ratio-2) > 0.01 {
+		t.Errorf("side ratio = %v, want 2", ratio)
+	}
+}
+
+func TestSpiralDeterministic(t *testing.T) {
+	items := []SpiralItem{{"a", 3}, {"b", 3}, {"c", 1}}
+	a := SpiralLayout{}.Layout(items)
+	b := SpiralLayout{}.Layout(items)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("layout not deterministic")
+		}
+	}
+}
+
+func TestSpiralQuickInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 30 {
+			return true
+		}
+		items := make([]SpiralItem, len(raw))
+		for i, r := range raw {
+			items[i] = SpiralItem{Label: string(rune('a' + i%26)), Value: float64(r) + 1}
+		}
+		ps := SpiralLayout{}.Layout(items)
+		if len(ps) != len(items) {
+			return false
+		}
+		// Sorted descending by value.
+		for i := 1; i < len(ps); i++ {
+			if ps[i].Value > ps[i-1].Value {
+				return false
+			}
+		}
+		// No overlaps.
+		for i := range ps {
+			for j := i + 1; j < len(ps); j++ {
+				if math.Abs(ps[i].X-ps[j].X) < (ps[i].Side+ps[j].Side)/2 &&
+					math.Abs(ps[i].Y-ps[j].Y) < (ps[i].Side+ps[j].Side)/2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpiralSVG(t *testing.T) {
+	ps := SpiralLayout{}.Layout([]SpiralItem{{"a", 10}, {"b", 5}})
+	svg := SpiralSVG(ps, 4)
+	if strings.Count(svg, "<rect") != 2 {
+		t.Fatalf("rect count: %s", svg)
+	}
+}
+
+func TestBuildCity(t *testing.T) {
+	g := datagen.CountryStats()
+	_ = g
+	entities := []Entity3D{
+		{Label: "USA", Features: map[string]float64{"cases": 103, "deaths": 1.1}},
+		{Label: "Greece", Features: map[string]float64{"cases": 5.5, "deaths": 0.04}},
+		{Label: "India", Features: map[string]float64{"cases": 44.7, "deaths": 0.53}},
+	}
+	scene := BuildCity(entities, CityConfig{})
+	if len(scene.Buildings) != 3 {
+		t.Fatalf("buildings = %d", len(scene.Buildings))
+	}
+	// Largest total first.
+	if scene.Buildings[0].Label != "USA" {
+		t.Errorf("first building = %s", scene.Buildings[0].Label)
+	}
+	// Heights proportional: USA's cases segment is the tallest overall.
+	var usaCases, greeceCases float64
+	for _, b := range scene.Buildings {
+		for _, seg := range b.Segments {
+			if seg.Feature == "cases" {
+				if b.Label == "USA" {
+					usaCases = seg.Height
+				}
+				if b.Label == "Greece" {
+					greeceCases = seg.Height
+				}
+			}
+		}
+	}
+	if usaCases <= greeceCases {
+		t.Errorf("heights not proportional: USA %v vs Greece %v", usaCases, greeceCases)
+	}
+	ratio := usaCases / greeceCases
+	if math.Abs(ratio-103/5.5) > 0.01 {
+		t.Errorf("ratio = %v, want %v", ratio, 103/5.5)
+	}
+	// Segments stack: z offsets are cumulative.
+	b := scene.Buildings[0]
+	if len(b.Segments) != 2 || b.Segments[1].Z != b.Segments[0].Height {
+		t.Errorf("segments do not stack: %+v", b.Segments)
+	}
+}
+
+func TestSceneJSONAndSVG(t *testing.T) {
+	scene := BuildCity([]Entity3D{
+		{Label: "A", Features: map[string]float64{"f": 10}},
+		{Label: "B", Features: map[string]float64{"f": 5}},
+	}, CityConfig{})
+	data, err := scene.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scene
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Buildings) != 2 {
+		t.Fatalf("json roundtrip: %d buildings", len(back.Buildings))
+	}
+	svg := scene.IsometricSVG(3)
+	if !strings.Contains(svg, "<polygon") || !strings.Contains(svg, ">A<") {
+		t.Errorf("svg missing boxes or labels:\n%s", svg[:200])
+	}
+}
+
+func BenchmarkSpiralLayout(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	items := make([]SpiralItem, 200)
+	for i := range items {
+		items[i] = SpiralItem{Label: "v", Value: math.Pow(10, 3*rng.Float64())}
+	}
+	b.ResetTimer()
+	for b.Loop() {
+		SpiralLayout{}.Layout(items)
+	}
+}

@@ -1,0 +1,163 @@
+// Package rdfanalytics is the public facade of the RDF-Analytics library —
+// a from-scratch Go implementation of "RDF-ANALYTICS: Interactive Analytics
+// over RDF Knowledge Graphs" (Papadaki & Tzitzikas, EDBT 2023).
+//
+// The facade re-exports the types a downstream application needs:
+//
+//   - Graph, Term, Triple — the RDF data model and store (internal/rdf);
+//   - Session — the faceted-analytics interaction model (internal/core):
+//     faceted clicks, the G/Σ analytic buttons, Answer Frames, nesting;
+//   - Query/Answer — the HIFUN analytics language (internal/hifun);
+//   - the SPARQL engine entry points Select, Ask, Construct, Update.
+//
+// Quick start:
+//
+//	g, _ := rdfanalytics.LoadTurtleFile("data.ttl")
+//	rdfanalytics.Materialize(g)
+//	s := rdfanalytics.NewSession(g, "http://example.org/ns#")
+//	s.ClickClass(rdfanalytics.IRI("http://example.org/ns#Laptop"))
+//	s.ClickGroupBy(rdfanalytics.GroupBySpec("http://example.org/ns#manufacturer"))
+//	s.ClickAggregate(rdfanalytics.MeasureOf("http://example.org/ns#price"),
+//	    rdfanalytics.Op(rdfanalytics.AVG))
+//	ans, _ := s.RunAnalytics()
+//	fmt.Print(ans.String())
+package rdfanalytics
+
+import (
+	"io"
+	"os"
+
+	"rdfanalytics/internal/core"
+	"rdfanalytics/internal/facet"
+	"rdfanalytics/internal/hifun"
+	"rdfanalytics/internal/rdf"
+	"rdfanalytics/internal/server"
+	"rdfanalytics/internal/sparql"
+)
+
+// Core data-model types.
+type (
+	// Graph is an in-memory indexed RDF triple store.
+	Graph = rdf.Graph
+	// Term is an RDF term (IRI, blank node or literal).
+	Term = rdf.Term
+	// Triple is one RDF statement.
+	Triple = rdf.Triple
+	// Session is a faceted-analytics interaction session: the paper's
+	// unified model of faceted search and analytics.
+	Session = core.Session
+	// Path is a property path of facet steps.
+	Path = facet.Path
+	// PathStep is one hop of a facet path.
+	PathStep = facet.PathStep
+	// GroupSpec is a G-button selection (grouping attribute).
+	GroupSpec = core.GroupSpec
+	// MeasureSpec is a Σ-button selection (measure attribute).
+	MeasureSpec = core.MeasureSpec
+	// Operation is an aggregate operation, optionally result-restricted.
+	Operation = hifun.Operation
+	// Query is a HIFUN analytic query.
+	Query = hifun.Query
+	// Answer is a materialized Answer Frame.
+	Answer = hifun.Answer
+	// Context is a HIFUN analysis context over a graph.
+	Context = hifun.Context
+	// Results is a SPARQL SELECT result table.
+	Results = sparql.Results
+)
+
+// Aggregate operations.
+const (
+	COUNT = hifun.OpCount
+	SUM   = hifun.OpSum
+	AVG   = hifun.OpAvg
+	MIN   = hifun.OpMin
+	MAX   = hifun.OpMax
+)
+
+// IRI returns an IRI term.
+func IRI(iri string) Term { return rdf.NewIRI(iri) }
+
+// Literal returns a plain string literal term.
+func Literal(s string) Term { return rdf.NewString(s) }
+
+// Integer returns an xsd:integer literal term.
+func Integer(i int64) Term { return rdf.NewInteger(i) }
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return rdf.NewGraph() }
+
+// LoadTurtle parses Turtle (or N-Triples) from r into a new graph.
+func LoadTurtle(r io.Reader) (*Graph, error) { return rdf.LoadTurtle(r) }
+
+// LoadTurtleFile parses a Turtle (or N-Triples) file into a new graph.
+func LoadTurtleFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return rdf.LoadTurtle(f)
+}
+
+// Materialize computes the RDFS closure of g in place (subclass/subproperty
+// inference, domain/range typing) — the semantics the interaction model
+// assumes.
+func Materialize(g *Graph) { rdf.Materialize(g) }
+
+// NewSession starts a faceted-analytics session over g. ns is the namespace
+// used to resolve attribute names in HIFUN queries.
+func NewSession(g *Graph, ns string) *Session { return core.NewSession(g, ns) }
+
+// RestoreSession rebuilds a session over g from a Snapshot().
+func RestoreSession(g *Graph, snapshot []byte) (*Session, error) {
+	return core.RestoreSession(g, snapshot)
+}
+
+// GroupBySpec builds a G-button selection from property IRIs forming a path.
+func GroupBySpec(propIRIs ...string) GroupSpec {
+	return GroupSpec{Path: pathOf(propIRIs)}
+}
+
+// MeasureOf builds a Σ-button selection from property IRIs forming a path.
+func MeasureOf(propIRIs ...string) MeasureSpec {
+	return MeasureSpec{Path: pathOf(propIRIs)}
+}
+
+// Op wraps an aggregate operation name.
+func Op(op hifun.AggOp) Operation { return Operation{Op: op} }
+
+func pathOf(propIRIs []string) Path {
+	p := make(Path, len(propIRIs))
+	for i, iri := range propIRIs {
+		p[i] = PathStep{P: rdf.NewIRI(iri)}
+	}
+	return p
+}
+
+// ParseHIFUN parses a textual HIFUN query; bare attribute names resolve
+// against ns.
+func ParseHIFUN(src, ns string) (*Query, error) { return hifun.Parse(src, ns) }
+
+// NewContext builds a HIFUN analysis context over g.
+func NewContext(g *Graph, ns string) *Context { return hifun.NewContext(g, ns) }
+
+// Select evaluates a SPARQL SELECT query against g.
+func Select(g *Graph, query string) (*Results, error) { return sparql.Select(g, query) }
+
+// Ask evaluates a SPARQL ASK query against g.
+func Ask(g *Graph, query string) (bool, error) { return sparql.Ask(g, query) }
+
+// Construct evaluates a SPARQL CONSTRUCT query against g.
+func Construct(g *Graph, query string) (*Graph, error) { return sparql.Construct(g, query) }
+
+// Update applies a SPARQL update (INSERT/DELETE DATA, DELETE WHERE,
+// DELETE/INSERT…WHERE, CLEAR) to g, returning (inserted, deleted).
+func Update(g *Graph, update string) (int, int, error) {
+	res, err := sparql.ExecUpdate(g, update)
+	return res.Inserted, res.Deleted, err
+}
+
+// NewServer returns an http.Handler serving the browser GUI (/ui), the
+// SPARQL protocol endpoint (/sparql) and the interaction JSON API (/api).
+func NewServer(g *Graph, ns string) *server.Server { return server.New(g, ns) }
