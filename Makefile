@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test check race bench bench-json clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the full verification gate: static analysis plus the whole test
+# suite under the race detector (the parallel evaluator paths run with
+# Parallelism > 1 in tests, so races surface here).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 5x -run XXX .
+	$(GO) test -bench 'BenchmarkMatch|BenchmarkCachedCountIDs' -run XXX ./internal/rdf/
+
+# bench-json regenerates the machine-readable BENCH_results.json via the
+# experiment runner (quick scales; drop -quick for the full sweep).
+bench-json:
+	$(GO) run ./cmd/benchrunner -exp E6 -quick
+
+clean:
+	rm -f BENCH_results.json spiral.svg city.svg city.json

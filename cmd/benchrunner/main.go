@@ -25,6 +25,7 @@ import (
 	"rdfanalytics/internal/datagen"
 	"rdfanalytics/internal/facet"
 	"rdfanalytics/internal/hifun"
+	"rdfanalytics/internal/par"
 	"rdfanalytics/internal/rdf"
 	"rdfanalytics/internal/sparql"
 	"rdfanalytics/internal/userstudy"
@@ -32,9 +33,15 @@ import (
 )
 
 var (
-	quick  = flag.Bool("quick", false, "reduced scales / repetitions")
-	outDir = flag.String("out", ".", "directory for SVG/JSON artifacts (E11)")
+	quick       = flag.Bool("quick", false, "reduced scales / repetitions")
+	outDir      = flag.String("out", ".", "directory for SVG/JSON artifacts (E11)")
+	jsonOut     = flag.String("json", "BENCH_results.json", "machine-readable results file (empty to disable)")
+	parallelism = flag.Int("parallelism", 0, "evaluator worker pool (0 = GOMAXPROCS, 1 = sequential)")
 )
+
+// records accumulates the machine-readable measurements of the timing
+// experiments (E5, E6, E10) for the -json output.
+var records []bench.Record
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (E1..E11)")
@@ -65,6 +72,16 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *jsonOut != "" && len(records) > 0 {
+		path := *jsonOut
+		if !strings.ContainsAny(path, "/") {
+			path = *outDir + "/" + path
+		}
+		if err := bench.WriteJSON(path, records); err != nil {
+			log.Fatalf("writing %s: %v", path, err)
+		}
+		fmt.Println("\nwrote", path)
 	}
 }
 
@@ -220,7 +237,7 @@ func e4() error {
 }
 
 func benchConfig() bench.Config {
-	cfg := bench.Config{}
+	cfg := bench.Config{Parallelism: *parallelism}
 	if *quick {
 		cfg.Scales = []bench.Scale{{Name: "5k", Laptops: 350}, {Name: "20k", Laptops: 1450}}
 		cfg.Runs = 3
@@ -236,6 +253,7 @@ func e5() error {
 		return err
 	}
 	bench.WriteTable(os.Stdout, "Table 6.1 — efficiency under load (peak)", results)
+	records = append(records, bench.Records("E5", results)...)
 	return nil
 }
 
@@ -246,6 +264,7 @@ func e6() error {
 		return err
 	}
 	bench.WriteTable(os.Stdout, "Table 6.2 — efficiency uncontended (off-peak)", results)
+	records = append(records, bench.Records("E6", results)...)
 	return nil
 }
 
@@ -333,6 +352,7 @@ func e10() error {
 	g := datagen.Products(datagen.ProductsConfig{Laptops: laptops, Companies: 12, Seed: 1, Materialize: true})
 	ns := datagen.ExampleNS
 	m := facet.NewModel(g)
+	m.Parallelism = *parallelism
 	s0 := m.ClickClass(m.Start(), rdf.NewIRI(ns+"Laptop"))
 	path := facet.Path{{P: rdf.NewIRI(ns + "manufacturer")}, {P: rdf.NewIRI(ns + "origin")}}
 	vals := m.ExpandPath(s0, path)
@@ -361,6 +381,11 @@ func e10() error {
 	fmt.Printf("  in-memory set evaluation (Table 5.1): %v per transition\n", setDur.Round(time.Microsecond))
 	fmt.Printf("  SPARQL-only evaluation   (Table 5.2): %v per transition\n", sparqlDur.Round(time.Microsecond))
 	fmt.Printf("  extension size agrees: %d objects\n", st.Ext.Len())
+	records = append(records,
+		bench.Record{Experiment: "E10", Label: "set evaluation", Triples: g.Len(),
+			Parallelism: par.Workers(*parallelism), Runs: iters, NsPerOp: setDur.Nanoseconds()},
+		bench.Record{Experiment: "E10", Label: "sparql evaluation", Triples: g.Len(),
+			Parallelism: par.Workers(*parallelism), Runs: iters, NsPerOp: sparqlDur.Nanoseconds()})
 	return nil
 }
 

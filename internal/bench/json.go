@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// Record is one machine-readable measurement row of BENCH_results.json:
+// the flat schema downstream tooling (regression diffing, plotting) reads,
+// keyed by experiment id.
+type Record struct {
+	Experiment  string `json:"experiment"`
+	Query       string `json:"query,omitempty"`
+	Label       string `json:"label,omitempty"`
+	Scale       string `json:"scale,omitempty"`
+	Triples     int    `json:"dataset_triples,omitempty"`
+	Peak        bool   `json:"peak"`
+	Workers     int    `json:"load_workers,omitempty"`
+	Parallelism int    `json:"parallelism"`
+	Runs        int    `json:"runs,omitempty"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	P95Ns       int64  `json:"p95_ns,omitempty"`
+	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
+}
+
+// Records flattens a sweep's results into JSON records under one
+// experiment id.
+func Records(experiment string, results []Result) []Record {
+	out := make([]Record, 0, len(results))
+	for _, r := range results {
+		out = append(out, Record{
+			Experiment:  experiment,
+			Query:       r.Query.ID,
+			Label:       r.Query.Label,
+			Scale:       r.Scale.Name,
+			Triples:     r.Triples,
+			Peak:        r.Peak,
+			Workers:     r.Workers,
+			Parallelism: r.Parallelism,
+			Runs:        r.Runs,
+			NsPerOp:     r.Mean.Nanoseconds(),
+			P95Ns:       r.P95.Nanoseconds(),
+			AllocsPerOp: r.AllocsPerOp,
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the records as indented JSON to path.
+func WriteJSON(path string, records []Record) error {
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

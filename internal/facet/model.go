@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"rdfanalytics/internal/par"
 	"rdfanalytics/internal/rdf"
 )
 
@@ -69,6 +70,10 @@ type Model struct {
 	// MaxValues caps the number of values listed per facet (0 = unlimited);
 	// the GUI shows the top values and a "more" affordance.
 	MaxValues int
+	// Parallelism bounds the workers used for transition-marker counting
+	// (PropertyFacets): 0 means GOMAXPROCS, 1 forces sequential. Output is
+	// identical at every setting.
+	Parallelism int
 }
 
 // NewModel builds a model over g. The graph should already be materialized
@@ -214,34 +219,50 @@ func compareHolds(a rdf.Term, op string, b rdf.Term) bool {
 
 // Joins implements Joins(E, p) of §5.3.1: the values linked with the
 // elements of E via p, with the count of E-members carrying each value.
+// The counting runs in dictionary-ID space: one scan of the predicate's
+// index with integer membership tests; value terms are materialized only
+// for the result map.
 func (m *Model) Joins(e *TermSet, p rdf.Term, inverse bool) map[rdf.Term]int {
-	out := map[rdf.Term]int{}
-	if inverse {
-		// values v such that (v, p, e): count per v of distinct e.
-		seen := map[[2]rdf.Term]struct{}{}
-		m.G.Match(rdf.Any, p, rdf.Any, func(t rdf.Triple) bool {
-			if e.Has(t.O) {
-				key := [2]rdf.Term{t.S, t.O}
-				if _, dup := seen[key]; !dup {
-					seen[key] = struct{}{}
-					out[t.S]++
-				}
-			}
-			return true
-		})
-		return out
+	pid, ok := m.G.TermID(p)
+	if !ok {
+		return map[rdf.Term]int{}
 	}
-	seen := map[[2]rdf.Term]struct{}{}
-	m.G.Match(rdf.Any, p, rdf.Any, func(t rdf.Triple) bool {
-		if e.Has(t.S) {
-			key := [2]rdf.Term{t.S, t.O}
-			if _, dup := seen[key]; !dup {
-				seen[key] = struct{}{}
-				out[t.O]++
+	return m.joinsIDs(m.extIDSet(e), pid, inverse)
+}
+
+// extIDSet resolves the extension members to dictionary IDs once, so the
+// same set can be reused across every property of a facet computation.
+// Terms the graph has never seen cannot join and are dropped.
+func (m *Model) extIDSet(e *TermSet) map[rdf.ID]struct{} {
+	ids := make(map[rdf.ID]struct{}, e.Len())
+	for t := range e.set {
+		if id, ok := m.G.TermID(t); ok {
+			ids[id] = struct{}{}
+		}
+	}
+	return ids
+}
+
+// joinsIDs is the ID-space core of Joins. Triples are set-unique per
+// predicate, so counting needs no dedup pass. Counts are collected on IDs
+// under the scan and materialized afterwards (TermOf must not be called
+// inside the MatchIDs callback).
+func (m *Model) joinsIDs(eIDs map[rdf.ID]struct{}, pid rdf.ID, inverse bool) map[rdf.Term]int {
+	counts := map[rdf.ID]int{}
+	m.G.MatchIDs(0, pid, 0, func(s, _, o rdf.ID) bool {
+		if inverse {
+			if _, ok := eIDs[o]; ok {
+				counts[s]++
 			}
+		} else if _, ok := eIDs[s]; ok {
+			counts[o]++
 		}
 		return true
 	})
+	out := make(map[rdf.Term]int, len(counts))
+	for id, c := range counts {
+		out[m.G.TermOf(id)] = c
+	}
 	return out
 }
 
@@ -332,20 +353,32 @@ func (f Facet) Total(m *Model, e *TermSet) int {
 // PropertyFacets computes the property-based transition markers of s
 // (Alg. 5 Part C): one facet per property applicable to the extension, each
 // with its joined values and counts. Inverse facets are included when
-// includeInverse is set (the model's Pr⁻¹).
+// includeInverse is set (the model's Pr⁻¹). The extension's ID set is
+// resolved once and the per-property counting fans out across the worker
+// pool (Model.Parallelism); results land in per-property slots, so output
+// is identical at every parallelism level.
 func (m *Model) PropertyFacets(s *State, includeInverse bool) []Facet {
-	var out []Facet
-	for _, p := range m.applicableProperties() {
-		values := m.Joins(s.Ext, p, false)
-		if len(values) > 0 {
-			out = append(out, m.makeFacet(p, false, values))
+	props := m.applicableProperties()
+	eIDs := m.extIDSet(s.Ext)
+	slots := make([][]Facet, len(props))
+	par.Do(len(props), par.Workers(m.Parallelism), func(i int) {
+		p := props[i]
+		pid, ok := m.G.TermID(p)
+		if !ok {
+			return
+		}
+		if values := m.joinsIDs(eIDs, pid, false); len(values) > 0 {
+			slots[i] = append(slots[i], m.makeFacet(p, false, values))
 		}
 		if includeInverse {
-			ivalues := m.Joins(s.Ext, p, true)
-			if len(ivalues) > 0 {
-				out = append(out, m.makeFacet(p, true, ivalues))
+			if ivalues := m.joinsIDs(eIDs, pid, true); len(ivalues) > 0 {
+				slots[i] = append(slots[i], m.makeFacet(p, true, ivalues))
 			}
 		}
+	})
+	var out []Facet
+	for _, fs := range slots {
+		out = append(out, fs...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].P != out[j].P {

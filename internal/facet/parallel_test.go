@@ -1,0 +1,70 @@
+package facet
+
+import (
+	"reflect"
+	"testing"
+
+	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/rdf"
+)
+
+// TestPropertyFacetsParallelEquivalence checks the determinism contract of
+// the parallel transition-marker counting: PropertyFacets must return the
+// same facets, values and counts in the same order at every parallelism
+// level.
+func TestPropertyFacetsParallelEquivalence(t *testing.T) {
+	g := datagen.Products(datagen.ProductsConfig{Laptops: 150, Companies: 10, Seed: 7, Materialize: true})
+	for _, includeInverse := range []bool{false, true} {
+		seq := NewModel(g)
+		seq.Parallelism = 1
+		parM := NewModel(g)
+		parM.Parallelism = 8
+
+		sSeq := seq.Start()
+		sPar := parM.Start()
+		want := seq.PropertyFacets(sSeq, includeInverse)
+		got := parM.PropertyFacets(sPar, includeInverse)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("includeInverse=%v: parallel facets differ from sequential\nseq: %d facets\npar: %d facets",
+				includeInverse, len(want), len(got))
+		}
+		if len(want) == 0 {
+			t.Fatalf("includeInverse=%v: no facets computed", includeInverse)
+		}
+	}
+}
+
+// TestJoinsIDSpaceMatchesNaive cross-checks the ID-space Joins against a
+// direct term-space recount over Match.
+func TestJoinsIDSpaceMatchesNaive(t *testing.T) {
+	m := model(t)
+	s := m.Start()
+	for _, p := range m.applicableProperties() {
+		for _, inverse := range []bool{false, true} {
+			got := m.Joins(s.Ext, p, inverse)
+			want := naiveJoins(m, s.Ext, p, inverse)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("Joins(%v, inverse=%v) = %v, want %v", p, inverse, got, want)
+			}
+		}
+	}
+	// A predicate the graph has never seen joins with nothing.
+	if got := m.Joins(s.Ext, rdf.NewIRI("http://nowhere/p"), false); len(got) != 0 {
+		t.Errorf("unknown predicate joined %d values", len(got))
+	}
+}
+
+func naiveJoins(m *Model, e *TermSet, p rdf.Term, inverse bool) map[rdf.Term]int {
+	out := map[rdf.Term]int{}
+	m.G.Match(rdf.Any, p, rdf.Any, func(t rdf.Triple) bool {
+		if inverse {
+			if e.Has(t.O) {
+				out[t.S]++
+			}
+		} else if e.Has(t.S) {
+			out[t.O]++
+		}
+		return true
+	})
+	return out
+}

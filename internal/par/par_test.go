@@ -1,0 +1,74 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d", Workers(0))
+	}
+	if Workers(-3) != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", Workers(-3))
+	}
+	if Workers(5) != 5 {
+		t.Errorf("Workers(5) = %d", Workers(5))
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 237
+		counts := make([]atomic.Int32, n)
+		Do(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoZeroAndOne(t *testing.T) {
+	ran := 0
+	Do(0, 4, func(int) { ran++ })
+	if ran != 0 {
+		t.Errorf("Do(0) ran %d times", ran)
+	}
+	Do(1, 4, func(int) { ran++ })
+	if ran != 1 {
+		t.Errorf("Do(1) ran %d times", ran)
+	}
+}
+
+func TestChunksPartition(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{10, 3}, {1, 8}, {8, 8}, {100, 7}, {5, 1}, {0, 4},
+	} {
+		chunks := Chunks(tc.n, tc.workers)
+		if tc.n == 0 {
+			if chunks != nil {
+				t.Errorf("Chunks(0) = %v", chunks)
+			}
+			continue
+		}
+		prev := 0
+		for _, c := range chunks {
+			if c[0] != prev {
+				t.Fatalf("Chunks(%d,%d): gap at %v", tc.n, tc.workers, c)
+			}
+			if c[1] <= c[0] {
+				t.Fatalf("Chunks(%d,%d): empty chunk %v", tc.n, tc.workers, c)
+			}
+			prev = c[1]
+		}
+		if prev != tc.n {
+			t.Fatalf("Chunks(%d,%d): covers %d", tc.n, tc.workers, prev)
+		}
+		if len(chunks) > tc.workers {
+			t.Fatalf("Chunks(%d,%d): %d chunks", tc.n, tc.workers, len(chunks))
+		}
+	}
+}

@@ -26,6 +26,10 @@ type Graph struct {
 	pos     map[ID]map[ID][]ID // predicate -> object -> subjects
 	osp     map[ID]map[ID][]ID // object -> subject -> predicates
 	psCount map[ID]int         // predicate -> triple count (facet statistics)
+	// version moves on every mutation; derived caches (cards, callers of
+	// Version) validate against it instead of subscribing to writes.
+	version uint64
+	cards   cardCache
 }
 
 // NewGraph returns an empty graph.
@@ -87,6 +91,7 @@ func (g *Graph) addLocked(t Triple) bool {
 	addIndex(g.pos, p, o, s)
 	addIndex(g.osp, o, s, p)
 	g.psCount[p]++
+	g.version++
 	return true
 }
 
@@ -117,6 +122,7 @@ func (g *Graph) Remove(t Triple) bool {
 	removeIndex(g.spo, s, p, o)
 	removeIndex(g.pos, p, o, s)
 	removeIndex(g.osp, o, s, p)
+	g.version++
 	g.psCount[p]--
 	if g.psCount[p] == 0 {
 		delete(g.psCount, p)
@@ -309,14 +315,35 @@ func (g *Graph) Triples() []Triple {
 	return out
 }
 
-// Objects returns the distinct objects of (s, p, ?o).
+// Objects returns the distinct objects of (s, p, ?o). The result slice is
+// preallocated from the index entry; since triples are unique, the object
+// list of a fixed (s, p) needs no deduplication.
 func (g *Graph) Objects(s, p Term) []Term {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	sID, sOK := g.resolve(s)
+	pID, pOK := g.resolve(p)
+	if !sOK || !pOK {
+		return nil
+	}
+	if sID != 0 && pID != 0 {
+		objs := g.spo[sID][pID]
+		if len(objs) == 0 {
+			return nil
+		}
+		out := make([]Term, len(objs))
+		for i, o := range objs {
+			out[i] = g.dict.Term(o)
+		}
+		return out
+	}
+	// Wildcard position(s): fall back to a dedup scan.
 	var out []Term
-	seen := make(map[Term]struct{})
-	g.Match(s, p, Any, func(t Triple) bool {
-		if _, dup := seen[t.O]; !dup {
-			seen[t.O] = struct{}{}
-			out = append(out, t.O)
+	seen := make(map[ID]struct{})
+	g.matchIDsLocked(sID, pID, 0, func(_, _, o ID) bool {
+		if _, dup := seen[o]; !dup {
+			seen[o] = struct{}{}
+			out = append(out, g.dict.Term(o))
 		}
 		return true
 	})
@@ -333,14 +360,33 @@ func (g *Graph) Object(s, p Term) Term {
 	return out
 }
 
-// Subjects returns the distinct subjects of (?s, p, o).
+// Subjects returns the distinct subjects of (?s, p, o), preallocated from
+// the POS index entry (unique triples make the subject list duplicate-free).
 func (g *Graph) Subjects(p, o Term) []Term {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	pID, pOK := g.resolve(p)
+	oID, oOK := g.resolve(o)
+	if !pOK || !oOK {
+		return nil
+	}
+	if pID != 0 && oID != 0 {
+		subs := g.pos[pID][oID]
+		if len(subs) == 0 {
+			return nil
+		}
+		out := make([]Term, len(subs))
+		for i, s := range subs {
+			out[i] = g.dict.Term(s)
+		}
+		return out
+	}
 	var out []Term
-	seen := make(map[Term]struct{})
-	g.Match(Any, p, o, func(t Triple) bool {
-		if _, dup := seen[t.S]; !dup {
-			seen[t.S] = struct{}{}
-			out = append(out, t.S)
+	seen := make(map[ID]struct{})
+	g.matchIDsLocked(0, pID, oID, func(s, _, _ ID) bool {
+		if _, dup := seen[s]; !dup {
+			seen[s] = struct{}{}
+			out = append(out, g.dict.Term(s))
 		}
 		return true
 	})
@@ -371,17 +417,26 @@ func (g *Graph) PredicateCount(p Term) int {
 }
 
 // SubjectsWithPredicate returns the distinct subjects that have at least one
-// value for predicate p.
+// value for predicate p. The dedup set and result are presized from the
+// predicate's triple count (an upper bound on its distinct subjects).
 func (g *Graph) SubjectsWithPredicate(p Term) []Term {
-	seen := make(map[Term]struct{})
-	var out []Term
-	g.Match(Any, p, Any, func(t Triple) bool {
-		if _, dup := seen[t.S]; !dup {
-			seen[t.S] = struct{}{}
-			out = append(out, t.S)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	pID, ok := g.resolve(p)
+	if !ok || pID == 0 {
+		return nil
+	}
+	n := g.psCount[pID]
+	seen := make(map[ID]struct{}, n)
+	out := make([]Term, 0, n)
+	for _, subs := range g.pos[pID] {
+		for _, s := range subs {
+			if _, dup := seen[s]; !dup {
+				seen[s] = struct{}{}
+				out = append(out, g.dict.Term(s))
+			}
 		}
-		return true
-	})
+	}
 	return out
 }
 

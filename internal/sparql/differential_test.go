@@ -128,7 +128,7 @@ func TestBGPDifferential(t *testing.T) {
 			tp := patterns[i]
 			gp.Elems = append(gp.Elems, PatternElem{Triple: &tp})
 		}
-		ev := &evaluator{g: g}
+		ev := newEvaluator(g, Options{})
 		engine := ev.evalGroup(gp, []Binding{{}})
 		// Reference evaluation.
 		ref := naiveBGP(triples, patterns)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"rdfanalytics/internal/par"
 	"rdfanalytics/internal/rdf"
 )
 
@@ -17,6 +18,9 @@ type evaluator struct {
 	// noPushdown disables early filter application: filters evaluate only
 	// after the whole group, as the SPARQL algebra literally states.
 	noPushdown bool
+	// workers is the resolved worker-pool size for partitioned BGP
+	// evaluation (always >= 1; 1 means fully sequential).
+	workers int
 }
 
 // Options tune query evaluation.
@@ -27,12 +31,26 @@ type Options struct {
 	// NoPushdown applies filters only at group end (for the filter-pushdown
 	// ablation).
 	NoPushdown bool
+	// Parallelism is the worker-pool size for BGP evaluation: input-binding
+	// slices above a threshold are partitioned across this many goroutines
+	// (results merge in input order, so answers are identical at every
+	// setting — the DESIGN.md §5 decision-5 ablation). 0 means GOMAXPROCS;
+	// 1 forces sequential evaluation.
+	Parallelism int
+}
+
+func newEvaluator(g *rdf.Graph, opts Options) *evaluator {
+	return &evaluator{
+		g:          g,
+		noReorder:  opts.NoReorder,
+		noPushdown: opts.NoPushdown,
+		workers:    par.Workers(opts.Parallelism),
+	}
 }
 
 // ExecSelectOpts executes a parsed SELECT query with explicit options.
 func ExecSelectOpts(g *rdf.Graph, q *Query, opts Options) (*Results, error) {
-	ev := &evaluator{g: g, noReorder: opts.NoReorder, noPushdown: opts.NoPushdown}
-	return ev.execSelect(q, []Binding{{}})
+	return newEvaluator(g, opts).execSelect(q, []Binding{{}})
 }
 
 // Select parses and executes a SELECT query.
@@ -56,7 +74,7 @@ func Ask(g *rdf.Graph, src string) (bool, error) {
 	if q.Form != FormAsk {
 		return false, fmt.Errorf("sparql: not an ASK query")
 	}
-	ev := &evaluator{g: g}
+	ev := newEvaluator(g, Options{})
 	rows := ev.evalGroup(q.Where, []Binding{{}})
 	return len(rows) > 0, nil
 }
@@ -70,7 +88,7 @@ func Construct(g *rdf.Graph, src string) (*rdf.Graph, error) {
 	if q.Form != FormConstruct {
 		return nil, fmt.Errorf("sparql: not a CONSTRUCT query")
 	}
-	ev := &evaluator{g: g}
+	ev := newEvaluator(g, Options{})
 	rows := ev.evalGroup(q.Where, []Binding{{}})
 	out := rdf.NewGraph()
 	for _, row := range rows {
@@ -101,7 +119,7 @@ func Describe(g *rdf.Graph, src string) (*rdf.Graph, error) {
 	if q.Form != FormDescribe {
 		return nil, fmt.Errorf("sparql: not a DESCRIBE query")
 	}
-	ev := &evaluator{g: g}
+	ev := newEvaluator(g, Options{})
 	resources := map[rdf.Term]struct{}{}
 	var rows []Binding
 	if len(q.Where.Elems) > 0 {
@@ -146,7 +164,7 @@ func instantiate(n Node, b Binding) (rdf.Term, bool) {
 
 // ExecSelect executes a parsed SELECT query.
 func ExecSelect(g *rdf.Graph, q *Query) (*Results, error) {
-	ev := &evaluator{g: g}
+	ev := newEvaluator(g, Options{})
 	return ev.execSelect(q, []Binding{{}})
 }
 
@@ -225,6 +243,27 @@ func (ev *evaluator) evalGroup(gp *GroupPattern, input []Binding) []Binding {
 		cur = out
 		f.applied = true
 	}
+	filterReady := func() bool {
+		if ev.noPushdown {
+			return false
+		}
+		for _, f := range filters {
+			if f.applied || f.deferToEnd {
+				continue
+			}
+			ready := true
+			for v := range f.vars {
+				if !bound[v] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				return true
+			}
+		}
+		return false
+	}
 	applyReady := func() {
 		if ev.noPushdown {
 			return
@@ -245,13 +284,33 @@ func (ev *evaluator) evalGroup(gp *GroupPattern, input []Binding) []Binding {
 			}
 		}
 	}
-	for _, elem := range elems {
+	for i := 0; i < len(elems); i++ {
+		elem := elems[i]
 		switch {
-		case elem.Triple != nil:
-			cur = ev.evalTriple(elem.Triple, cur)
+		case elem.Triple != nil && elem.Triple.Path != nil:
+			cur = ev.evalPathTriple(elem.Triple, cur)
 			for _, v := range elem.Triple.Vars() {
 				bound[v] = true
 			}
+		case elem.Triple != nil:
+			// Fuse the maximal run of consecutive plain triple patterns into
+			// one ID-space pipeline — intermediate rows stay as ID slices.
+			// The run breaks where a pushed-down filter becomes applicable,
+			// so filter pushdown still prunes between patterns.
+			run := []*TriplePattern{elem.Triple}
+			for _, v := range elem.Triple.Vars() {
+				bound[v] = true
+			}
+			for i+1 < len(elems) && elems[i+1].Triple != nil &&
+				elems[i+1].Triple.Path == nil && !filterReady() {
+				tp := elems[i+1].Triple
+				run = append(run, tp)
+				for _, v := range tp.Vars() {
+					bound[v] = true
+				}
+				i++
+			}
+			cur = ev.evalTripleRun(run, cur)
 		case elem.Filter != nil:
 			f := &pendingFilter{expr: elem.Filter, vars: map[string]bool{}}
 			collectExprVars(elem.Filter, f.vars)
@@ -464,18 +523,19 @@ func (ev *evaluator) orderRun(run []*TriplePattern) []*TriplePattern {
 }
 
 // estimate approximates the cardinality of a pattern assuming bound
-// variables act as constants of unknown value.
+// variables act as constants of unknown value. Counts come from the graph's
+// version-invalidated cardinality cache, so repeated estimation (join
+// reordering is O(k²) in pattern count, and interactive sessions re-plan
+// the same patterns every click) never rescans an index.
 func (ev *evaluator) estimate(tp *TriplePattern, bound map[string]bool) int {
 	if tp.Path != nil {
 		return 1 << 20 // paths are expensive; schedule late
 	}
-	toTerm := func(n Node) rdf.Term {
-		if n.IsVar() {
-			return rdf.Any
-		}
-		return n.Term
+	ids, ok := ev.constIDs(tp)
+	if !ok {
+		return 0 // a constant term the graph has never seen: no matches
 	}
-	base := ev.g.MatchCount(toTerm(tp.S), toTerm(tp.P), toTerm(tp.O))
+	base := ev.g.CachedCountIDs(ids[0], ids[1], ids[2])
 	// Each bound variable position cuts the estimate (heuristic factor 10).
 	for _, n := range []Node{tp.S, tp.O} {
 		if n.IsVar() && bound[n.Var] && base > 1 {
@@ -485,44 +545,36 @@ func (ev *evaluator) estimate(tp *TriplePattern, bound map[string]bool) int {
 	return base
 }
 
+// constIDs resolves the pattern's constant positions to dictionary IDs
+// (0 where variable). ok is false when a constant is absent from the
+// dictionary, meaning the pattern can never match.
+func (ev *evaluator) constIDs(tp *TriplePattern) ([3]rdf.ID, bool) {
+	var ids [3]rdf.ID
+	for i, n := range [3]Node{tp.S, tp.P, tp.O} {
+		if n.IsVar() {
+			continue
+		}
+		id, known := ev.g.TermID(n.Term)
+		if !known {
+			return ids, false
+		}
+		ids[i] = id
+	}
+	return ids, true
+}
+
+// evalTriple joins the input bindings with a single pattern's matches. The
+// work happens in dictionary-ID space (see join.go): a strategy is chosen
+// per pattern — per-row index lookups for selective patterns, build/probe
+// hash join for unselective ones — and large inputs are partitioned across
+// the worker pool with an order-preserving merge. Consecutive patterns are
+// normally fused into one run by evalGroup so intermediate rows never
+// materialize Binding maps.
 func (ev *evaluator) evalTriple(tp *TriplePattern, input []Binding) []Binding {
 	if tp.Path != nil {
 		return ev.evalPathTriple(tp, input)
 	}
-	var out []Binding
-	for _, b := range input {
-		s, sVar := substNode(tp.S, b)
-		p, pVar := substNode(tp.P, b)
-		o, oVar := substNode(tp.O, b)
-		ev.g.Match(s, p, o, func(t rdf.Triple) bool {
-			nb := b
-			cloned := false
-			bind := func(v string, term rdf.Term) bool {
-				if v == "" {
-					return true
-				}
-				if cur, ok := nb[v]; ok {
-					return cur == term
-				}
-				if !cloned {
-					nb = nb.clone()
-					cloned = true
-				}
-				nb[v] = term
-				return true
-			}
-			// Same-variable repeats inside one pattern (?x ?p ?x) must agree.
-			if !bind(sVar, t.S) || !bind(pVar, t.P) || !bind(oVar, t.O) {
-				return true
-			}
-			if !cloned {
-				nb = nb.clone()
-			}
-			out = append(out, nb)
-			return true
-		})
-	}
-	return out
+	return ev.evalTripleRun([]*TriplePattern{tp}, input)
 }
 
 // substNode maps a pattern node to a match term given current bindings,

@@ -9,10 +9,16 @@ import (
 
 // Explain reports how the engine would evaluate a SELECT query: the join
 // order chosen for each basic graph pattern run (with the cardinality
-// estimates that drove it), where filters apply, and the solution
-// modifiers. A diagnostic facility in the spirit of endpoint EXPLAIN
-// features; the output is human-readable text.
+// estimates that drove it), the join strategy each scan would use, where
+// filters apply, and the solution modifiers. A diagnostic facility in the
+// spirit of endpoint EXPLAIN features; the output is human-readable text.
 func Explain(g *rdf.Graph, src string) (string, error) {
+	return ExplainOpts(g, src, Options{})
+}
+
+// ExplainOpts is Explain with evaluation options applied, so the reported
+// worker count and strategy choices match what ExecSelectOpts would do.
+func ExplainOpts(g *rdf.Graph, src string, opts Options) (string, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return "", err
@@ -20,10 +26,13 @@ func Explain(g *rdf.Graph, src string) (string, error) {
 	if q.Form != FormSelect {
 		return "", fmt.Errorf("sparql: EXPLAIN supports SELECT queries")
 	}
-	ev := &evaluator{g: g}
+	ev := newEvaluator(g, opts)
 	var sb strings.Builder
-	sb.WriteString("SELECT plan:\n")
+	fmt.Fprintf(&sb, "SELECT plan: (workers: %d)\n", ev.workers)
 	explainGroup(ev, q.Where, &sb, 1)
+	if size, hits, misses := g.CardCacheStats(); size > 0 || hits+misses > 0 {
+		fmt.Fprintf(&sb, "  stats cache: %d entries, %d hits, %d misses\n", size, hits, misses)
+	}
 	if len(q.GroupBy) > 0 {
 		fmt.Fprintf(&sb, "  group by %d condition(s), %d aggregate column(s)\n",
 			len(q.GroupBy), countAggregates(q))
@@ -58,12 +67,37 @@ func explainGroup(ev *evaluator, gp *GroupPattern, sb *strings.Builder, depth in
 	elems := ev.reorderTriples(gp.Elems)
 	step := 0
 	bound := map[string]bool{}
+	// rows tracks the estimated input cardinality flowing into each scan,
+	// mirroring what planTriple sees at run time, so the reported strategy
+	// matches the one the executor would pick.
+	rows := 1
 	for _, e := range elems {
 		switch {
 		case e.Triple != nil:
 			step++
 			est := ev.estimate(e.Triple, bound)
-			fmt.Fprintf(sb, "%s%d. scan %s  (est. %d)\n", indent, step, e.Triple, est)
+			strategy := "index loop"
+			if e.Triple.Path == nil {
+				nJoinVars := 0
+				for _, v := range e.Triple.Vars() {
+					if bound[v] {
+						nJoinVars++
+					}
+				}
+				baseEst := 0
+				if ids, ok := ev.constIDs(e.Triple); ok {
+					baseEst = ev.g.CachedCountIDs(ids[0], ids[1], ids[2])
+				}
+				strategy = chooseStrategy(baseEst, rows, nJoinVars, false).String()
+			}
+			fmt.Fprintf(sb, "%s%d. scan %s  (est. %d, %s)\n", indent, step, e.Triple, est, strategy)
+			if est > 0 && rows < 1<<30/(est+1) {
+				rows *= est
+			} else if est > 0 {
+				rows = 1 << 30
+			} else {
+				rows = 0
+			}
 			for _, v := range e.Triple.Vars() {
 				bound[v] = true
 			}

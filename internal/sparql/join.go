@@ -1,0 +1,428 @@
+package sparql
+
+import (
+	"rdfanalytics/internal/par"
+	"rdfanalytics/internal/rdf"
+)
+
+// ID-space BGP execution. A maximal run of consecutive triple patterns is
+// compiled against one shared variable table (runPlan); intermediate rows
+// are flat []rdf.ID slices — no Binding maps, no Term hashing, nothing for
+// the garbage collector to trace — and Binding maps are materialized once
+// per *final* row of the run. Each pattern picks a join strategy from its
+// cached cardinality estimate and the live row count, and row batches are
+// partitioned across the worker pool with an order-preserving merge.
+
+const (
+	// parallelThreshold is the minimum row count before a pattern evaluation
+	// is partitioned across workers: below it, goroutine and merge overhead
+	// dominates and evaluation stays sequential.
+	parallelThreshold = 64
+	// hashJoinMinInput is the minimum input size for which building a hash
+	// table can pay off at all.
+	hashJoinMinInput = 8
+	// hashBuildFactor bounds the build side: a hash join is chosen when the
+	// pattern's match count is at most this multiple of the input size
+	// (otherwise per-row index probes touch less data than one full scan).
+	hashBuildFactor = 4
+)
+
+// joinStrategy names the per-pattern execution strategy.
+type joinStrategy int
+
+const (
+	strategyNestedLoop joinStrategy = iota // per-row ID index lookups
+	strategyHashJoin                       // build pattern matches, probe rows
+)
+
+func (s joinStrategy) String() string {
+	if s == strategyHashJoin {
+		return "hash join"
+	}
+	return "index loop"
+}
+
+// chooseStrategy picks the join strategy for one pattern: est is the
+// pattern's match count with only constants bound, inputLen the number of
+// input rows, nJoinVars how many pattern variables arrive bound, and mixed
+// whether some variable is bound in only part of the input (which forces
+// per-row handling). The choice never depends on the worker count, so
+// output order is identical at every parallelism level.
+func chooseStrategy(est, inputLen, nJoinVars int, mixed bool) joinStrategy {
+	if mixed || inputLen < hashJoinMinInput {
+		return strategyNestedLoop
+	}
+	if nJoinVars == 0 {
+		// Cross product: scan the pattern once instead of once per row.
+		return strategyHashJoin
+	}
+	if est <= inputLen*hashBuildFactor {
+		return strategyHashJoin
+	}
+	return strategyNestedLoop
+}
+
+// runPlan is the compiled form of one run of (non-path) triple patterns:
+// a shared variable table plus per-pattern constant IDs and positions.
+type runPlan struct {
+	vars   []string       // distinct variables, first-appearance order
+	varIdx map[string]int // name -> column in the ID rows
+	pats   []patPlan
+	ok     bool // false: a constant term is absent from the dictionary
+}
+
+// patPlan is one pattern of a run.
+type patPlan struct {
+	ids     [3]rdf.ID // constant IDs; 0 where the position holds a variable
+	pos     [3]int    // variable-table column per position; -1 where constant
+	baseEst int       // cached match count with constants only
+}
+
+// planRun compiles a run against the graph dictionary.
+func (ev *evaluator) planRun(run []*TriplePattern) *runPlan {
+	rp := &runPlan{varIdx: map[string]int{}, ok: true}
+	for _, tp := range run {
+		pp := patPlan{pos: [3]int{-1, -1, -1}}
+		for i, n := range [3]Node{tp.S, tp.P, tp.O} {
+			if n.IsVar() {
+				idx, seen := rp.varIdx[n.Var]
+				if !seen {
+					idx = len(rp.vars)
+					rp.varIdx[n.Var] = idx
+					rp.vars = append(rp.vars, n.Var)
+				}
+				pp.pos[i] = idx
+				continue
+			}
+			id, known := ev.g.TermID(n.Term)
+			if !known {
+				rp.ok = false
+				return rp
+			}
+			pp.ids[i] = id
+		}
+		pp.baseEst = ev.g.CachedCountIDs(pp.ids[0], pp.ids[1], pp.ids[2])
+		rp.pats = append(rp.pats, pp)
+	}
+	return rp
+}
+
+// idRows is a batch of intermediate rows: n rows of width IDs each, flat in
+// one backing slice (ID 0 = still unbound), plus for each row the index of
+// the input binding it extends.
+type idRows struct {
+	width   int
+	vals    []rdf.ID
+	parents []int32
+}
+
+func (r *idRows) n() int { return len(r.parents) }
+
+func (r *idRows) row(i int) []rdf.ID { return r.vals[i*r.width : (i+1)*r.width] }
+
+// evalTripleRun joins the input bindings with every pattern of the run and
+// returns the extended bindings. Output order is deterministic: input order
+// crossed with the deterministic MatchIDs enumeration order per pattern.
+func (ev *evaluator) evalTripleRun(run []*TriplePattern, input []Binding) []Binding {
+	if len(input) == 0 {
+		return nil
+	}
+	rp := ev.planRun(run)
+	if !rp.ok {
+		return nil
+	}
+	rows := ev.convertInput(rp, input)
+	for i := range rp.pats {
+		if rows.n() == 0 {
+			return nil
+		}
+		rows = ev.evalPattern(rp, &rp.pats[i], rows)
+	}
+	if rows.n() == 0 {
+		return nil
+	}
+	return ev.materialize(rp, rows, input)
+}
+
+// convertInput resolves the run variables of each input binding to IDs.
+// A row whose binding holds a term the graph has never seen (for a variable
+// some pattern of the run uses) can never match and is dropped here.
+func (ev *evaluator) convertInput(rp *runPlan, input []Binding) *idRows {
+	width := len(rp.vars)
+	rows := &idRows{
+		width:   width,
+		vals:    make([]rdf.ID, 0, width*len(input)),
+		parents: make([]int32, 0, len(input)),
+	}
+	memo := newTermMemo(ev.g)
+	tmp := make([]rdf.ID, width)
+	for i, b := range input {
+		live := true
+		for j, v := range rp.vars {
+			tmp[j] = 0
+			t, bound := b[v]
+			if !bound {
+				continue
+			}
+			id := memo.id(t)
+			if id == 0 {
+				live = false
+				break
+			}
+			tmp[j] = id
+		}
+		if !live {
+			continue
+		}
+		rows.vals = append(rows.vals, tmp...)
+		rows.parents = append(rows.parents, int32(i))
+	}
+	return rows
+}
+
+// evalPattern joins the current rows with one pattern. Variable boundness
+// is classified over the full row set and the strategy chosen once; only
+// the per-row work is partitioned, so the strategy (and output order) is
+// independent of the worker count.
+func (ev *evaluator) evalPattern(rp *runPlan, pp *patPlan, rows *idRows) *idRows {
+	nJoin, mixed := 0, false
+	var joinPos, freePos []int // first pattern position of each distinct var
+	seen := [3]bool{}
+	for i := 0; i < 3; i++ {
+		idx := pp.pos[i]
+		if idx < 0 || seen[i] {
+			continue
+		}
+		for j := i + 1; j < 3; j++ {
+			if pp.pos[j] == idx {
+				seen[j] = true
+			}
+		}
+		bound := 0
+		for r := 0; r < rows.n(); r++ {
+			if rows.vals[r*rows.width+idx] != 0 {
+				bound++
+			}
+		}
+		switch bound {
+		case rows.n():
+			nJoin++
+			joinPos = append(joinPos, i)
+		case 0:
+			freePos = append(freePos, i)
+		default:
+			mixed = true
+		}
+	}
+	if chooseStrategy(pp.baseEst, rows.n(), nJoin, mixed) == strategyHashJoin {
+		ht := ev.buildHashRun(pp, joinPos)
+		return ev.runPartitioned(rows, func(lo, hi int) *idRows {
+			return probeHashRun(pp, ht, joinPos, freePos, rows, lo, hi)
+		})
+	}
+	return ev.runPartitioned(rows, func(lo, hi int) *idRows {
+		return ev.nestedLoopRun(pp, rows, lo, hi)
+	})
+}
+
+// runPartitioned splits the rows into contiguous chunks, runs exec on each
+// (concurrently when the batch is large enough) and concatenates the chunk
+// results in input order. exec must be safe for concurrent invocation on
+// distinct ranges.
+func (ev *evaluator) runPartitioned(rows *idRows, exec func(lo, hi int) *idRows) *idRows {
+	n := rows.n()
+	if ev.workers <= 1 || n < parallelThreshold {
+		return exec(0, n)
+	}
+	chunks := par.Chunks(n, ev.workers)
+	parts := make([]*idRows, len(chunks))
+	par.Do(len(chunks), ev.workers, func(i int) {
+		parts[i] = exec(chunks[i][0], chunks[i][1])
+	})
+	total := 0
+	for _, p := range parts {
+		total += p.n()
+	}
+	out := &idRows{
+		width:   rows.width,
+		vals:    make([]rdf.ID, 0, total*rows.width),
+		parents: make([]int32, 0, total),
+	}
+	for _, p := range parts {
+		out.vals = append(out.vals, p.vals...)
+		out.parents = append(out.parents, p.parents...)
+	}
+	return out
+}
+
+// nestedLoopRun evaluates the pattern with one ID index lookup per row:
+// bound columns tighten the pattern to its most selective access path. It
+// also covers mixed boundness (a variable bound in only part of the rows).
+func (ev *evaluator) nestedLoopRun(pp *patPlan, rows *idRows, lo, hi int) *idRows {
+	out := &idRows{
+		width:   rows.width,
+		vals:    make([]rdf.ID, 0, (hi-lo)*rows.width),
+		parents: make([]int32, 0, hi-lo),
+	}
+	var matches [][3]rdf.ID // scratch, reused across rows
+	for r := lo; r < hi; r++ {
+		row := rows.row(r)
+		lookup := pp.ids
+		for i := 0; i < 3; i++ {
+			if pp.pos[i] >= 0 {
+				lookup[i] = row[pp.pos[i]]
+			}
+		}
+		matches = matches[:0]
+		ev.g.MatchIDs(lookup[0], lookup[1], lookup[2], func(s, p, o rdf.ID) bool {
+			matches = append(matches, [3]rdf.ID{s, p, o})
+			return true
+		})
+	match:
+		for _, m := range matches {
+			// Repeated variables still free in this row must agree.
+			for i := 0; i < 3; i++ {
+				for j := i + 1; j < 3; j++ {
+					if pp.pos[i] >= 0 && pp.pos[i] == pp.pos[j] && lookup[i] == 0 && m[i] != m[j] {
+						continue match
+					}
+				}
+			}
+			base := len(out.vals)
+			out.vals = append(out.vals, row...)
+			for i := 0; i < 3; i++ {
+				if pp.pos[i] >= 0 && lookup[i] == 0 {
+					out.vals[base+pp.pos[i]] = m[i]
+				}
+			}
+			out.parents = append(out.parents, rows.parents[r])
+		}
+	}
+	return out
+}
+
+// hashRun is the build side of a hash join: every match of the pattern
+// (constants only), bucketed by the IDs at the join-variable positions.
+// Bucket lists inherit MatchIDs' deterministic scan order.
+type hashRun map[[3]rdf.ID][][3]rdf.ID
+
+// buildHashRun scans the pattern once and buckets the matches by joinPos.
+func (ev *evaluator) buildHashRun(pp *patPlan, joinPos []int) hashRun {
+	ht := hashRun{}
+	ev.g.MatchIDs(pp.ids[0], pp.ids[1], pp.ids[2], func(s, p, o rdf.ID) bool {
+		m := [3]rdf.ID{s, p, o}
+		// Repeated variables must agree within one match.
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				if pp.pos[i] >= 0 && pp.pos[i] == pp.pos[j] && m[i] != m[j] {
+					return true
+				}
+			}
+		}
+		var key [3]rdf.ID
+		for k, posI := range joinPos {
+			key[k] = m[posI]
+		}
+		ht[key] = append(ht[key], m)
+		return true
+	})
+	return ht
+}
+
+// probeHashRun probes the table with each row's join-column IDs and extends
+// the row with the free columns of every bucket match.
+func probeHashRun(pp *patPlan, ht hashRun, joinPos, freePos []int, rows *idRows, lo, hi int) *idRows {
+	out := &idRows{
+		width:   rows.width,
+		vals:    make([]rdf.ID, 0, (hi-lo)*rows.width),
+		parents: make([]int32, 0, hi-lo),
+	}
+	for r := lo; r < hi; r++ {
+		row := rows.row(r)
+		var key [3]rdf.ID
+		for k, posI := range joinPos {
+			key[k] = row[pp.pos[posI]]
+		}
+		for _, m := range ht[key] {
+			base := len(out.vals)
+			out.vals = append(out.vals, row...)
+			for _, posI := range freePos {
+				out.vals[base+pp.pos[posI]] = m[posI]
+			}
+			out.parents = append(out.parents, rows.parents[r])
+		}
+	}
+	return out
+}
+
+// materialize turns the surviving ID rows back into Bindings: one clone of
+// the parent input binding per row, extended with the run's newly bound
+// variables. This is the only per-row map allocation of the whole run, and
+// it is partitioned across the workers (the clone is the dominant cost).
+func (ev *evaluator) materialize(rp *runPlan, rows *idRows, input []Binding) []Binding {
+	build := func(lo, hi int, out []Binding, memo *termMemo) []Binding {
+		for r := lo; r < hi; r++ {
+			parent := input[rows.parents[r]]
+			nb := make(Binding, len(parent)+len(rp.vars))
+			for k, v := range parent {
+				nb[k] = v
+			}
+			row := rows.row(r)
+			for j, name := range rp.vars {
+				if row[j] == 0 {
+					continue
+				}
+				if _, exists := nb[name]; !exists {
+					nb[name] = memo.term(row[j])
+				}
+			}
+			out = append(out, nb)
+		}
+		return out
+	}
+	n := rows.n()
+	if ev.workers <= 1 || n < parallelThreshold {
+		return build(0, n, make([]Binding, 0, n), newTermMemo(ev.g))
+	}
+	chunks := par.Chunks(n, ev.workers)
+	parts := make([][]Binding, len(chunks))
+	par.Do(len(chunks), ev.workers, func(i int) {
+		lo, hi := chunks[i][0], chunks[i][1]
+		parts[i] = build(lo, hi, make([]Binding, 0, hi-lo), newTermMemo(ev.g))
+	})
+	out := make([]Binding, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// termMemo caches dictionary lookups in both directions for one batch, so
+// repeated values don't pay the graph's read lock per row.
+type termMemo struct {
+	g   *rdf.Graph
+	ids map[rdf.Term]rdf.ID // 0 = not in the dictionary
+	ts  map[rdf.ID]rdf.Term
+}
+
+func newTermMemo(g *rdf.Graph) *termMemo {
+	return &termMemo{g: g, ids: map[rdf.Term]rdf.ID{}, ts: map[rdf.ID]rdf.Term{}}
+}
+
+func (m *termMemo) id(t rdf.Term) rdf.ID {
+	if id, hit := m.ids[t]; hit {
+		return id
+	}
+	id, _ := m.g.TermID(t)
+	m.ids[t] = id
+	return id
+}
+
+func (m *termMemo) term(id rdf.ID) rdf.Term {
+	if t, hit := m.ts[id]; hit {
+		return t
+	}
+	t := m.g.TermOf(id)
+	m.ts[id] = t
+	return t
+}

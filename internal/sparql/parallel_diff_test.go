@@ -1,0 +1,213 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rdfanalytics/internal/rdf"
+)
+
+// Differential tests for the parallel ID-space engine: evaluation with
+// Parallelism: 1 and Parallelism: 8 must produce identical Results — the
+// same rows in the same order — for every query. This is the contract that
+// makes Options.Parallelism a pure ablation knob.
+
+// chainGraph builds a three-hop graph large enough that intermediate
+// binding sets cross parallelThreshold, so the partitioned paths (and the
+// hash-join strategy) actually execute.
+func chainGraph(n int) *rdf.Graph {
+	var sb strings.Builder
+	sb.WriteString("@prefix ex: <http://e/> .\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "ex:s%d ex:v %d .\n", i, i)
+		fmt.Fprintf(&sb, "ex:s%d ex:link ex:t%d .\n", i, i%50)
+		fmt.Fprintf(&sb, "ex:t%d ex:w %d .\n", i%50, i%50)
+		if i%3 == 0 {
+			fmt.Fprintf(&sb, "ex:s%d ex:tag ex:hot .\n", i)
+		}
+	}
+	return rdf.MustLoadTurtle(sb.String())
+}
+
+var parallelCorpus = []string{
+	`PREFIX ex: <http://e/> SELECT ?s ?v WHERE { ?s ex:v ?v }`,
+	`PREFIX ex: <http://e/> SELECT ?s ?w WHERE { ?s ex:v ?v . ?s ex:link ?t . ?t ex:w ?w }`,
+	`PREFIX ex: <http://e/> SELECT ?s ?w WHERE { ?s ex:link ?t . ?t ex:w ?w . FILTER(?w < 25) }`,
+	`PREFIX ex: <http://e/> SELECT DISTINCT ?t WHERE { ?s ex:tag ex:hot . ?s ex:link ?t }`,
+	`PREFIX ex: <http://e/> SELECT ?t (SUM(?v) AS ?total) WHERE { ?s ex:v ?v . ?s ex:link ?t } GROUP BY ?t ORDER BY ?t`,
+	`PREFIX ex: <http://e/> SELECT ?s ?n WHERE { ?s ex:v ?n . OPTIONAL { ?s ex:tag ?g } } ORDER BY ?n LIMIT 40`,
+	`PREFIX ex: <http://e/> SELECT ?s WHERE { { ?s ex:tag ex:hot } UNION { ?s ex:w ?w } }`,
+	`PREFIX ex: <http://e/> SELECT ?a ?b WHERE { ?a ex:link ?x . ?b ex:link ?x . FILTER(?a != ?b) } LIMIT 200`,
+	`PREFIX ex: <http://e/> SELECT ?s ?p ?o WHERE { ?s ?p ?o } LIMIT 500`,
+}
+
+func TestParallelDifferentialCorpus(t *testing.T) {
+	graphs := map[string]*rdf.Graph{
+		"invoices": invoices(t),
+		"chain":    chainGraph(600),
+	}
+	for name, g := range graphs {
+		for _, src := range parallelCorpus {
+			q := MustParse(src)
+			seq, err := ExecSelectOpts(g, q, Options{Parallelism: 1})
+			if err != nil {
+				t.Fatalf("%s %q: sequential: %v", name, src, err)
+			}
+			parR, err := ExecSelectOpts(g, q, Options{Parallelism: 8})
+			if err != nil {
+				t.Fatalf("%s %q: parallel: %v", name, src, err)
+			}
+			assertSameResults(t, name+" "+src, seq, parR)
+		}
+	}
+}
+
+func assertSameResults(t *testing.T, label string, seq, parR *Results) {
+	t.Helper()
+	if !reflect.DeepEqual(seq.Vars, parR.Vars) {
+		t.Fatalf("%s: vars differ: %v vs %v", label, seq.Vars, parR.Vars)
+	}
+	if len(seq.Rows) != len(parR.Rows) {
+		t.Fatalf("%s: sequential %d rows, parallel %d rows", label, len(seq.Rows), len(parR.Rows))
+	}
+	for i := range seq.Rows {
+		if !reflect.DeepEqual(seq.Rows[i], parR.Rows[i]) {
+			t.Fatalf("%s: row %d differs (order or content):\n  seq: %v\n  par: %v",
+				label, i, seq.Rows[i], parR.Rows[i])
+		}
+	}
+}
+
+// TestParallelDifferentialRandom repeats the random-BGP differential at
+// both parallelism levels and additionally demands order equality between
+// them (the naive reference fixes the multiset; the levels must also agree
+// on sequence).
+func TestParallelDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	for trial := 0; trial < 150; trial++ {
+		g, triples := randomGraph(rng, 5+rng.Intn(25))
+		nPatterns := 1 + rng.Intn(3)
+		patterns := make([]TriplePattern, nPatterns)
+		for i := range patterns {
+			patterns[i] = randomPattern(rng)
+		}
+		gp := &GroupPattern{}
+		for i := range patterns {
+			tp := patterns[i]
+			gp.Elems = append(gp.Elems, PatternElem{Triple: &tp})
+		}
+		seq := newEvaluator(g, Options{Parallelism: 1}).evalGroup(gp, []Binding{{}})
+		parR := newEvaluator(g, Options{Parallelism: 8}).evalGroup(gp, []Binding{{}})
+		if len(seq) != len(parR) {
+			t.Fatalf("trial %d: sequential %d rows, parallel %d\npatterns: %v",
+				trial, len(seq), len(parR), patterns)
+		}
+		for i := range seq {
+			if !reflect.DeepEqual(seq[i], parR[i]) {
+				t.Fatalf("trial %d: row %d differs between parallelism levels\n  seq: %v\n  par: %v\npatterns: %v",
+					trial, i, seq[i], parR[i], patterns)
+			}
+		}
+		// And both must agree with the naive reference on the multiset.
+		varSet := map[string]bool{}
+		for i := range patterns {
+			for _, v := range patterns[i].Vars() {
+				varSet[v] = true
+			}
+		}
+		vars := make([]string, 0, len(varSet))
+		for v := range varSet {
+			vars = append(vars, v)
+		}
+		ref := naiveBGP(triples, patterns)
+		got := canonical(parR, vars)
+		want := canonical(ref, vars)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: engine disagrees with naive reference\npatterns: %v", trial, patterns)
+		}
+	}
+}
+
+// TestReorderInvariance: join reordering and estimation must be stable —
+// warming the cardinality cache by running queries must not change the
+// order reorderTriples picks or the values estimate returns.
+func TestReorderInvariance(t *testing.T) {
+	g := chainGraph(300)
+	q := MustParse(`PREFIX ex: <http://e/>
+SELECT ?s ?w WHERE { ?s ex:v ?v . ?s ex:link ?t . ?t ex:w ?w . ?s ex:tag ex:hot }`)
+	ev := newEvaluator(g, Options{})
+	order := func() []string {
+		var out []string
+		for _, e := range ev.reorderTriples(q.Where.Elems) {
+			out = append(out, e.Triple.String())
+		}
+		return out
+	}
+	estimates := func() []int {
+		bound := map[string]bool{}
+		var out []int
+		for _, e := range q.Where.Elems {
+			out = append(out, ev.estimate(e.Triple, bound))
+		}
+		return out
+	}
+	coldOrder, coldEst := order(), estimates()
+	// Warm the cache: evaluate the query and re-plan several times.
+	for i := 0; i < 3; i++ {
+		if _, err := ExecSelect(g, q); err != nil {
+			t.Fatal(err)
+		}
+		if warm := order(); !reflect.DeepEqual(coldOrder, warm) {
+			t.Fatalf("reorder changed after cache warm-up:\ncold: %v\nwarm: %v", coldOrder, warm)
+		}
+		if warm := estimates(); !reflect.DeepEqual(coldEst, warm) {
+			t.Fatalf("estimates changed after cache warm-up:\ncold: %v\nwarm: %v", coldEst, warm)
+		}
+	}
+	// Cached counts must equal uncached counts for every pattern shape.
+	for _, ids := range [][3]rdf.ID{{1, 0, 0}, {0, 2, 0}, {0, 0, 3}, {1, 2, 0}, {0, 2, 3}, {1, 0, 3}, {0, 0, 0}} {
+		if got, want := g.CachedCountIDs(ids[0], ids[1], ids[2]), g.MatchCountIDs(ids[0], ids[1], ids[2]); got != want {
+			t.Errorf("CachedCountIDs(%v) = %d, MatchCountIDs = %d", ids, got, want)
+		}
+	}
+}
+
+// TestStrategySelection pins the heuristic's behavior at its boundaries and
+// checks that both strategies are actually reachable from real queries.
+func TestStrategySelection(t *testing.T) {
+	cases := []struct {
+		est, inputLen, nJoinVars int
+		mixed                    bool
+		want                     joinStrategy
+	}{
+		{est: 1000, inputLen: 4, nJoinVars: 1, mixed: false, want: strategyNestedLoop},     // tiny input
+		{est: 10, inputLen: 100, nJoinVars: 1, mixed: false, want: strategyHashJoin},       // selective build side
+		{est: 100000, inputLen: 100, nJoinVars: 1, mixed: false, want: strategyNestedLoop}, // huge build side
+		{est: 100000, inputLen: 100, nJoinVars: 0, mixed: false, want: strategyHashJoin},   // cross product
+		{est: 10, inputLen: 100, nJoinVars: 1, mixed: true, want: strategyNestedLoop},      // mixed boundness
+	}
+	for _, c := range cases {
+		if got := chooseStrategy(c.est, c.inputLen, c.nJoinVars, c.mixed); got != c.want {
+			t.Errorf("chooseStrategy(%d, %d, %d, %v) = %v, want %v",
+				c.est, c.inputLen, c.nJoinVars, c.mixed, got, c.want)
+		}
+	}
+	// A multi-hop query over a large graph must show both strategies in its
+	// plan: the first scan feeds enough rows that a selective second pattern
+	// switches to hash join.
+	g := chainGraph(600)
+	plan, err := ExplainOpts(g, `PREFIX ex: <http://e/>
+SELECT ?s ?w WHERE { ?s ex:v ?v . ?s ex:link ?t . ?t ex:w ?w }`, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "hash join") {
+		t.Errorf("plan shows no hash join:\n%s", plan)
+	}
+	if !strings.Contains(plan, "workers: 4") {
+		t.Errorf("plan does not report worker count:\n%s", plan)
+	}
+}

@@ -234,11 +234,11 @@ func ApplyUpdate(g *rdf.Graph, u *Update) (UpdateResult, error) {
 			}
 			tmpl = append(tmpl, *e.Triple)
 		}
-		ev := &evaluator{g: g}
+		ev := newEvaluator(g, Options{})
 		rows := ev.evalGroup(u.Where, []Binding{{}})
 		return res, deleteInsert(g, rows, tmpl, nil, &res)
 	case UpdateModify:
-		ev := &evaluator{g: g}
+		ev := newEvaluator(g, Options{})
 		rows := ev.evalGroup(u.Where, []Binding{{}})
 		return res, deleteInsert(g, rows, u.DeleteTempl, u.InsertTempl, &res)
 	case UpdateClear:
