@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-json clean
+.PHONY: build test check race bench bench-json obs-smoke clean
 
 build:
 	$(GO) build ./...
@@ -8,12 +8,19 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the full verification gate: static analysis plus the whole test
+# check is the full verification gate: static analysis, the whole test
 # suite under the race detector (the parallel evaluator paths run with
-# Parallelism > 1 in tests, so races surface here).
+# Parallelism > 1 in tests, so races surface here), and the telemetry
+# smoke test against a live server.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) obs-smoke
+
+# obs-smoke starts the server and asserts /metrics, /api/trace and pprof
+# respond with the expected content (see scripts/obs-smoke.sh).
+obs-smoke:
+	sh scripts/obs-smoke.sh
 
 race:
 	$(GO) test -race ./...

@@ -21,6 +21,7 @@
 //	close                         pop back to the outer dataset
 //	back | reset                  undo / restart
 //	hifun | sparql <query>        show the HIFUN query / run raw SPARQL
+//	trace                         print the timing tree of the last run
 //	quit
 package main
 
@@ -45,6 +46,7 @@ func main() {
 	data := flag.String("data", "products-small", "dataset spec (see datagen.Load)")
 	scale := flag.Int("scale", 0, "dataset scale")
 	restore := flag.String("restore", "", "restore a session snapshot (JSON file) over the dataset")
+	flag.BoolVar(&traceRuns, "trace", false, "print the per-phase timing tree after every run")
 	flag.Parse()
 	g, ns, err := datagen.Load(*data, *scale)
 	if err != nil {
@@ -70,6 +72,10 @@ func main() {
 		*data, st.Triples)
 	repl(sess, ns, os.Stdin, os.Stdout)
 }
+
+// traceRuns makes `run` print its timing tree (also available on demand
+// via the `trace` command).
+var traceRuns bool
 
 func repl(sess *core.Session, ns string, in *os.File, out *os.File) {
 	scanner := bufio.NewScanner(in)
@@ -162,6 +168,15 @@ func execute(sess *core.Session, ns string, line string, out *os.File) error {
 			return err
 		}
 		fmt.Fprint(out, ans.String())
+		if traceRuns {
+			fmt.Fprint(out, "\n"+sess.LastTrace().Tree())
+		}
+	case "trace":
+		tr := sess.LastTrace()
+		if tr == nil {
+			return fmt.Errorf("no analytic query has run yet")
+		}
+		fmt.Fprint(out, tr.Tree())
 	case "chart":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: chart <bar|pie|column|line|treemap|spiral> <file.svg>")

@@ -21,6 +21,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	data := flag.String("data", "products-small", "dataset: products[-small], invoices[-small], stats, or a .ttl/.nt file")
 	scale := flag.Int("scale", 0, "dataset scale for generated datasets (0 = default)")
+	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this (e.g. 250ms; 0 disables)")
+	debug := flag.Bool("debug", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	g, ns, err := datagen.Load(*data, *scale)
 	if err != nil {
@@ -29,6 +31,16 @@ func main() {
 	st := g.Stats()
 	fmt.Printf("rdf-analytics: dataset %q loaded: %d triples, %d subjects, %d predicates, %d classes\n",
 		*data, st.Triples, st.Subjects, st.Predicates, st.Classes)
-	fmt.Printf("rdf-analytics: listening on %s (API at /api, SPARQL at /sparql)\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(g, ns)))
+	fmt.Printf("rdf-analytics: listening on %s (API at /api, SPARQL at /sparql, metrics at /metrics)\n", *addr)
+	if *slowQuery > 0 {
+		fmt.Printf("rdf-analytics: logging queries slower than %s\n", *slowQuery)
+	}
+	if *debug {
+		fmt.Println("rdf-analytics: pprof enabled at /debug/pprof/")
+	}
+	srv := server.NewWithConfig(g, ns, server.Config{
+		SlowQuery: *slowQuery,
+		Debug:     *debug,
+	})
+	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/obs"
 	"rdfanalytics/internal/rdf"
 	"rdfanalytics/internal/sparql"
 )
@@ -24,6 +25,7 @@ func main() {
 	file := flag.String("f", "", "read the query from this file instead of argv")
 	format := flag.String("format", "table", "output format: table, csv, json")
 	explain := flag.Bool("explain", false, "print the evaluation plan instead of running the query")
+	trace := flag.Bool("trace", false, "print the per-phase timing tree after the results (SELECT only)")
 	flag.Parse()
 	var query string
 	switch {
@@ -56,7 +58,12 @@ func main() {
 	}
 	switch q.Form {
 	case sparql.FormSelect:
-		res, err := sparql.ExecSelect(g, q)
+		var tr *obs.Trace
+		if *trace {
+			tr = obs.NewTrace("query")
+		}
+		res, err := sparql.ExecSelectOpts(g, q, sparql.Options{Trace: tr})
+		tr.Finish()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -73,6 +80,9 @@ func main() {
 		default:
 			fmt.Print(res.String())
 			fmt.Printf("(%d rows)\n", res.Len())
+		}
+		if tr != nil {
+			fmt.Fprint(os.Stderr, "\n"+tr.Tree())
 		}
 	case sparql.FormAsk:
 		ok, err := sparql.Ask(g, query)

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"time"
+
+	"rdfanalytics/internal/obs"
+)
+
+// Metric handles for the interaction layer, resolved once at package init.
+// rdfa_core_answer_cache_total partitions RunAnalytics outcomes: "hit"
+// (exact answer memoized), "cube" (answered by rolling up a retained cube),
+// "miss" (full translate + SPARQL evaluation).
+var (
+	runSeconds     = obs.Default.Histogram("rdfa_core_run_analytics_seconds", nil)
+	reloadSeconds  = obs.Default.Histogram("rdfa_core_reload_seconds", nil)
+	uiStateSeconds = obs.Default.Histogram("rdfa_core_uistate_seconds", nil)
+	answerHits     = obs.Default.Counter("rdfa_core_answer_cache_total", "result", "hit")
+	answerCubes    = obs.Default.Counter("rdfa_core_answer_cache_total", "result", "cube")
+	answerMisses   = obs.Default.Counter("rdfa_core_answer_cache_total", "result", "miss")
+)
+
+// observeSince records a duration on h; evaluate time.Now() at the defer
+// site so the deferred call measures the enclosing function.
+func observeSince(h *obs.Histogram, start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}

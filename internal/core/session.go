@@ -13,9 +13,11 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"rdfanalytics/internal/facet"
 	"rdfanalytics/internal/hifun"
+	"rdfanalytics/internal/obs"
 	"rdfanalytics/internal/rdf"
 )
 
@@ -91,7 +93,14 @@ func (l *level) state() *facet.State { return l.history[len(l.history)-1] }
 // full state of the GUI in Fig 5.1.
 type Session struct {
 	levels []*level
+	// lastTrace is the span tree of the most recent RunAnalytics, serving
+	// GET /api/trace and the CLI's `trace` command.
+	lastTrace *obs.Trace
 }
+
+// LastTrace returns the trace of the most recent RunAnalytics call, or nil
+// when no analytic query has run yet.
+func (s *Session) LastTrace() *obs.Trace { return s.lastTrace }
 
 // NewSession starts a session over g (which should be materialized) with
 // attribute namespace ns. The initial state is s0 (§5.3.2).
@@ -329,20 +338,33 @@ func (s *Session) Context() *hifun.Context {
 // storing and returning the Answer Frame. Identical (state, query) pairs
 // are served from a per-level cache until the graph mutates.
 func (s *Session) RunAnalytics() (*hifun.Answer, error) {
+	start := time.Now()
+	defer func() { runSeconds.Observe(time.Since(start).Seconds()) }()
+	tr := obs.NewTrace("run_analytics")
+	s.lastTrace = tr
+	defer tr.Finish()
+
+	bq := tr.Root().StartChild("build_query")
 	q, err := s.BuildHIFUNQuery()
+	bq.Finish()
 	if err != nil {
 		return nil, err
 	}
+	bq.SetAttr("hifun", q.String())
 	l := s.top()
 	intentionKey := l.state().Int.String()
 	key := intentionKey + "\x00" + q.String()
 	if cached, ok := l.cache[key]; ok {
+		answerHits.Inc()
+		tr.Root().SetAttr("answer_source", "cache")
 		l.answer = cached
 		return cached, nil
 	}
 	// Materialized-cube reuse: a coarser grouping of a cached cube rolls up
 	// in memory instead of re-querying (see cube.go).
 	if rolled := l.tryCubeReuse(intentionKey, l.analytics); rolled != nil {
+		answerCubes.Inc()
+		tr.Root().SetAttr("answer_source", "cube_rollup")
 		if l.cache == nil {
 			l.cache = map[string]*hifun.Answer{}
 		}
@@ -350,7 +372,11 @@ func (s *Session) RunAnalytics() (*hifun.Answer, error) {
 		l.answer = rolled
 		return rolled, nil
 	}
-	ans, err := s.Context().Execute(q)
+	answerMisses.Inc()
+	tr.Root().SetAttr("answer_source", "query")
+	ctx := s.Context()
+	ctx.Trace = tr
+	ans, err := ctx.Execute(q)
 	if err != nil {
 		return nil, err
 	}
@@ -394,6 +420,7 @@ func (s *Session) LoadAnswerAsDataset() error {
 	if l.answer == nil {
 		return errors.New("core: no answer to load (run an analytic query first)")
 	}
+	defer observeSince(reloadSeconds, time.Now())
 	g := l.answer.LoadAsDataset()
 	m := facet.NewModel(g)
 	start := m.ClickClass(m.Start(), rdf.NewIRI(hifun.AnswerNS+"Tuple"))

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"rdfanalytics/internal/facet"
 	"rdfanalytics/internal/rdf"
@@ -62,6 +63,7 @@ type UIState struct {
 // the right-frame objects, Part B the class facets, Part C the property
 // facets. maxObjects caps the right frame (paging).
 func (s *Session) ComputeUIState(maxObjects int, includeInverse bool) *UIState {
+	defer observeSince(uiStateSeconds, time.Now())
 	l := s.top()
 	st := l.state()
 	ui := &UIState{

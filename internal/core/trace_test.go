@@ -1,0 +1,38 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rdfanalytics/internal/facet"
+	"rdfanalytics/internal/hifun"
+)
+
+// TestSessionLastTrace checks RunAnalytics records a span tree: the first
+// run goes through translate/exec (answer_source=query), the second is
+// served from the answer cache and says so.
+func TestSessionLastTrace(t *testing.T) {
+	s := productSession(t)
+	if s.LastTrace() != nil {
+		t.Fatal("fresh session has a trace")
+	}
+	s.ClickClass(pe("Laptop"))
+	s.ClickGroupBy(GroupSpec{Path: facet.Path{{P: pe("manufacturer")}}})
+	s.ClickAggregate(MeasureSpec{Path: facet.Path{{P: pe("price")}}},
+		hifun.Operation{Op: hifun.OpAvg})
+	if _, err := s.RunAnalytics(); err != nil {
+		t.Fatal(err)
+	}
+	tree := s.LastTrace().Tree()
+	for _, want := range []string{"run_analytics", "answer_source=query", "build_query", "translate", "exec", "build_answer", "bgp"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("trace missing %q:\n%s", want, tree)
+		}
+	}
+	if _, err := s.RunAnalytics(); err != nil {
+		t.Fatal(err)
+	}
+	if tree := s.LastTrace().Tree(); !strings.Contains(tree, "answer_source=cache") {
+		t.Errorf("second run should be a cache hit:\n%s", tree)
+	}
+}

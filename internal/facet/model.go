@@ -3,6 +3,7 @@ package facet
 import (
 	"math"
 	"sort"
+	"time"
 
 	"rdfanalytics/internal/par"
 	"rdfanalytics/internal/rdf"
@@ -297,6 +298,7 @@ type ClassNode struct {
 // Part B). Classes covering no current object are pruned (query guidance:
 // no click leads to an empty result).
 func (m *Model) ClassFacet(s *State) []ClassNode {
+	defer observeSince(classFacetSeconds, time.Now())
 	var build func(c rdf.Term) (ClassNode, bool)
 	build = func(c rdf.Term) (ClassNode, bool) {
 		count := m.RestrictClass(s.Ext, c).Len()
@@ -358,6 +360,7 @@ func (f Facet) Total(m *Model, e *TermSet) int {
 // pool (Model.Parallelism); results land in per-property slots, so output
 // is identical at every parallelism level.
 func (m *Model) PropertyFacets(s *State, includeInverse bool) []Facet {
+	defer observeSince(propFacetsSeconds, time.Now())
 	props := m.applicableProperties()
 	eIDs := m.extIDSet(s.Ext)
 	slots := make([][]Facet, len(props))
@@ -451,6 +454,7 @@ func RankFacets(m *Model, e *TermSet, facets []Facet) []Facet {
 // M_0 = s.Ext. It returns the markers of the last step, or nil when the
 // sequence is not successive (produces no values).
 func (m *Model) ExpandPath(s *State, path Path) []ValueCount {
+	defer observeSince(expandPathSeconds, time.Now())
 	cur := s.Ext
 	var values map[rdf.Term]int
 	for _, step := range path {

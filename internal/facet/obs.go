@@ -1,0 +1,22 @@
+package facet
+
+import (
+	"time"
+
+	"rdfanalytics/internal/obs"
+)
+
+// Metric handles for facet computation, resolved once at package init. The
+// three timed operations are the ones the state-space renderer calls on
+// every interaction step: the class facet, the property facets of the
+// current extension, and path expansion.
+var (
+	classFacetSeconds = obs.Default.Histogram("rdfa_facet_compute_seconds", nil, "op", "class_facet")
+	propFacetsSeconds = obs.Default.Histogram("rdfa_facet_compute_seconds", nil, "op", "property_facets")
+	expandPathSeconds = obs.Default.Histogram("rdfa_facet_compute_seconds", nil, "op", "expand_path")
+)
+
+// observeSince records an operation duration on h.
+func observeSince(h *obs.Histogram, start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}

@@ -4,9 +4,17 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
+	"rdfanalytics/internal/obs"
 	"rdfanalytics/internal/rdf"
 	"rdfanalytics/internal/sparql"
+)
+
+// Metric handles for the HIFUN layer, resolved once at package init.
+var (
+	translateSeconds = obs.Default.Histogram("rdfa_hifun_translate_seconds", nil)
+	executeSeconds   = obs.Default.Histogram("rdfa_hifun_execute_seconds", nil)
 )
 
 // Context is a HIFUN analysis context over an RDF dataset (§2.5): a set of
@@ -21,6 +29,10 @@ type Context struct {
 	// ExtraPatterns inject additional graph patterns rooted at ?x1 (used by
 	// the faceted layer to restrict the context to the current extension).
 	ExtraPatterns []string
+	// Trace, when non-nil, records per-phase spans of Execute (translate,
+	// parse, exec, build_answer) under its root. Tracing never changes the
+	// answer, only records how it was computed.
+	Trace *obs.Trace
 }
 
 // NewContext builds an analysis context over g with attribute namespace ns.
@@ -156,7 +168,17 @@ func (a *Answer) Project(cols []string) *Answer {
 // Execute translates q against the context and evaluates it, returning the
 // materialized answer. Group rows are sorted for determinism.
 func (c *Context) Execute(q *Query) (*Answer, error) {
+	start := time.Now()
+	defer func() { executeSeconds.Observe(time.Since(start).Seconds()) }()
+	root := c.Trace.Root()
+
+	ts := root.StartChild("translate")
 	src, err := c.Translator().Translate(q)
+	translateSeconds.Observe(time.Since(start).Seconds())
+	if ts != nil {
+		ts.SetAttr("hifun", q.String())
+		ts.Finish()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -164,10 +186,13 @@ func (c *Context) Execute(q *Query) (*Answer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hifun: generated SPARQL failed to parse: %w\n%s", err, src)
 	}
-	res, err := sparql.ExecSelect(c.Graph, parsed)
+	es := root.StartChild("exec")
+	res, err := sparql.ExecSelectOpts(c.Graph, parsed, sparql.Options{Trace: obs.SubTrace(es)})
+	es.Finish()
 	if err != nil {
 		return nil, err
 	}
+	bs := root.StartChild("build_answer")
 	res.Sort()
 	ans := &Answer{SPARQL: src}
 	nGroups := len(res.Vars) - len(q.Ops)
@@ -182,6 +207,10 @@ func (c *Context) Execute(q *Query) (*Answer, error) {
 			r[i] = row[v]
 		}
 		ans.Rows = append(ans.Rows, r)
+	}
+	if bs != nil {
+		bs.SetAttr("rows", len(ans.Rows))
+		bs.Finish()
 	}
 	return ans, nil
 }

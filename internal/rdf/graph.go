@@ -3,6 +3,7 @@ package rdf
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Any is the wildcard term for Graph.Match: a position holding Any matches
@@ -30,6 +31,10 @@ type Graph struct {
 	// Version) validate against it instead of subscribing to writes.
 	version uint64
 	cards   cardCache
+	// scans counts index scan operations (Match / MatchIDs calls) for the
+	// metrics endpoint; one relaxed atomic add per scan, negligible next to
+	// the read lock the scan already takes.
+	scans atomic.Uint64
 }
 
 // NewGraph returns an empty graph.
@@ -168,10 +173,15 @@ func (g *Graph) Has(t Triple) bool {
 // position acts as a wildcard. Iteration stops early when fn returns false.
 // The triple passed to fn is fully materialized (terms, not IDs).
 func (g *Graph) Match(s, p, o Term, fn func(Triple) bool) {
+	g.scans.Add(1)
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	g.matchLocked(s, p, o, fn)
 }
+
+// IndexScans returns the lifetime count of index scan operations (Match and
+// MatchIDs calls) against this graph, for diagnostics and GET /metrics.
+func (g *Graph) IndexScans() uint64 { return g.scans.Load() }
 
 func (g *Graph) matchLocked(s, p, o Term, fn func(Triple) bool) {
 	sID, sOK := g.resolve(s)

@@ -42,6 +42,7 @@ func (g *Graph) TermOf(id ID) Term {
 // fn runs while the graph read lock is held: it must not call other Graph
 // methods (collect IDs and materialize after the scan instead).
 func (g *Graph) MatchIDs(s, p, o ID, fn func(s, p, o ID) bool) {
+	g.scans.Add(1)
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	g.matchIDsLocked(s, p, o, fn)

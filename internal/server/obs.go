@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"rdfanalytics/internal/obs"
+)
+
+// Counters for session lifecycle events; the active-session count is a
+// GaugeFunc registered in NewWithConfig (it reads the live map).
+var (
+	sessionsCreated = obs.Default.Counter("rdfa_http_sessions_created_total")
+	sessionsEvicted = obs.Default.Counter("rdfa_http_sessions_evicted_total")
+)
+
+// statusWriter captures the status code a handler writes, defaulting to 200
+// when the handler never calls WriteHeader explicitly.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// ServeHTTP implements http.Handler: every request goes through the
+// telemetry middleware, which records a per-endpoint latency histogram and
+// a per-endpoint/status request counter. The endpoint label is the ServeMux
+// pattern that matched (e.g. "POST /api/run"), so cardinality is bounded by
+// the route table, not by URLs.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	endpoint := r.Pattern
+	if endpoint == "" {
+		endpoint = "unmatched"
+	}
+	obs.Default.Counter("rdfa_http_requests_total",
+		"endpoint", endpoint, "status", strconv.Itoa(sw.status)).Inc()
+	obs.Default.Histogram("rdfa_http_request_seconds", nil,
+		"endpoint", endpoint).Observe(time.Since(start).Seconds())
+}
+
+// handleMetrics serves the whole registry in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default.WritePrometheus(w)
+}
+
+// traceJSON is the wire form of GET /api/trace: the span tree of the
+// session's last analytic query and of the server's last protocol-endpoint
+// query, whichever exist.
+type traceJSON struct {
+	Analytics *obs.SpanJSON `json:"analytics,omitempty"`
+	SPARQL    *obs.SpanJSON `json:"sparql,omitempty"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out traceJSON
+	if tr := s.sessionFor(r).LastTrace(); tr != nil {
+		e := tr.Export()
+		out.Analytics = &e
+	}
+	if s.lastSparql != nil {
+		e := s.lastSparql.Export()
+		out.SPARQL = &e
+	}
+	if out.Analytics == nil && out.SPARQL == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no query traced yet; POST /api/run or /sparql first"))
+		return
+	}
+	writeJSON(w, out)
+}
+
+// mountDebug exposes net/http/pprof on the server's own mux (the stdlib
+// only self-registers on DefaultServeMux), gated behind Config.Debug.
+func mountDebug(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

@@ -10,14 +10,17 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"rdfanalytics/internal/core"
 	"rdfanalytics/internal/facet"
 	"rdfanalytics/internal/hifun"
+	"rdfanalytics/internal/obs"
 	"rdfanalytics/internal/rdf"
 	"rdfanalytics/internal/sparql"
 	"rdfanalytics/internal/viz"
@@ -32,17 +35,73 @@ type Server struct {
 	mu       sync.Mutex
 	graph    *rdf.Graph
 	ns       string
-	sessions map[string]*core.Session
+	sessions map[string]*sessEntry
+	clock    uint64 // logical tick for LRU eviction; advanced under mu
 	mux      *http.ServeMux
+	// lastSparql is the trace of the most recent /sparql SELECT, for
+	// GET /api/trace (the interaction sessions keep their own).
+	lastSparql *obs.Trace
+	slow       *obs.SlowQueryLog
+}
+
+// sessEntry pairs a session with its last-use tick for LRU eviction.
+type sessEntry struct {
+	sess     *core.Session
+	lastUsed uint64
 }
 
 // MaxSessions caps concurrently tracked sessions; creating one beyond the
-// cap evicts an arbitrary existing session (demo-server semantics).
+// cap evicts the least-recently-used existing session.
 const MaxSessions = 256
 
-// New builds a server over g with attribute namespace ns.
+// Config carries the optional observability knobs of the server.
+type Config struct {
+	// SlowQuery, when positive, logs queries slower than this threshold
+	// (with their plan summary) through SlowQueryLogger.
+	SlowQuery time.Duration
+	// SlowQueryLogger receives slow-query records; nil means slog.Default().
+	SlowQueryLogger *slog.Logger
+	// Debug mounts net/http/pprof under /debug/pprof/.
+	Debug bool
+}
+
+// New builds a server over g with attribute namespace ns and default
+// observability settings (no slow-query log, no pprof).
 func New(g *rdf.Graph, ns string) *Server {
-	s := &Server{graph: g, ns: ns, sessions: map[string]*core.Session{}}
+	return NewWithConfig(g, ns, Config{})
+}
+
+// NewWithConfig builds a server with explicit observability settings.
+func NewWithConfig(g *rdf.Graph, ns string, cfg Config) *Server {
+	s := &Server{graph: g, ns: ns, sessions: map[string]*sessEntry{}}
+	logger := cfg.SlowQueryLogger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s.slow = obs.NewSlowQueryLog(logger, cfg.SlowQuery, obs.Default)
+	// Graph-level statistics are exported as functions evaluated at
+	// scrape time; re-registering (tests build many servers) rebinds the
+	// closures to the newest server's graph.
+	obs.Default.CounterFunc("rdfa_rdf_cardinality_cache_hits_total", func() float64 {
+		_, hits, _ := g.CardCacheStats()
+		return float64(hits)
+	})
+	obs.Default.CounterFunc("rdfa_rdf_cardinality_cache_misses_total", func() float64 {
+		_, _, misses := g.CardCacheStats()
+		return float64(misses)
+	})
+	obs.Default.GaugeFunc("rdfa_rdf_cardinality_cache_size", func() float64 {
+		size, _, _ := g.CardCacheStats()
+		return float64(size)
+	})
+	obs.Default.CounterFunc("rdfa_rdf_index_scans_total", func() float64 {
+		return float64(g.IndexScans())
+	})
+	obs.Default.GaugeFunc("rdfa_http_active_sessions", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.sessions))
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	mux.HandleFunc("/sparql", s.handleSPARQL)
@@ -62,35 +121,45 @@ func New(g *rdf.Graph, ns string) *Server {
 	mux.HandleFunc("GET /api/chart", s.handleChart)
 	mux.HandleFunc("GET /api/answer.csv", s.handleAnswerCSV)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /api/trace", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /ui", s.handleUI)
+	if cfg.Debug {
+		mountDebug(mux)
+	}
 	s.mux = mux
 	return s
 }
 
 // sessionFor returns (creating if needed) the session for the request's
-// X-Session header / ?session= parameter. Callers must hold s.mu.
+// X-Session header / ?session= parameter, bumping its LRU tick. When the
+// session table is full, the least-recently-used session is evicted.
+// Callers must hold s.mu.
 func (s *Server) sessionFor(r *http.Request) *core.Session {
 	id := r.Header.Get("X-Session")
 	if id == "" {
 		id = r.URL.Query().Get("session")
 	}
-	if sess, ok := s.sessions[id]; ok {
-		return sess
+	s.clock++
+	if e, ok := s.sessions[id]; ok {
+		e.lastUsed = s.clock
+		return e.sess
 	}
 	if len(s.sessions) >= MaxSessions {
-		for k := range s.sessions {
-			delete(s.sessions, k)
-			break
+		var victim string
+		oldest := uint64(1<<64 - 1)
+		for k, e := range s.sessions {
+			if e.lastUsed < oldest {
+				oldest, victim = e.lastUsed, k
+			}
 		}
+		delete(s.sessions, victim)
+		sessionsEvicted.Inc()
 	}
 	sess := core.NewSession(s.graph, s.ns)
-	s.sessions[id] = sess
+	s.sessions[id] = &sessEntry{sess: sess, lastUsed: s.clock}
+	sessionsCreated.Inc()
 	return sess
-}
-
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
 }
 
 // ---- term and path JSON codecs ----
@@ -219,7 +288,12 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	switch q.Form {
 	case sparql.FormSelect:
-		res, err := sparql.ExecSelect(s.graph, q)
+		start := time.Now()
+		tr := obs.NewTrace("sparql")
+		res, err := sparql.ExecSelectOpts(s.graph, q, sparql.Options{Trace: tr})
+		tr.Finish()
+		s.lastSparql = tr
+		s.slow.Observe("sparql", query, time.Since(start), tr)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 			return
@@ -271,8 +345,8 @@ func (s *Server) execUpdate(w http.ResponseWriter, src string) {
 		return
 	}
 	if res.Inserted > 0 || res.Deleted > 0 {
-		for _, sess := range s.sessions {
-			sess.InvalidateCache()
+		for _, e := range s.sessions {
+			e.sess.InvalidateCache()
 		}
 	}
 	writeJSON(w, map[string]int{"inserted": res.Inserted, "deleted": res.Deleted})
@@ -583,7 +657,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	start := time.Now()
 	ans, err := sess.RunAnalytics()
+	s.slow.Observe("analytics", q.String(), time.Since(start), sess.LastTrace())
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return

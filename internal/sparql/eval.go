@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
+	"rdfanalytics/internal/obs"
 	"rdfanalytics/internal/par"
 	"rdfanalytics/internal/rdf"
 )
@@ -21,6 +23,9 @@ type evaluator struct {
 	// workers is the resolved worker-pool size for partitioned BGP
 	// evaluation (always >= 1; 1 means fully sequential).
 	workers int
+	// cur is the span new trace children attach under; nil when tracing is
+	// off, in which case every span site is a single pointer test.
+	cur *obs.Span
 }
 
 // Options tune query evaluation.
@@ -37,6 +42,11 @@ type Options struct {
 	// setting — the DESIGN.md §5 decision-5 ablation). 0 means GOMAXPROCS;
 	// 1 forces sequential evaluation.
 	Parallelism int
+	// Trace, when non-nil, receives a span tree of the evaluation: the
+	// match/aggregate/modifier phases, each BGP run with its join strategy
+	// and row counts, filters, and nested constructs. Tracing never changes
+	// results, only records them (see TestTraceDifferential).
+	Trace *obs.Trace
 }
 
 func newEvaluator(g *rdf.Graph, opts Options) *evaluator {
@@ -45,12 +55,16 @@ func newEvaluator(g *rdf.Graph, opts Options) *evaluator {
 		noReorder:  opts.NoReorder,
 		noPushdown: opts.NoPushdown,
 		workers:    par.Workers(opts.Parallelism),
+		cur:        opts.Trace.Root(),
 	}
 }
 
 // ExecSelectOpts executes a parsed SELECT query with explicit options.
 func ExecSelectOpts(g *rdf.Graph, q *Query, opts Options) (*Results, error) {
-	return newEvaluator(g, opts).execSelect(q, []Binding{{}})
+	start := time.Now()
+	res, err := newEvaluator(g, opts).execSelect(q, []Binding{{}})
+	observeSince(execSeconds, start)
+	return res, err
 }
 
 // Select parses and executes a SELECT query.
@@ -164,23 +178,37 @@ func instantiate(n Node, b Binding) (rdf.Term, bool) {
 
 // ExecSelect executes a parsed SELECT query.
 func ExecSelect(g *rdf.Graph, q *Query) (*Results, error) {
-	ev := newEvaluator(g, Options{})
-	return ev.execSelect(q, []Binding{{}})
+	return ExecSelectOpts(g, q, Options{})
 }
 
 func (ev *evaluator) execSelect(q *Query, input []Binding) (*Results, error) {
+	t0 := time.Now()
+	ms := ev.enterSpan("match")
 	rows := ev.evalGroup(q.Where, input)
+	ms.SetAttr("rows", len(rows))
+	ev.exitSpan(ms)
+	observeSince(phaseMatch, t0)
 	grouped := len(q.GroupBy) > 0 || selectHasAggregate(q) || len(q.Having) > 0
 	var res *Results
 	var err error
+	t1 := time.Now()
 	if grouped {
+		as := ev.enterSpan("aggregate")
+		as.SetAttr("groupBy", len(q.GroupBy))
 		res, err = ev.aggregate(q, rows)
+		ev.exitSpan(as)
+		observeSince(phaseAggregate, t1)
 	} else {
+		ps := ev.enterSpan("project")
 		res, err = ev.project(q, rows)
+		ev.exitSpan(ps)
+		observeSince(phaseProject, t1)
 	}
 	if err != nil {
 		return nil, err
 	}
+	t2 := time.Now()
+	mods := ev.enterSpan("modifiers")
 	if q.Select.Distinct {
 		res = distinct(res)
 	}
@@ -197,6 +225,9 @@ func (ev *evaluator) execSelect(q *Query, input []Binding) (*Results, error) {
 	if q.Limit >= 0 && q.Limit < len(res.Rows) {
 		res.Rows = res.Rows[:q.Limit]
 	}
+	mods.SetAttr("rows", len(res.Rows))
+	ev.exitSpan(mods)
+	observeSince(phaseModifiers, t2)
 	return res, nil
 }
 
@@ -234,6 +265,11 @@ func (ev *evaluator) evalGroup(gp *GroupPattern, input []Binding) []Binding {
 	bound := map[string]bool{}
 	env := exprEnv{ev: ev}
 	applyFilter := func(f *pendingFilter) {
+		fs := ev.cur.StartChild("filter")
+		if fs != nil {
+			fs.SetAttr("expr", fmt.Sprint(f.expr))
+			fs.SetAttr("rows_in", len(cur))
+		}
 		var out []Binding
 		for _, b := range cur {
 			if v, err := env.evalBool(f.expr, b); err == nil && v {
@@ -242,6 +278,10 @@ func (ev *evaluator) evalGroup(gp *GroupPattern, input []Binding) []Binding {
 		}
 		cur = out
 		f.applied = true
+		if fs != nil {
+			fs.SetAttr("rows_out", len(cur))
+			fs.Finish()
+		}
 	}
 	filterReady := func() bool {
 		if ev.noPushdown {
@@ -590,6 +630,8 @@ func substNode(n Node, b Binding) (rdf.Term, string) {
 }
 
 func (ev *evaluator) evalOptional(opt *GroupPattern, input []Binding) []Binding {
+	s := ev.enterSpan("optional")
+	s.SetAttr("rows_in", len(input))
 	var out []Binding
 	for _, b := range input {
 		ext := ev.evalGroup(opt, []Binding{b})
@@ -599,14 +641,20 @@ func (ev *evaluator) evalOptional(opt *GroupPattern, input []Binding) []Binding 
 		}
 		out = append(out, ext...)
 	}
+	s.SetAttr("rows_out", len(out))
+	ev.exitSpan(s)
 	return out
 }
 
 func (ev *evaluator) evalUnion(u *UnionPattern, input []Binding) []Binding {
+	s := ev.enterSpan("union")
+	s.SetAttr("alternatives", len(u.Alternatives))
 	var out []Binding
 	for _, alt := range u.Alternatives {
 		out = append(out, ev.evalGroup(alt, input)...)
 	}
+	s.SetAttr("rows_out", len(out))
+	ev.exitSpan(s)
 	return out
 }
 
@@ -652,6 +700,8 @@ func (ev *evaluator) evalValues(ve *ValuesElem, input []Binding) []Binding {
 }
 
 func (ev *evaluator) evalSubQuery(q *Query, input []Binding) []Binding {
+	s := ev.enterSpan("subquery")
+	defer ev.exitSpan(s)
 	res, err := ev.execSelect(q, []Binding{{}})
 	if err != nil {
 		return nil
@@ -675,6 +725,8 @@ func (ev *evaluator) evalSubQuery(q *Query, input []Binding) []Binding {
 }
 
 func (ev *evaluator) evalMinus(m *GroupPattern, input []Binding) []Binding {
+	s := ev.enterSpan("minus")
+	defer ev.exitSpan(s)
 	removed := ev.evalGroup(m, []Binding{{}})
 	var out []Binding
 	for _, b := range input {

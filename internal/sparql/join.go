@@ -124,10 +124,34 @@ func (r *idRows) row(i int) []rdf.ID { return r.vals[i*r.width : (i+1)*r.width] 
 // returns the extended bindings. Output order is deterministic: input order
 // crossed with the deterministic MatchIDs enumeration order per pattern.
 func (ev *evaluator) evalTripleRun(run []*TriplePattern, input []Binding) []Binding {
+	bs := ev.enterSpan("bgp")
+	if bs != nil {
+		bs.SetAttr("patterns", len(run))
+		bs.SetAttr("rows_in", len(input))
+		bs.SetAttr("workers", ev.workers)
+	}
+	out := ev.runTriples(run, input)
+	if bs != nil {
+		bs.SetAttr("rows_out", len(out))
+	}
+	ev.exitSpan(bs)
+	return out
+}
+
+func (ev *evaluator) runTriples(run []*TriplePattern, input []Binding) []Binding {
 	if len(input) == 0 {
 		return nil
 	}
+	ps := ev.cur.StartChild("plan")
 	rp := ev.planRun(run)
+	if ps != nil {
+		// The plan phase is where the cardinality-stats cache is consulted
+		// (one CachedCountIDs per pattern); surface its running totals.
+		_, hits, misses := ev.g.CardCacheStats()
+		ps.SetAttr("stats_cache_hits", hits)
+		ps.SetAttr("stats_cache_misses", misses)
+		ps.Finish()
+	}
 	if !rp.ok {
 		return nil
 	}
@@ -136,7 +160,7 @@ func (ev *evaluator) evalTripleRun(run []*TriplePattern, input []Binding) []Bind
 		if rows.n() == 0 {
 			return nil
 		}
-		rows = ev.evalPattern(rp, &rp.pats[i], rows)
+		rows = ev.evalPattern(run[i], rp, &rp.pats[i], rows)
 	}
 	if rows.n() == 0 {
 		return nil
@@ -183,8 +207,9 @@ func (ev *evaluator) convertInput(rp *runPlan, input []Binding) *idRows {
 // evalPattern joins the current rows with one pattern. Variable boundness
 // is classified over the full row set and the strategy chosen once; only
 // the per-row work is partitioned, so the strategy (and output order) is
-// independent of the worker count.
-func (ev *evaluator) evalPattern(rp *runPlan, pp *patPlan, rows *idRows) *idRows {
+// independent of the worker count. tp is the source pattern, used only to
+// label the trace span.
+func (ev *evaluator) evalPattern(tp *TriplePattern, rp *runPlan, pp *patPlan, rows *idRows) *idRows {
 	nJoin, mixed := 0, false
 	var joinPos, freePos []int // first pattern position of each distinct var
 	seen := [3]bool{}
@@ -214,15 +239,30 @@ func (ev *evaluator) evalPattern(rp *runPlan, pp *patPlan, rows *idRows) *idRows
 			mixed = true
 		}
 	}
-	if chooseStrategy(pp.baseEst, rows.n(), nJoin, mixed) == strategyHashJoin {
+	strategy := chooseStrategy(pp.baseEst, rows.n(), nJoin, mixed)
+	ss := ev.cur.StartChild("scan")
+	if ss != nil {
+		ss.SetAttr("pattern", tp.String())
+		ss.SetAttr("est", pp.baseEst)
+		ss.SetAttr("strategy", strategy.String())
+		ss.SetAttr("rows_in", rows.n())
+	}
+	var out *idRows
+	if strategy == strategyHashJoin {
 		ht := ev.buildHashRun(pp, joinPos)
-		return ev.runPartitioned(rows, func(lo, hi int) *idRows {
+		out = ev.runPartitioned(rows, func(lo, hi int) *idRows {
 			return probeHashRun(pp, ht, joinPos, freePos, rows, lo, hi)
 		})
+	} else {
+		out = ev.runPartitioned(rows, func(lo, hi int) *idRows {
+			return ev.nestedLoopRun(pp, rows, lo, hi)
+		})
 	}
-	return ev.runPartitioned(rows, func(lo, hi int) *idRows {
-		return ev.nestedLoopRun(pp, rows, lo, hi)
-	})
+	if ss != nil {
+		ss.SetAttr("rows_out", out.n())
+		ss.Finish()
+	}
+	return out
 }
 
 // runPartitioned splits the rows into contiguous chunks, runs exec on each

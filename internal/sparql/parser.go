@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"rdfanalytics/internal/rdf"
 )
@@ -28,6 +29,11 @@ type parser struct {
 
 // Parse parses a SPARQL query string into a Query.
 func Parse(src string) (*Query, error) {
+	start := time.Now()
+	defer func() {
+		observeSince(phaseParse, start)
+		queriesParsed.Inc()
+	}()
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err

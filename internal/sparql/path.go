@@ -9,6 +9,11 @@ import (
 // ends are variables — from the candidate sources of the path's first step.
 
 func (ev *evaluator) evalPathTriple(tp *TriplePattern, input []Binding) []Binding {
+	ps := ev.cur.StartChild("path_scan")
+	if ps != nil {
+		ps.SetAttr("pattern", tp.String())
+		ps.SetAttr("rows_in", len(input))
+	}
 	var out []Binding
 	for _, b := range input {
 		s, sVar := substNode(tp.S, b)
@@ -52,6 +57,10 @@ func (ev *evaluator) evalPathTriple(tp *TriplePattern, input []Binding) []Bindin
 				}
 			}
 		}
+	}
+	if ps != nil {
+		ps.SetAttr("rows_out", len(out))
+		ps.Finish()
 	}
 	return out
 }

@@ -1,0 +1,76 @@
+#!/bin/sh
+# obs-smoke: end-to-end check of the telemetry surface. Builds and starts the
+# server on a scratch port, drives one SPARQL query and one analytic query
+# through it, then asserts /metrics exposes the promised metric families and
+# /api/trace returns a span tree. Needs only sh + curl + grep.
+set -eu
+
+PORT="${OBS_SMOKE_PORT:-18923}"
+BASE="http://127.0.0.1:$PORT"
+BIN="$(mktemp -d)/rdfanalytics"
+LOG="$(mktemp)"
+
+go build -o "$BIN" ./cmd/rdfanalytics
+
+"$BIN" -addr "127.0.0.1:$PORT" -data products-small -debug >"$LOG" 2>&1 &
+PID=$!
+trap 'kill $PID 2>/dev/null; rm -f "$LOG"; rm -rf "$(dirname "$BIN")"' EXIT
+
+# Wait for the listener.
+i=0
+until curl -sf "$BASE/api/stats" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "obs-smoke: server did not come up; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+NS='http://example.org/products#'
+
+# One protocol query and one analytic query (click -> G -> Sigma -> run).
+curl -sf "$BASE/sparql" --data-urlencode \
+    "query=SELECT ?s WHERE { ?s a <${NS}Laptop> } LIMIT 3" >/dev/null
+curl -sf -X POST "$BASE/api/click/class" -H 'Content-Type: application/json' \
+    -d "{\"class\":\"${NS}Laptop\"}" >/dev/null
+curl -sf -X POST "$BASE/api/groupby" -H 'Content-Type: application/json' \
+    -d "{\"path\":[{\"p\":\"${NS}manufacturer\"}]}" >/dev/null
+curl -sf -X POST "$BASE/api/aggregate" -H 'Content-Type: application/json' \
+    -d '{"op":"COUNT"}' >/dev/null
+curl -sf -X POST "$BASE/api/run" >/dev/null
+
+METRICS="$(curl -sf "$BASE/metrics")"
+for name in \
+    rdfa_http_requests_total \
+    rdfa_http_request_seconds_bucket \
+    rdfa_http_active_sessions \
+    rdfa_http_sessions_created_total \
+    rdfa_sparql_query_phase_seconds_bucket \
+    rdfa_sparql_exec_seconds_count \
+    rdfa_rdf_cardinality_cache_hits_total \
+    rdfa_rdf_cardinality_cache_misses_total \
+    rdfa_rdf_index_scans_total \
+    rdfa_hifun_execute_seconds_count \
+    rdfa_core_run_analytics_seconds_count \
+    rdfa_facet_compute_seconds_count \
+    rdfa_slow_queries_total; do
+    if ! printf '%s\n' "$METRICS" | grep -q "^$name"; then
+        echo "obs-smoke: FAIL — metric $name missing from /metrics" >&2
+        exit 1
+    fi
+done
+
+TRACE="$(curl -sf "$BASE/api/trace")"
+for frag in run_analytics translate exec; do
+    if ! printf '%s' "$TRACE" | grep -q "$frag"; then
+        echo "obs-smoke: FAIL — /api/trace missing span \"$frag\": $TRACE" >&2
+        exit 1
+    fi
+done
+
+# -debug must mount pprof.
+curl -sf "$BASE/debug/pprof/cmdline" >/dev/null
+
+echo "obs-smoke: OK — metrics, trace and pprof endpoints all healthy"
