@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-json obs-smoke clean
+.PHONY: build test check race bench bench-json obs-smoke chaos-smoke fuzz-smoke clean
 
 build:
 	$(GO) build ./...
@@ -10,17 +10,36 @@ test:
 
 # check is the full verification gate: static analysis, the whole test
 # suite under the race detector (the parallel evaluator paths run with
-# Parallelism > 1 in tests, so races surface here), and the telemetry
-# smoke test against a live server.
+# Parallelism > 1 in tests, so races surface here), the telemetry and
+# chaos smoke tests against live servers, and a fuzz smoke pass over the
+# three parsers.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) obs-smoke
+	$(MAKE) chaos-smoke
+	$(MAKE) fuzz-smoke
 
 # obs-smoke starts the server and asserts /metrics, /api/trace and pprof
 # respond with the expected content (see scripts/obs-smoke.sh).
 obs-smoke:
 	sh scripts/obs-smoke.sh
+
+# chaos-smoke boots the server with fault injection armed and asserts the
+# governance layer holds: query timeout -> structured 504, handler panic ->
+# 500 with the process still up, oversized body -> 413, SIGTERM -> clean
+# drain (see scripts/chaos-smoke.sh).
+chaos-smoke:
+	sh scripts/chaos-smoke.sh
+
+# fuzz-smoke runs each parser fuzz target for a short burst; a discovered
+# panic fails the build and leaves its input in testdata/fuzz/.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) -run XXX ./internal/sparql/
+	$(GO) test -fuzz '^FuzzParseUpdate$$' -fuzztime $(FUZZTIME) -run XXX ./internal/sparql/
+	$(GO) test -fuzz '^FuzzParseTurtle$$' -fuzztime $(FUZZTIME) -run XXX ./internal/rdf/
+	$(GO) test -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) -run XXX ./internal/hifun/
 
 race:
 	$(GO) test -race ./...

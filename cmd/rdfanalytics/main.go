@@ -8,13 +8,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"rdfanalytics/internal/datagen"
 	"rdfanalytics/internal/server"
+	"rdfanalytics/internal/sparql"
 )
 
 func main() {
@@ -23,6 +27,11 @@ func main() {
 	scale := flag.Int("scale", 0, "dataset scale for generated datasets (0 = default)")
 	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this (e.g. 250ms; 0 disables)")
 	debug := flag.Bool("debug", false, "expose net/http/pprof under /debug/pprof/")
+	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-query wall-clock deadline (0 disables)")
+	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "POST request body cap in bytes (negative disables)")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "expire interaction sessions idle longer than this (0 disables)")
+	maxRows := flag.Int("max-intermediate-rows", 0, "row budget on intermediate binding sets (0 = unlimited)")
+	grace := flag.Duration("shutdown-grace", 10*time.Second, "in-flight request drain window on SIGINT/SIGTERM")
 	flag.Parse()
 	g, ns, err := datagen.Load(*data, *scale)
 	if err != nil {
@@ -35,12 +44,25 @@ func main() {
 	if *slowQuery > 0 {
 		fmt.Printf("rdf-analytics: logging queries slower than %s\n", *slowQuery)
 	}
+	if *queryTimeout > 0 {
+		fmt.Printf("rdf-analytics: query timeout %s\n", *queryTimeout)
+	}
 	if *debug {
 		fmt.Println("rdf-analytics: pprof enabled at /debug/pprof/")
 	}
 	srv := server.NewWithConfig(g, ns, server.Config{
-		SlowQuery: *slowQuery,
-		Debug:     *debug,
+		SlowQuery:    *slowQuery,
+		Debug:        *debug,
+		QueryTimeout: *queryTimeout,
+		MaxBodyBytes: *maxBody,
+		SessionTTL:   *sessionTTL,
+		Limits:       sparql.Limits{MaxIntermediateRows: *maxRows},
 	})
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	defer srv.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := server.Run(ctx, *addr, srv, *grace); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rdf-analytics: shut down cleanly")
 }

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -19,6 +20,7 @@ import (
 	"rdfanalytics/internal/hifun"
 	"rdfanalytics/internal/obs"
 	"rdfanalytics/internal/rdf"
+	"rdfanalytics/internal/sparql"
 )
 
 // GroupSpec is one grouping condition selected with the G button: a facet
@@ -96,7 +98,17 @@ type Session struct {
 	// lastTrace is the span tree of the most recent RunAnalytics, serving
 	// GET /api/trace and the CLI's `trace` command.
 	lastTrace *obs.Trace
+	// limits are the resource budgets applied to every analytic query the
+	// session runs (see sparql.Limits). Zero values mean engine defaults.
+	limits sparql.Limits
 }
+
+// SetLimits installs the resource budgets applied to the session's analytic
+// queries. Pass the zero value to restore engine defaults.
+func (s *Session) SetLimits(l sparql.Limits) { s.limits = l }
+
+// Limits returns the session's current resource budgets.
+func (s *Session) Limits() sparql.Limits { return s.limits }
 
 // LastTrace returns the trace of the most recent RunAnalytics call, or nil
 // when no analytic query has run yet.
@@ -324,6 +336,7 @@ func pathToAttr(p facet.Path, derive string) (hifun.Attr, error) {
 func (s *Session) Context() *hifun.Context {
 	l := s.top()
 	ctx := hifun.NewContext(l.model.G, l.ns)
+	ctx.Limits = s.limits
 	patterns := l.state().Int.Patterns(hifun.RootVar)
 	if strings.TrimSpace(patterns) != "" {
 		// Wrap in a subquery so the extension contributes each entity once,
@@ -338,6 +351,14 @@ func (s *Session) Context() *hifun.Context {
 // storing and returning the Answer Frame. Identical (state, query) pairs
 // are served from a per-level cache until the graph mutates.
 func (s *Session) RunAnalytics() (*hifun.Answer, error) {
+	return s.RunAnalyticsCtx(context.Background())
+}
+
+// RunAnalyticsCtx is RunAnalytics honoring ctx: the HIFUN translation and
+// the generated SPARQL evaluation observe ctx's deadline/cancellation and
+// the session's Limits. Cache and cube-rollup hits are unaffected (they
+// never touch the engine).
+func (s *Session) RunAnalyticsCtx(qctx context.Context) (*hifun.Answer, error) {
 	start := time.Now()
 	defer func() { runSeconds.Observe(time.Since(start).Seconds()) }()
 	tr := obs.NewTrace("run_analytics")
@@ -376,7 +397,7 @@ func (s *Session) RunAnalytics() (*hifun.Answer, error) {
 	tr.Root().SetAttr("answer_source", "query")
 	ctx := s.Context()
 	ctx.Trace = tr
-	ans, err := ctx.Execute(q)
+	ans, err := ctx.ExecuteCtx(qctx, q)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,245 @@
+// Package fault is a deterministic fault-injection harness for robustness
+// testing: injectable delays, forced errors, and forced panics, keyed by
+// site name. Production code marks interesting sites with a single
+// Inject/InjectCtx call; with no faults configured (the default) every site
+// compiles down to one atomic load and returns nil, so the hooks are safe
+// to leave in hot paths.
+//
+// Faults are configured programmatically (Configure / Reset, used by tests)
+// or through the RDFA_FAULT environment variable at process start, which is
+// how scripts/chaos-smoke.sh drives a live server:
+//
+//	RDFA_FAULT='sparql.join=delay:20ms,server.handler.panic=panic:chaos'
+//
+// The spec grammar is a comma-separated list of site=mode[:arg] entries:
+//
+//	site=delay:DURATION   sleep DURATION at the site (ctx-interruptible
+//	                      through InjectCtx)
+//	site=error[:MESSAGE]  return an *InjectedError from the site
+//	site=panic[:MESSAGE]  panic with an *InjectedError at the site
+//
+// An optional "@N" suffix on the mode argument limits the fault to its
+// first N activations (e.g. "site=error:boom@2"), after which the site
+// reverts to a no-op. Sites not present in the spec are always no-ops.
+package fault
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode is the kind of fault injected at a site.
+type Mode int
+
+// The supported fault modes.
+const (
+	// ModeDelay sleeps for the configured duration.
+	ModeDelay Mode = iota
+	// ModeError returns an *InjectedError.
+	ModeError
+	// ModePanic panics with an *InjectedError.
+	ModePanic
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeDelay:
+		return "delay"
+	case ModeError:
+		return "error"
+	default:
+		return "panic"
+	}
+}
+
+// InjectedError is the error produced by ModeError sites (and the panic
+// value of ModePanic sites), carrying the site name for assertions.
+type InjectedError struct {
+	Site    string
+	Message string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: injected error at %s: %s", e.Site, e.Message)
+}
+
+// rule is one configured fault.
+type rule struct {
+	mode  Mode
+	delay time.Duration
+	msg   string
+	// remaining is the number of activations left; negative means unlimited.
+	remaining atomic.Int64
+	hits      atomic.Uint64
+}
+
+// registry holds the active fault table. enabled is the hot-path gate: when
+// false, Inject returns immediately without touching the map.
+var (
+	enabled atomic.Bool
+	mu      sync.RWMutex
+	rules   map[string]*rule
+)
+
+func init() {
+	if spec := os.Getenv("RDFA_FAULT"); spec != "" {
+		if err := Configure(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "fault: ignoring invalid RDFA_FAULT: %v\n", err)
+		}
+	}
+}
+
+// Configure replaces the active fault table with the parsed spec. An empty
+// spec is equivalent to Reset.
+func Configure(spec string) error {
+	parsed, err := ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	rules = parsed
+	mu.Unlock()
+	enabled.Store(len(parsed) > 0)
+	return nil
+}
+
+// Reset disables all faults, restoring every site to a no-op.
+func Reset() {
+	mu.Lock()
+	rules = nil
+	mu.Unlock()
+	enabled.Store(false)
+}
+
+// ParseSpec parses a fault spec (see the package comment for the grammar)
+// without installing it.
+func ParseSpec(spec string) (map[string]*rule, error) {
+	out := map[string]*rule{}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		site, arm, ok := strings.Cut(entry, "=")
+		if !ok || site == "" {
+			return nil, fmt.Errorf("fault: bad entry %q (want site=mode[:arg])", entry)
+		}
+		r := &rule{}
+		r.remaining.Store(-1)
+		armMode, armArg, _ := strings.Cut(arm, ":")
+		// Optional activation cap: "mode:arg@N" limits to the first N hits.
+		if argBase, nStr, capped := strings.Cut(armArg, "@"); capped {
+			n, err := strconv.Atoi(nStr)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("fault: bad activation cap in %q", entry)
+			}
+			armArg = argBase
+			r.remaining.Store(int64(n))
+		}
+		switch armMode {
+		case "delay":
+			d, err := time.ParseDuration(armArg)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad delay in %q: %v", entry, err)
+			}
+			r.mode, r.delay = ModeDelay, d
+		case "error":
+			r.mode, r.msg = ModeError, defaultMsg(armArg)
+		case "panic":
+			r.mode, r.msg = ModePanic, defaultMsg(armArg)
+		default:
+			return nil, fmt.Errorf("fault: unknown mode %q in %q", armMode, entry)
+		}
+		out[strings.TrimSpace(site)] = r
+	}
+	return out, nil
+}
+
+func defaultMsg(arg string) string {
+	if arg == "" {
+		return "injected"
+	}
+	return arg
+}
+
+// lookup returns the active rule for site, consuming one activation, or nil.
+func lookup(site string) *rule {
+	if !enabled.Load() {
+		return nil
+	}
+	mu.RLock()
+	r := rules[site]
+	mu.RUnlock()
+	if r == nil {
+		return nil
+	}
+	for {
+		rem := r.remaining.Load()
+		if rem == 0 {
+			return nil // cap exhausted
+		}
+		if rem < 0 {
+			break // unlimited
+		}
+		if r.remaining.CompareAndSwap(rem, rem-1) {
+			break
+		}
+	}
+	r.hits.Add(1)
+	return r
+}
+
+// Inject activates the fault configured for site, if any: sleeps for delay
+// faults, returns an *InjectedError for error faults, panics for panic
+// faults. With no fault configured for the site it returns nil after one
+// atomic load.
+func Inject(site string) error {
+	return InjectCtx(context.Background(), site)
+}
+
+// InjectCtx is Inject with a context: a delay fault sleeps until its
+// duration elapses or ctx is done, whichever comes first (returning nil
+// either way — cancellation during an injected delay is the caller's
+// regular cancellation path, not an injected failure).
+func InjectCtx(ctx context.Context, site string) error {
+	r := lookup(site)
+	if r == nil {
+		return nil
+	}
+	switch r.mode {
+	case ModeDelay:
+		t := time.NewTimer(r.delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+		return nil
+	case ModeError:
+		return &InjectedError{Site: site, Message: r.msg}
+	default:
+		panic(&InjectedError{Site: site, Message: r.msg})
+	}
+}
+
+// Hits reports how many times the fault at site has activated since it was
+// configured (0 for unconfigured sites). Tests use it to assert a site was
+// actually exercised.
+func Hits(site string) uint64 {
+	mu.RLock()
+	r := rules[site]
+	mu.RUnlock()
+	if r == nil {
+		return 0
+	}
+	return r.hits.Load()
+}
+
+// Enabled reports whether any fault is currently configured.
+func Enabled() bool { return enabled.Load() }

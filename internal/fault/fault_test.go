@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNoopByDefault(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("faults enabled with empty table")
+	}
+	if err := Inject("anything"); err != nil {
+		t.Fatalf("unconfigured site returned %v", err)
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Configure("sparql.join=error:boom"); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject("sparql.join")
+	var ie *InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("got %v, want *InjectedError", err)
+	}
+	if ie.Site != "sparql.join" || ie.Message != "boom" {
+		t.Fatalf("unexpected error payload: %+v", ie)
+	}
+	if err := Inject("other.site"); err != nil {
+		t.Fatalf("unrelated site injected %v", err)
+	}
+	if Hits("sparql.join") != 1 {
+		t.Fatalf("hits = %d, want 1", Hits("sparql.join"))
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Configure("h=panic:chaos"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		p := recover()
+		var ie *InjectedError
+		if err, ok := p.(error); !ok || !errors.As(err, &ie) || ie.Message != "chaos" {
+			t.Fatalf("recovered %v, want injected panic", p)
+		}
+	}()
+	Inject("h")
+	t.Fatal("panic fault did not panic")
+}
+
+func TestDelayFaultAndCtxInterrupt(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Configure("slow=delay:40ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay fault returned after %v, want >= ~40ms", d)
+	}
+	// A cancelled context cuts the delay short.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start = time.Now()
+	if err := InjectCtx(ctx, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("cancelled delay took %v", d)
+	}
+}
+
+func TestActivationCap(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Configure("once=error:first@1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject("once"); err == nil {
+		t.Fatal("first activation was a no-op")
+	}
+	if err := Inject("once"); err != nil {
+		t.Fatalf("capped site fired twice: %v", err)
+	}
+	if Hits("once") != 1 {
+		t.Fatalf("hits = %d, want 1", Hits("once"))
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"nosite",
+		"=error",
+		"s=explode",
+		"s=delay:notaduration",
+		"s=error:x@0",
+		"s=error:x@huh",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	rules, err := ParseSpec(" a=delay:1ms , b=error , c=panic:msg ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+}

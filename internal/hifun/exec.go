@@ -1,6 +1,7 @@
 package hifun
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -33,6 +34,10 @@ type Context struct {
 	// parse, exec, build_answer) under its root. Tracing never changes the
 	// answer, only records how it was computed.
 	Trace *obs.Trace
+	// Limits are the resource budgets applied to the generated SPARQL
+	// evaluation (intermediate rows, path depth/visited). Zero values use
+	// the engine defaults.
+	Limits sparql.Limits
 }
 
 // NewContext builds an analysis context over g with attribute namespace ns.
@@ -168,6 +173,13 @@ func (a *Answer) Project(cols []string) *Answer {
 // Execute translates q against the context and evaluates it, returning the
 // materialized answer. Group rows are sorted for determinism.
 func (c *Context) Execute(q *Query) (*Answer, error) {
+	return c.ExecuteCtx(context.Background(), q)
+}
+
+// ExecuteCtx is Execute honoring ctx: the underlying SPARQL evaluation is
+// cancelled when ctx's deadline expires or it is cancelled, and the
+// context's Limits govern intermediate result sizes.
+func (c *Context) ExecuteCtx(ctx context.Context, q *Query) (*Answer, error) {
 	start := time.Now()
 	defer func() { executeSeconds.Observe(time.Since(start).Seconds()) }()
 	root := c.Trace.Root()
@@ -187,7 +199,7 @@ func (c *Context) Execute(q *Query) (*Answer, error) {
 		return nil, fmt.Errorf("hifun: generated SPARQL failed to parse: %w\n%s", err, src)
 	}
 	es := root.StartChild("exec")
-	res, err := sparql.ExecSelectOpts(c.Graph, parsed, sparql.Options{Trace: obs.SubTrace(es)})
+	res, err := sparql.ExecSelectCtx(ctx, c.Graph, parsed, sparql.Options{Trace: obs.SubTrace(es), Limits: c.Limits})
 	es.Finish()
 	if err != nil {
 		return nil, err
@@ -217,11 +229,16 @@ func (c *Context) Execute(q *Query) (*Answer, error) {
 
 // ExecuteText parses and executes a textual HIFUN query.
 func (c *Context) ExecuteText(src string) (*Answer, error) {
+	return c.ExecuteTextCtx(context.Background(), src)
+}
+
+// ExecuteTextCtx parses and executes a textual HIFUN query honoring ctx.
+func (c *Context) ExecuteTextCtx(ctx context.Context, src string) (*Answer, error) {
 	q, err := Parse(src, c.NS)
 	if err != nil {
 		return nil, err
 	}
-	return c.Execute(q)
+	return c.ExecuteCtx(ctx, q)
 }
 
 // AnswerNS is the namespace of datasets derived from answers (§5.3.3).

@@ -1,0 +1,32 @@
+package hifun
+
+import "testing"
+
+// FuzzParse drives the HIFUN query parser with arbitrary input: Parse must
+// return a query or an error, never panic. The seeds exercise compositions,
+// pairings, derived attributes, restricted operations, and broken variants.
+func FuzzParse(f *testing.F) {
+	const ns = "http://example.org/"
+	seeds := []string{
+		"Q(type, price, SUM)",
+		"Q((type, brand), price, AVG)",
+		"Q(month(date), ID, COUNT)",
+		"Q(branch o customer, amount, SUM)",
+		"Q(type, price, SUM | price > 100)",
+		"Q((year(date), branch), quantity, MIN)",
+		"Q(type price SUM)",
+		"Q((type, , price, SUM)",
+		"Q(",
+		"",
+		"q(type, price, sum)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src, ns)
+		if err == nil && q == nil {
+			t.Fatalf("Parse(%q) returned nil query and nil error", src)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTurtle drives the Turtle reader with arbitrary bytes: any input
+// must produce triples or a parse error, never a panic. The seeds cover
+// prefixes, literals (typed, tagged, escaped, multiline), lists of objects,
+// blank nodes, comments, and malformed fragments.
+func FuzzParseTurtle(f *testing.F) {
+	seeds := []string{
+		"<http://e/s> <http://e/p> <http://e/o> .",
+		"@prefix ex: <http://e/> .\nex:s ex:p ex:o .",
+		"@prefix ex: <http://e/> .\nex:s a ex:C ; ex:p 1, 2.5, \"x\" .",
+		"ex:s ex:p \"hello\"@en .",
+		"<http://e/s> <http://e/p> \"2024-01-01\"^^<http://www.w3.org/2001/XMLSchema#date> .",
+		"_:b1 <http://e/p> _:b2 .",
+		"# comment\n<http://e/s> <http://e/p> \"a\\\"b\\n\" .",
+		"<http://e/s> <http://e/p> \"\"\"multi\nline\"\"\" .",
+		"@prefix : <http://e/> .\n:s :p -4.2e3 .",
+		"@prefix ex: <http://e/",
+		"<s> <p> .",
+		"\"dangling",
+		"",
+		"\x00\xfe@prefix",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n := 0
+		err := ParseTurtle(strings.NewReader(src), func(Triple) error {
+			n++
+			return nil
+		})
+		_ = err
+		_ = n
+	})
+}

@@ -1,6 +1,7 @@
 package rdf
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -182,6 +183,37 @@ func (g *Graph) Match(s, p, o Term, fn func(Triple) bool) {
 // IndexScans returns the lifetime count of index scan operations (Match and
 // MatchIDs calls) against this graph, for diagnostics and GET /metrics.
 func (g *Graph) IndexScans() uint64 { return g.scans.Load() }
+
+// matchCtxPollEvery is how many rows a MatchCtx scan yields between context
+// checks: frequent enough that a full-graph scan notices cancellation
+// quickly, infrequent enough that the check cost stays negligible.
+const matchCtxPollEvery = 1024
+
+// MatchCtx is Match under a context: the scan stops early once ctx is
+// cancelled or its deadline expires, and the context error is returned.
+// The check runs every matchCtxPollEvery rows, so a cancelled scan may
+// deliver up to that many extra triples before stopping.
+func (g *Graph) MatchCtx(ctx context.Context, s, p, o Term, fn func(Triple) bool) error {
+	if ctx == nil || ctx.Done() == nil {
+		g.Match(s, p, o, fn)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n := 0
+	var ctxErr error
+	g.Match(s, p, o, func(t Triple) bool {
+		if n++; n%matchCtxPollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return false
+			}
+		}
+		return fn(t)
+	})
+	return ctxErr
+}
 
 func (g *Graph) matchLocked(s, p, o Term, fn func(Triple) bool) {
 	sID, sOK := g.resolve(s)

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"rdfanalytics/internal/fault"
 	"rdfanalytics/internal/obs"
 )
 
@@ -40,13 +41,30 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 
 // ServeHTTP implements http.Handler: every request goes through the
 // telemetry middleware, which records a per-endpoint latency histogram and
-// a per-endpoint/status request counter. The endpoint label is the ServeMux
+// a per-endpoint/status request counter, plus the hardening middleware —
+// panic recovery, POST body caps, and (when the operator enabled fault
+// injection) a per-request fault site. The endpoint label is the ServeMux
 // pattern that matched (e.g. "POST /api/run"), so cardinality is bounded by
 // the route table, not by URLs.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sw := &statusWriter{ResponseWriter: w}
-	s.mux.ServeHTTP(sw, r)
+	if r.Method == http.MethodPost {
+		if max := s.cfg.maxBodyBytes(); max > 0 {
+			r.Body = http.MaxBytesReader(sw, r.Body, max)
+		}
+	}
+	func() {
+		defer recoverPanic(sw, r)
+		// The X-Fault header only selects a site; nothing fires unless the
+		// operator armed that site via RDFA_FAULT (chaos testing).
+		if fault.Enabled() {
+			if site := r.Header.Get("X-Fault"); site != "" {
+				fault.Inject("server.handler." + site)
+			}
+		}
+		s.mux.ServeHTTP(sw, r)
+	}()
 	if sw.status == 0 {
 		sw.status = http.StatusOK
 	}

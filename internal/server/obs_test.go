@@ -88,8 +88,10 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Errorf("metric %s missing from /metrics", want)
 		}
 	}
-	if v := values[`rdfa_http_requests_total{endpoint="GET /api/state",status="200"}`]; v != "1" {
-		t.Errorf("state request count = %s, want 1", v)
+	// The registry is process-global, so other tests in the package may
+	// have hit /api/state too — assert at least this test's request landed.
+	if v := values[`rdfa_http_requests_total{endpoint="GET /api/state",status="200"}`]; v == "" || v == "0" {
+		t.Errorf("state request count = %q, want >= 1", v)
 	}
 	if v := values[`rdfa_http_active_sessions`]; v != "1" {
 		t.Errorf("active sessions = %s, want 1", v)

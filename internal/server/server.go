@@ -9,6 +9,7 @@ package server
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -38,23 +39,31 @@ type Server struct {
 	sessions map[string]*sessEntry
 	clock    uint64 // logical tick for LRU eviction; advanced under mu
 	mux      *http.ServeMux
+	cfg      Config
 	// lastSparql is the trace of the most recent /sparql SELECT, for
 	// GET /api/trace (the interaction sessions keep their own).
 	lastSparql *obs.Trace
 	slow       *obs.SlowQueryLog
+	// sweepStop/sweepDone control the idle-session sweeper goroutine
+	// (started only when Config.SessionTTL is set; see hardening.go).
+	sweepStop chan struct{}
+	sweepDone chan struct{}
 }
 
-// sessEntry pairs a session with its last-use tick for LRU eviction.
+// sessEntry pairs a session with its last-use tick for LRU eviction and
+// wall-clock timestamp for idle-TTL expiry.
 type sessEntry struct {
 	sess     *core.Session
 	lastUsed uint64
+	lastAt   time.Time
 }
 
 // MaxSessions caps concurrently tracked sessions; creating one beyond the
 // cap evicts the least-recently-used existing session.
 const MaxSessions = 256
 
-// Config carries the optional observability knobs of the server.
+// Config carries the optional observability and resource-governance knobs
+// of the server.
 type Config struct {
 	// SlowQuery, when positive, logs queries slower than this threshold
 	// (with their plan summary) through SlowQueryLogger.
@@ -63,6 +72,31 @@ type Config struct {
 	SlowQueryLogger *slog.Logger
 	// Debug mounts net/http/pprof under /debug/pprof/.
 	Debug bool
+	// QueryTimeout, when positive, bounds the wall-clock time of every
+	// query evaluation (/sparql and /api/run); expiry answers 504 with a
+	// structured timeout error.
+	QueryTimeout time.Duration
+	// MaxBodyBytes caps POST request bodies; 0 means DefaultMaxBodyBytes,
+	// negative disables the cap. Oversized bodies answer 413.
+	MaxBodyBytes int64
+	// SessionTTL, when positive, expires interaction sessions idle longer
+	// than this via a background sweeper (see hardening.go).
+	SessionTTL time.Duration
+	// Limits are the per-query resource budgets applied to every session
+	// and protocol-endpoint evaluation.
+	Limits sparql.Limits
+}
+
+// maxBodyBytes resolves the configured POST body cap.
+func (c Config) maxBodyBytes() int64 {
+	switch {
+	case c.MaxBodyBytes == 0:
+		return DefaultMaxBodyBytes
+	case c.MaxBodyBytes < 0:
+		return 0
+	default:
+		return c.MaxBodyBytes
+	}
 }
 
 // New builds a server over g with attribute namespace ns and default
@@ -73,7 +107,7 @@ func New(g *rdf.Graph, ns string) *Server {
 
 // NewWithConfig builds a server with explicit observability settings.
 func NewWithConfig(g *rdf.Graph, ns string, cfg Config) *Server {
-	s := &Server{graph: g, ns: ns, sessions: map[string]*sessEntry{}}
+	s := &Server{graph: g, ns: ns, sessions: map[string]*sessEntry{}, cfg: cfg}
 	logger := cfg.SlowQueryLogger
 	if logger == nil {
 		logger = slog.Default()
@@ -128,6 +162,9 @@ func NewWithConfig(g *rdf.Graph, ns string, cfg Config) *Server {
 		mountDebug(mux)
 	}
 	s.mux = mux
+	if cfg.SessionTTL > 0 {
+		s.startSweeper(cfg.SessionTTL)
+	}
 	return s
 }
 
@@ -143,6 +180,7 @@ func (s *Server) sessionFor(r *http.Request) *core.Session {
 	s.clock++
 	if e, ok := s.sessions[id]; ok {
 		e.lastUsed = s.clock
+		e.lastAt = time.Now()
 		return e.sess
 	}
 	if len(s.sessions) >= MaxSessions {
@@ -157,7 +195,8 @@ func (s *Server) sessionFor(r *http.Request) *core.Session {
 		sessionsEvicted.Inc()
 	}
 	sess := core.NewSession(s.graph, s.ns)
-	s.sessions[id] = &sessEntry{sess: sess, lastUsed: s.clock}
+	sess.SetLimits(s.cfg.Limits)
+	s.sessions[id] = &sessEntry{sess: sess, lastUsed: s.clock, lastAt: time.Now()}
 	sessionsCreated.Inc()
 	return sess
 }
@@ -224,7 +263,19 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeJSONBody encodes v without touching headers or status (callers have
+// already written them).
+func writeJSONBody(w http.ResponseWriter, v any) {
+	json.NewEncoder(w).Encode(v)
+}
+
 func httpError(w http.ResponseWriter, code int, err error) {
+	// A body rejected by http.MaxBytesReader surfaces wherever the handler
+	// happened to read it; the taxonomy status wins over the caller's.
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		code = http.StatusRequestEntityTooLarge
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
@@ -258,7 +309,7 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 				httpError(w, http.StatusBadRequest, err)
 				return
 			}
-			s.execUpdate(w, buf.String())
+			s.execUpdate(w, r, buf.String())
 			return
 		default:
 			if err := r.ParseForm(); err != nil {
@@ -266,7 +317,7 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			if upd := r.PostForm.Get("update"); upd != "" {
-				s.execUpdate(w, upd)
+				s.execUpdate(w, r, upd)
 				return
 			}
 			query = r.PostForm.Get("query")
@@ -284,18 +335,20 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch q.Form {
 	case sparql.FormSelect:
 		start := time.Now()
 		tr := obs.NewTrace("sparql")
-		res, err := sparql.ExecSelectOpts(s.graph, q, sparql.Options{Trace: tr})
+		res, err := sparql.ExecSelectCtx(ctx, s.graph, q, sparql.Options{Trace: tr, Limits: s.cfg.Limits})
 		tr.Finish()
 		s.lastSparql = tr
 		s.slow.Observe("sparql", query, time.Since(start), tr)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			queryError(w, err)
 			return
 		}
 		res.Sort()
@@ -307,25 +360,25 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/sparql-results+json")
 		res.WriteJSON(w)
 	case sparql.FormAsk:
-		ok, err := sparql.Ask(s.graph, query)
+		ok, err := sparql.AskCtx(ctx, s.graph, query)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			queryError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
 		json.NewEncoder(w).Encode(map[string]any{"head": map[string]any{}, "boolean": ok})
 	case sparql.FormConstruct:
-		out, err := sparql.Construct(s.graph, query)
+		out, err := sparql.ConstructCtx(ctx, s.graph, query)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			queryError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/n-triples")
 		rdf.WriteNTriples(w, out)
 	case sparql.FormDescribe:
-		out, err := sparql.Describe(s.graph, query)
+		out, err := sparql.DescribeCtx(ctx, s.graph, query)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			queryError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/n-triples")
@@ -336,12 +389,19 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 // execUpdate applies a SPARQL update and reports the change counts. The
 // interaction session keeps working over the mutated graph (its facet
 // counts reflect the new data on the next state computation).
-func (s *Server) execUpdate(w http.ResponseWriter, src string) {
+func (s *Server) execUpdate(w http.ResponseWriter, r *http.Request, src string) {
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	res, err := sparql.ExecUpdate(s.graph, src)
+	res, err := sparql.ExecUpdateCtx(ctx, s.graph, src)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		code := abortStatus(err, http.StatusBadRequest)
+		if code == http.StatusBadRequest {
+			httpError(w, code, err)
+		} else {
+			queryError(w, err)
+		}
 		return
 	}
 	if res.Inserted > 0 || res.Deleted > 0 {
@@ -649,6 +709,8 @@ type answerJSON struct {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sess := s.sessionFor(r)
@@ -658,10 +720,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	ans, err := sess.RunAnalytics()
+	ans, err := sess.RunAnalyticsCtx(ctx)
 	s.slow.Observe("analytics", q.String(), time.Since(start), sess.LastTrace())
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		queryError(w, err)
 		return
 	}
 	out := answerJSON{

@@ -18,8 +18,12 @@ func (ev *evaluator) aggregate(q *Query, rows []Binding) (*Results, error) {
 	}
 	groups := map[string]*group{}
 	var order []string
-	// Partition.
-	for _, b := range rows {
+	// Partition. A huge GROUP BY is governed the same way joins are: the
+	// partitioning loop polls for cancellation.
+	for i, b := range rows {
+		if i%pollEvery == 0 && ev.cancel.poll() {
+			return nil, ev.cancel.cause()
+		}
 		var keyB strings.Builder
 		rep := Binding{}
 		ok := true
@@ -82,7 +86,10 @@ func (ev *evaluator) aggregate(q *Query, rows []Binding) (*Results, error) {
 	for _, it := range q.Select.Items {
 		out.Vars = append(out.Vars, it.Var)
 	}
-	for _, key := range order {
+	for i, key := range order {
+		if i%256 == 0 && ev.cancel.poll() {
+			return nil, ev.cancel.cause()
+		}
 		g := groups[key]
 		// HAVING.
 		keep := true

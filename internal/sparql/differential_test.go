@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -128,7 +129,7 @@ func TestBGPDifferential(t *testing.T) {
 			tp := patterns[i]
 			gp.Elems = append(gp.Elems, PatternElem{Triple: &tp})
 		}
-		ev := newEvaluator(g, Options{})
+		ev := newEvaluator(context.Background(), g, Options{})
 		engine := ev.evalGroup(gp, []Binding{{}})
 		// Reference evaluation.
 		ref := naiveBGP(triples, patterns)

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -26,6 +27,23 @@ type evaluator struct {
 	// cur is the span new trace children attach under; nil when tracing is
 	// off, in which case every span site is a single pointer test.
 	cur *obs.Span
+	// cancel is the shared abort state (deadline, client disconnect, budget
+	// kill); see limits.go. Never nil.
+	cancel *evalCancel
+	// limits are the resolved resource caps for this evaluation.
+	limits Limits
+}
+
+// overBudget checks a materialized intermediate binding set against the row
+// budget, aborting the evaluation when it is exceeded. (Joins additionally
+// account rows incrementally while producing; this is the operator-boundary
+// backstop for OPTIONAL, UNION, VALUES, paths and subqueries.)
+func (ev *evaluator) overBudget(n int) bool {
+	if ev.limits.MaxIntermediateRows > 0 && n > ev.limits.MaxIntermediateRows {
+		ev.cancel.abort(&BudgetError{Resource: "rows", Used: n, Limit: ev.limits.MaxIntermediateRows})
+		return true
+	}
+	return false
 }
 
 // Options tune query evaluation.
@@ -47,24 +65,49 @@ type Options struct {
 	// and row counts, filters, and nested constructs. Tracing never changes
 	// results, only records them (see TestTraceDifferential).
 	Trace *obs.Trace
+	// Limits bounds the resources the evaluation may consume (row budget on
+	// intermediate binding sets, property-path depth/visited caps); the
+	// zero value means "no row budget, default path caps". Violations
+	// return a *BudgetError matching ErrBudgetExceeded.
+	Limits
 }
 
-func newEvaluator(g *rdf.Graph, opts Options) *evaluator {
+func newEvaluator(ctx context.Context, g *rdf.Graph, opts Options) *evaluator {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &evaluator{
 		g:          g,
 		noReorder:  opts.NoReorder,
 		noPushdown: opts.NoPushdown,
 		workers:    par.Workers(opts.Parallelism),
 		cur:        opts.Trace.Root(),
+		cancel:     &evalCancel{ctx: ctx},
+		limits:     opts.Limits,
 	}
 }
 
 // ExecSelectOpts executes a parsed SELECT query with explicit options.
 func ExecSelectOpts(g *rdf.Graph, q *Query, opts Options) (*Results, error) {
+	return ExecSelectCtx(context.Background(), g, q, opts)
+}
+
+// ExecSelectCtx executes a parsed SELECT query under a context: evaluation
+// polls ctx cooperatively (at operator boundaries and inside join/path/scan
+// loops, including worker-pool partitions) and aborts with ctx.Err() when
+// the deadline passes or the context is cancelled. Resource-limit
+// violations abort with a *BudgetError. Aborted evaluations never return
+// partial results.
+func ExecSelectCtx(ctx context.Context, g *rdf.Graph, q *Query, opts Options) (*Results, error) {
 	start := time.Now()
-	res, err := newEvaluator(g, opts).execSelect(q, []Binding{{}})
+	ev := newEvaluator(ctx, g, opts)
+	res, err := ev.execSelect(q, []Binding{{}})
 	observeSince(execSeconds, start)
-	return res, err
+	if err != nil {
+		observeAbort(opts.Trace.Root(), err)
+		return nil, err
+	}
+	return res, nil
 }
 
 // Select parses and executes a SELECT query.
@@ -81,6 +124,11 @@ func Select(g *rdf.Graph, src string) (*Results, error) {
 
 // Ask parses and executes an ASK query.
 func Ask(g *rdf.Graph, src string) (bool, error) {
+	return AskCtx(context.Background(), g, src)
+}
+
+// AskCtx is Ask under a context (see ExecSelectCtx for the semantics).
+func AskCtx(ctx context.Context, g *rdf.Graph, src string) (bool, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return false, err
@@ -88,13 +136,22 @@ func Ask(g *rdf.Graph, src string) (bool, error) {
 	if q.Form != FormAsk {
 		return false, fmt.Errorf("sparql: not an ASK query")
 	}
-	ev := newEvaluator(g, Options{})
+	ev := newEvaluator(ctx, g, Options{})
 	rows := ev.evalGroup(q.Where, []Binding{{}})
+	if err := ev.cancel.cause(); err != nil {
+		observeAbort(nil, err)
+		return false, err
+	}
 	return len(rows) > 0, nil
 }
 
 // Construct parses and executes a CONSTRUCT query, returning the built graph.
 func Construct(g *rdf.Graph, src string) (*rdf.Graph, error) {
+	return ConstructCtx(context.Background(), g, src)
+}
+
+// ConstructCtx is Construct under a context (see ExecSelectCtx).
+func ConstructCtx(ctx context.Context, g *rdf.Graph, src string) (*rdf.Graph, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
@@ -102,8 +159,12 @@ func Construct(g *rdf.Graph, src string) (*rdf.Graph, error) {
 	if q.Form != FormConstruct {
 		return nil, fmt.Errorf("sparql: not a CONSTRUCT query")
 	}
-	ev := newEvaluator(g, Options{})
+	ev := newEvaluator(ctx, g, Options{})
 	rows := ev.evalGroup(q.Where, []Binding{{}})
+	if err := ev.cancel.cause(); err != nil {
+		observeAbort(nil, err)
+		return nil, err
+	}
 	out := rdf.NewGraph()
 	for _, row := range rows {
 		for _, tp := range q.Template {
@@ -126,6 +187,11 @@ func Construct(g *rdf.Graph, src string) (*rdf.Graph, error) {
 // every triple whose subject is a described resource, with one level of
 // blank-node closure (a simple concise bounded description).
 func Describe(g *rdf.Graph, src string) (*rdf.Graph, error) {
+	return DescribeCtx(context.Background(), g, src)
+}
+
+// DescribeCtx is Describe under a context (see ExecSelectCtx).
+func DescribeCtx(ctx context.Context, g *rdf.Graph, src string) (*rdf.Graph, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
@@ -133,11 +199,14 @@ func Describe(g *rdf.Graph, src string) (*rdf.Graph, error) {
 	if q.Form != FormDescribe {
 		return nil, fmt.Errorf("sparql: not a DESCRIBE query")
 	}
-	ev := newEvaluator(g, Options{})
+	ev := newEvaluator(ctx, g, Options{})
 	resources := map[rdf.Term]struct{}{}
 	var rows []Binding
 	if len(q.Where.Elems) > 0 {
 		rows = ev.evalGroup(q.Where, []Binding{{}})
+		if err := ev.cancel.cause(); err != nil {
+			return nil, err
+		}
 	} else {
 		rows = []Binding{{}}
 	}
@@ -154,7 +223,7 @@ func Describe(g *rdf.Graph, src string) (*rdf.Graph, error) {
 	}
 	out := rdf.NewGraph()
 	for res := range resources {
-		g.Match(res, rdf.Any, rdf.Any, func(t rdf.Triple) bool {
+		err := g.MatchCtx(ctx, res, rdf.Any, rdf.Any, func(t rdf.Triple) bool {
 			out.Add(t)
 			if t.O.IsBlank() {
 				g.Match(t.O, rdf.Any, rdf.Any, func(t2 rdf.Triple) bool {
@@ -164,6 +233,10 @@ func Describe(g *rdf.Graph, src string) (*rdf.Graph, error) {
 			}
 			return true
 		})
+		if err != nil {
+			observeAbort(nil, err)
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -188,6 +261,9 @@ func (ev *evaluator) execSelect(q *Query, input []Binding) (*Results, error) {
 	ms.SetAttr("rows", len(rows))
 	ev.exitSpan(ms)
 	observeSince(phaseMatch, t0)
+	if err := ev.cancel.cause(); err != nil {
+		return nil, err
+	}
 	grouped := len(q.GroupBy) > 0 || selectHasAggregate(q) || len(q.Having) > 0
 	var res *Results
 	var err error
@@ -205,6 +281,9 @@ func (ev *evaluator) execSelect(q *Query, input []Binding) (*Results, error) {
 		observeSince(phaseProject, t1)
 	}
 	if err != nil {
+		return nil, err
+	}
+	if err := ev.cancel.cause(); err != nil {
 		return nil, err
 	}
 	t2 := time.Now()
@@ -271,7 +350,10 @@ func (ev *evaluator) evalGroup(gp *GroupPattern, input []Binding) []Binding {
 			fs.SetAttr("rows_in", len(cur))
 		}
 		var out []Binding
-		for _, b := range cur {
+		for i, b := range cur {
+			if i%pollEvery == 0 && ev.cancel.poll() {
+				break
+			}
 			if v, err := env.evalBool(f.expr, b); err == nil && v {
 				out = append(out, b)
 			}
@@ -325,6 +407,9 @@ func (ev *evaluator) evalGroup(gp *GroupPattern, input []Binding) []Binding {
 		}
 	}
 	for i := 0; i < len(elems); i++ {
+		if ev.cancel.poll() {
+			return nil
+		}
 		elem := elems[i]
 		switch {
 		case elem.Triple != nil && elem.Triple.Path != nil:
@@ -384,12 +469,21 @@ func (ev *evaluator) evalGroup(gp *GroupPattern, input []Binding) []Binding {
 		if len(cur) == 0 {
 			return nil
 		}
+		// Operator-boundary governance: any element may have grown the
+		// binding set past the budget (joins additionally check while
+		// producing, see join.go).
+		if ev.overBudget(len(cur)) {
+			return nil
+		}
 		applyReady()
 		if len(cur) == 0 {
 			return nil
 		}
 	}
 	for _, f := range filters {
+		if ev.cancel.poll() {
+			return nil
+		}
 		if !f.applied {
 			applyFilter(f)
 		}
@@ -634,6 +728,9 @@ func (ev *evaluator) evalOptional(opt *GroupPattern, input []Binding) []Binding 
 	s.SetAttr("rows_in", len(input))
 	var out []Binding
 	for _, b := range input {
+		if ev.cancel.aborted() {
+			break
+		}
 		ext := ev.evalGroup(opt, []Binding{b})
 		if len(ext) == 0 {
 			out = append(out, b)
@@ -708,6 +805,9 @@ func (ev *evaluator) evalSubQuery(q *Query, input []Binding) []Binding {
 	}
 	var out []Binding
 	for _, b := range input {
+		if ev.cancel.aborted() {
+			break
+		}
 		for _, sub := range res.Rows {
 			if !b.compatible(sub) {
 				continue
@@ -729,7 +829,10 @@ func (ev *evaluator) evalMinus(m *GroupPattern, input []Binding) []Binding {
 	defer ev.exitSpan(s)
 	removed := ev.evalGroup(m, []Binding{{}})
 	var out []Binding
-	for _, b := range input {
+	for i, b := range input {
+		if i%pollEvery == 0 && ev.cancel.poll() {
+			break
+		}
 		excluded := false
 		for _, r := range removed {
 			shared := false

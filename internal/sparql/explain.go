@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -26,7 +27,7 @@ func ExplainOpts(g *rdf.Graph, src string, opts Options) (string, error) {
 	if q.Form != FormSelect {
 		return "", fmt.Errorf("sparql: EXPLAIN supports SELECT queries")
 	}
-	ev := newEvaluator(g, opts)
+	ev := newEvaluator(context.Background(), g, opts)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "SELECT plan: (workers: %d)\n", ev.workers)
 	explainGroup(ev, q.Where, &sb, 1)

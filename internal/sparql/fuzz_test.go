@@ -1,0 +1,62 @@
+package sparql
+
+import "testing"
+
+// FuzzParse drives the SPARQL query parser with arbitrary input: whatever
+// the bytes, Parse must return a value or an error — never panic, never
+// hang. The seeds cover every query form and the trickier grammar corners
+// (paths, aggregates, subqueries, escapes).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * WHERE { ?s ?p ?o }",
+		"SELECT ?s WHERE { ?s a <http://e/C> . FILTER(?s != <http://e/x>) }",
+		"PREFIX ex: <http://e/> SELECT (COUNT(*) AS ?n) WHERE { ?s ex:p ?o } GROUP BY ?o HAVING(COUNT(*) > 1)",
+		"ASK { ?s ?p ?o }",
+		"CONSTRUCT { ?s <http://e/q> ?o } WHERE { ?s <http://e/p> ?o }",
+		"DESCRIBE <http://e/x>",
+		"SELECT ?x WHERE { ?x (<http://e/p>/<http://e/q>)+ ?y }",
+		"SELECT ?x WHERE { ?x ^<http://e/p>|<http://e/q>* ?y }",
+		"SELECT * WHERE { { SELECT ?s WHERE { ?s ?p ?o } LIMIT 5 } ?s ?q ?v }",
+		"SELECT * WHERE { ?s ?p ?o . OPTIONAL { ?s <http://e/q> ?v } MINUS { ?s <http://e/r> ?w } }",
+		"SELECT * WHERE { VALUES ?x { 1 2.5 \"str\"@en \"t\"^^<http://www.w3.org/2001/XMLSchema#date> } }",
+		"SELECT * WHERE { ?s ?p \"a\\\"b\\nc\" } ORDER BY DESC(?s) LIMIT 10 OFFSET 2",
+		"SELECT * WHERE { BIND(1+2*3 AS ?x) FILTER EXISTS { ?a ?b ?c } }",
+		"SELECT * WHERE {",
+		"SELECT ?x WHERE { ?x <p ?y }",
+		"PREFIX : <u> SELECT * WHERE { :a :b :c }",
+		"",
+		"\x00\xff{",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err == nil && q == nil {
+			t.Fatalf("Parse(%q) returned nil query and nil error", src)
+		}
+	})
+}
+
+// FuzzParseUpdate fuzzes the SPARQL update grammar the same way.
+func FuzzParseUpdate(f *testing.F) {
+	seeds := []string{
+		"INSERT DATA { <http://e/s> <http://e/p> 1 }",
+		"DELETE DATA { <http://e/s> <http://e/p> \"x\" }",
+		"DELETE WHERE { ?s <http://e/p> ?o }",
+		"DELETE { ?s ?p ?o } INSERT { ?s ?p 2 } WHERE { ?s ?p ?o }",
+		"CLEAR ALL",
+		"PREFIX ex: <http://e/> INSERT DATA { ex:s ex:p ex:o }",
+		"INSERT DATA {",
+		"DELETE",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := ParseUpdate(src)
+		if err == nil && u == nil {
+			t.Fatalf("ParseUpdate(%q) returned nil update and nil error", src)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"rdfanalytics/internal/fault"
 	"rdfanalytics/internal/par"
 	"rdfanalytics/internal/rdf"
 )
@@ -157,12 +158,16 @@ func (ev *evaluator) runTriples(run []*TriplePattern, input []Binding) []Binding
 	}
 	rows := ev.convertInput(rp, input)
 	for i := range rp.pats {
-		if rows.n() == 0 {
+		if rows.n() == 0 || ev.cancel.poll() {
+			return nil
+		}
+		if err := fault.InjectCtx(ev.cancel.ctx, "sparql.join"); err != nil {
+			ev.cancel.abort(err)
 			return nil
 		}
 		rows = ev.evalPattern(run[i], rp, &rp.pats[i], rows)
 	}
-	if rows.n() == 0 {
+	if rows.n() == 0 || ev.cancel.aborted() {
 		return nil
 	}
 	return ev.materialize(rp, rows, input)
@@ -247,11 +252,15 @@ func (ev *evaluator) evalPattern(tp *TriplePattern, rp *runPlan, pp *patPlan, ro
 		ss.SetAttr("strategy", strategy.String())
 		ss.SetAttr("rows_in", rows.n())
 	}
+	// Each pattern opens a fresh row-budget window: the budget caps the
+	// size of any one intermediate binding set, counted live across the
+	// worker partitions while this join produces.
+	ev.cancel.resetRows()
 	var out *idRows
 	if strategy == strategyHashJoin {
 		ht := ev.buildHashRun(pp, joinPos)
 		out = ev.runPartitioned(rows, func(lo, hi int) *idRows {
-			return probeHashRun(pp, ht, joinPos, freePos, rows, lo, hi)
+			return ev.probeHashRun(pp, ht, joinPos, freePos, rows, lo, hi)
 		})
 	} else {
 		out = ev.runPartitioned(rows, func(lo, hi int) *idRows {
@@ -304,8 +313,12 @@ func (ev *evaluator) nestedLoopRun(pp *patPlan, rows *idRows, lo, hi int) *idRow
 		vals:    make([]rdf.ID, 0, (hi-lo)*rows.width),
 		parents: make([]int32, 0, hi-lo),
 	}
+	produced := 0 // rows appended since the last budget flush
 	var matches [][3]rdf.ID // scratch, reused across rows
 	for r := lo; r < hi; r++ {
+		if (r-lo)%64 == 0 && ev.cancel.aborted() {
+			return out
+		}
 		row := rows.row(r)
 		lookup := pp.ids
 		for i := 0; i < 3; i++ {
@@ -315,6 +328,11 @@ func (ev *evaluator) nestedLoopRun(pp *patPlan, rows *idRows, lo, hi int) *idRow
 		}
 		matches = matches[:0]
 		ev.g.MatchIDs(lookup[0], lookup[1], lookup[2], func(s, p, o rdf.ID) bool {
+			// One row of an unselective pattern can match a large slice of
+			// the graph; keep the scan itself interruptible.
+			if len(matches)%pollEvery == pollEvery-1 && ev.cancel.poll() {
+				return false
+			}
 			matches = append(matches, [3]rdf.ID{s, p, o})
 			return true
 		})
@@ -336,8 +354,15 @@ func (ev *evaluator) nestedLoopRun(pp *patPlan, rows *idRows, lo, hi int) *idRow
 				}
 			}
 			out.parents = append(out.parents, rows.parents[r])
+			if produced++; produced >= 256 {
+				if ev.cancel.addRows(produced, ev.limits.MaxIntermediateRows) {
+					return out
+				}
+				produced = 0
+			}
 		}
 	}
+	ev.cancel.addRows(produced, ev.limits.MaxIntermediateRows)
 	return out
 }
 
@@ -349,7 +374,11 @@ type hashRun map[[3]rdf.ID][][3]rdf.ID
 // buildHashRun scans the pattern once and buckets the matches by joinPos.
 func (ev *evaluator) buildHashRun(pp *patPlan, joinPos []int) hashRun {
 	ht := hashRun{}
+	scanned := 0
 	ev.g.MatchIDs(pp.ids[0], pp.ids[1], pp.ids[2], func(s, p, o rdf.ID) bool {
+		if scanned++; scanned%pollEvery == 0 && ev.cancel.poll() {
+			return false
+		}
 		m := [3]rdf.ID{s, p, o}
 		// Repeated variables must agree within one match.
 		for i := 0; i < 3; i++ {
@@ -370,14 +399,21 @@ func (ev *evaluator) buildHashRun(pp *patPlan, joinPos []int) hashRun {
 }
 
 // probeHashRun probes the table with each row's join-column IDs and extends
-// the row with the free columns of every bucket match.
-func probeHashRun(pp *patPlan, ht hashRun, joinPos, freePos []int, rows *idRows, lo, hi int) *idRows {
+// the row with the free columns of every bucket match. A cross-product run
+// lands here (every probe hits the full build side), so the inner loop
+// accounts produced rows against the budget and polls for cancellation —
+// this is where a pathological query dies early.
+func (ev *evaluator) probeHashRun(pp *patPlan, ht hashRun, joinPos, freePos []int, rows *idRows, lo, hi int) *idRows {
 	out := &idRows{
 		width:   rows.width,
 		vals:    make([]rdf.ID, 0, (hi-lo)*rows.width),
 		parents: make([]int32, 0, hi-lo),
 	}
+	produced := 0
 	for r := lo; r < hi; r++ {
+		if (r-lo)%64 == 0 && ev.cancel.aborted() {
+			return out
+		}
 		row := rows.row(r)
 		var key [3]rdf.ID
 		for k, posI := range joinPos {
@@ -390,8 +426,15 @@ func probeHashRun(pp *patPlan, ht hashRun, joinPos, freePos []int, rows *idRows,
 				out.vals[base+pp.pos[posI]] = m[posI]
 			}
 			out.parents = append(out.parents, rows.parents[r])
+			if produced++; produced >= 256 {
+				if ev.cancel.addRows(produced, ev.limits.MaxIntermediateRows) {
+					return out
+				}
+				produced = 0
+			}
 		}
 	}
+	ev.cancel.addRows(produced, ev.limits.MaxIntermediateRows)
 	return out
 }
 
@@ -402,6 +445,9 @@ func probeHashRun(pp *patPlan, ht hashRun, joinPos, freePos []int, rows *idRows,
 func (ev *evaluator) materialize(rp *runPlan, rows *idRows, input []Binding) []Binding {
 	build := func(lo, hi int, out []Binding, memo *termMemo) []Binding {
 		for r := lo; r < hi; r++ {
+			if (r-lo)%256 == 0 && ev.cancel.aborted() {
+				return out
+			}
 			parent := input[rows.parents[r]]
 			nb := make(Binding, len(parent)+len(rp.vars))
 			for k, v := range parent {

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -99,8 +100,8 @@ func TestParallelDifferentialRandom(t *testing.T) {
 			tp := patterns[i]
 			gp.Elems = append(gp.Elems, PatternElem{Triple: &tp})
 		}
-		seq := newEvaluator(g, Options{Parallelism: 1}).evalGroup(gp, []Binding{{}})
-		parR := newEvaluator(g, Options{Parallelism: 8}).evalGroup(gp, []Binding{{}})
+		seq := newEvaluator(context.Background(), g, Options{Parallelism: 1}).evalGroup(gp, []Binding{{}})
+		parR := newEvaluator(context.Background(), g, Options{Parallelism: 8}).evalGroup(gp, []Binding{{}})
 		if len(seq) != len(parR) {
 			t.Fatalf("trial %d: sequential %d rows, parallel %d\npatterns: %v",
 				trial, len(seq), len(parR), patterns)
@@ -138,7 +139,7 @@ func TestReorderInvariance(t *testing.T) {
 	g := chainGraph(300)
 	q := MustParse(`PREFIX ex: <http://e/>
 SELECT ?s ?w WHERE { ?s ex:v ?v . ?s ex:link ?t . ?t ex:w ?w . ?s ex:tag ex:hot }`)
-	ev := newEvaluator(g, Options{})
+	ev := newEvaluator(context.Background(), g, Options{})
 	order := func() []string {
 		var out []string
 		for _, e := range ev.reorderTriples(q.Where.Elems) {

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"rdfanalytics/internal/fault"
 	"rdfanalytics/internal/rdf"
 )
 
@@ -16,6 +17,16 @@ func (ev *evaluator) evalPathTriple(tp *TriplePattern, input []Binding) []Bindin
 	}
 	var out []Binding
 	for _, b := range input {
+		if ev.cancel.poll() {
+			break
+		}
+		if err := fault.InjectCtx(ev.cancel.ctx, "sparql.path"); err != nil {
+			ev.cancel.abort(err)
+			break
+		}
+		if ev.overBudget(len(out)) {
+			break
+		}
 		s, sVar := substNode(tp.S, b)
 		o, oVar := substNode(tp.O, b)
 		emit := func(sT, oT rdf.Term) {
@@ -52,6 +63,9 @@ func (ev *evaluator) evalPathTriple(tp *TriplePattern, input []Binding) []Bindin
 			}
 		default:
 			for _, sT := range ev.pathSources(tp.Path) {
+				if ev.cancel.aborted() || ev.overBudget(len(out)) {
+					break
+				}
 				for _, oT := range ev.pathForward(tp.Path, sT) {
 					emit(sT, oT)
 				}
@@ -119,7 +133,12 @@ func (ev *evaluator) pathStep(p Path, n rdf.Term, reverse bool, acc map[rdf.Term
 		ev.pathStep(x.Left, n, reverse, acc)
 		ev.pathStep(x.Right, n, reverse, acc)
 	case PathMod:
-		// BFS expansion with the sub-path as the edge relation.
+		// BFS expansion with the sub-path as the edge relation. The search
+		// is governed: depth and visited-set caps bound the worst case of
+		// p*/p+ over cyclic or high-fanout graphs, and every level polls
+		// for cancellation, so an unbounded path expansion is killable.
+		maxDepth := ev.limits.pathDepth()
+		maxVisited := ev.limits.pathVisited()
 		frontier := []rdf.Term{n}
 		visited := map[rdf.Term]struct{}{n: {}}
 		depth := 0
@@ -127,12 +146,22 @@ func (ev *evaluator) pathStep(p Path, n rdf.Term, reverse bool, acc map[rdf.Term
 			acc[n] = struct{}{}
 		}
 		for len(frontier) > 0 {
+			if ev.cancel.poll() {
+				return
+			}
 			if x.Max == 1 && depth >= 1 {
 				break
+			}
+			if maxDepth > 0 && depth >= maxDepth {
+				ev.cancel.abort(&BudgetError{Resource: "path_depth", Used: depth + 1, Limit: maxDepth})
+				return
 			}
 			depth++
 			next := map[rdf.Term]struct{}{}
 			for _, f := range frontier {
+				if ev.cancel.aborted() {
+					return
+				}
 				ev.pathStep(x.Sub, f, reverse, next)
 			}
 			frontier = frontier[:0]
@@ -141,6 +170,10 @@ func (ev *evaluator) pathStep(p Path, n rdf.Term, reverse bool, acc map[rdf.Term
 					continue
 				}
 				visited[t] = struct{}{}
+				if maxVisited > 0 && len(visited) > maxVisited {
+					ev.cancel.abort(&BudgetError{Resource: "path_visited", Used: len(visited), Limit: maxVisited})
+					return
+				}
 				if depth >= x.Min || x.Min == 0 {
 					acc[t] = struct{}{}
 				}
@@ -202,8 +235,13 @@ func (ev *evaluator) collectSources(p Path, reverse bool, acc map[rdf.Term]struc
 	case PathMod:
 		if x.Min == 0 {
 			// Zero-length paths relate every node to itself: candidates are
-			// all subjects and objects in the graph.
+			// all subjects and objects in the graph. The full scan polls
+			// for cancellation.
+			scanned := 0
 			ev.g.Match(rdf.Any, rdf.Any, rdf.Any, func(t rdf.Triple) bool {
+				if scanned++; scanned%pollEvery == 0 && ev.cancel.poll() {
+					return false
+				}
 				acc[t.S] = struct{}{}
 				if t.O.IsResource() {
 					acc[t.O] = struct{}{}

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 
 	"rdfanalytics/internal/rdf"
@@ -182,15 +183,29 @@ type UpdateResult struct {
 
 // ExecUpdate parses and applies an update to g.
 func ExecUpdate(g *rdf.Graph, src string) (UpdateResult, error) {
+	return ExecUpdateCtx(context.Background(), g, src)
+}
+
+// ExecUpdateCtx is ExecUpdate honoring ctx: the WHERE evaluation of
+// DELETE WHERE and DELETE/INSERT...WHERE is cancellable. An aborted
+// evaluation applies no changes.
+func ExecUpdateCtx(ctx context.Context, g *rdf.Graph, src string) (UpdateResult, error) {
 	u, err := ParseUpdate(src)
 	if err != nil {
 		return UpdateResult{}, err
 	}
-	return ApplyUpdate(g, u)
+	return ApplyUpdateCtx(ctx, g, u)
 }
 
 // ApplyUpdate applies a parsed update to g.
 func ApplyUpdate(g *rdf.Graph, u *Update) (UpdateResult, error) {
+	return ApplyUpdateCtx(context.Background(), g, u)
+}
+
+// ApplyUpdateCtx applies a parsed update to g, honoring ctx during the
+// WHERE-pattern evaluation. If the evaluation is cancelled or exceeds a
+// budget, the update is abandoned before any triple is touched.
+func ApplyUpdateCtx(ctx context.Context, g *rdf.Graph, u *Update) (UpdateResult, error) {
 	var res UpdateResult
 	ground := func(tmpl []TriplePattern) ([]rdf.Triple, error) {
 		out := make([]rdf.Triple, 0, len(tmpl))
@@ -234,12 +249,20 @@ func ApplyUpdate(g *rdf.Graph, u *Update) (UpdateResult, error) {
 			}
 			tmpl = append(tmpl, *e.Triple)
 		}
-		ev := newEvaluator(g, Options{})
+		ev := newEvaluator(ctx, g, Options{})
 		rows := ev.evalGroup(u.Where, []Binding{{}})
+		if err := ev.cancel.cause(); err != nil {
+			observeAbort(nil, err)
+			return res, err
+		}
 		return res, deleteInsert(g, rows, tmpl, nil, &res)
 	case UpdateModify:
-		ev := newEvaluator(g, Options{})
+		ev := newEvaluator(ctx, g, Options{})
 		rows := ev.evalGroup(u.Where, []Binding{{}})
+		if err := ev.cancel.cause(); err != nil {
+			observeAbort(nil, err)
+			return res, err
+		}
 		return res, deleteInsert(g, rows, u.DeleteTempl, u.InsertTempl, &res)
 	case UpdateClear:
 		for _, t := range g.Triples() {

@@ -1,0 +1,111 @@
+#!/bin/sh
+# chaos-smoke: end-to-end check of the resource-governance layer. Boots the
+# server with fault injection armed (a delay inside the join loop and a
+# panic site in the handler path), then:
+#   1. fires a cross-product query that must time out (504, structured
+#      reason, rdfa_sparql_queries_timeout_total moves),
+#   2. fires a request carrying X-Fault to trigger a handler panic (500,
+#      rdfa_server_panics_total moves, process stays up),
+#   3. fires an oversized POST body (413),
+#   4. sends SIGTERM and asserts the process drains and exits cleanly.
+# Needs only sh + curl + grep.
+set -eu
+
+PORT="${CHAOS_SMOKE_PORT:-18931}"
+BASE="http://127.0.0.1:$PORT"
+BIN="$(mktemp -d)/rdfanalytics"
+LOG="$(mktemp)"
+
+go build -o "$BIN" ./cmd/rdfanalytics
+
+RDFA_FAULT='sparql.join=delay:300ms,server.handler.boom=panic:chaos-smoke' \
+    "$BIN" -addr "127.0.0.1:$PORT" -data products-small \
+    -query-timeout 100ms -max-body 4096 >"$LOG" 2>&1 &
+PID=$!
+trap 'kill $PID 2>/dev/null || true; rm -f "$LOG"; rm -rf "$(dirname "$BIN")"' EXIT
+
+i=0
+until curl -sf "$BASE/api/stats" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "chaos-smoke: server did not come up; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# 1. Pathological cross product + 100ms deadline -> structured 504 within
+# ~2x the deadline (generous wall-clock bound of 3s for slow CI).
+START=$(date +%s)
+CODE=$(curl -s -o /tmp/chaos_body.$$ -w '%{http_code}' "$BASE/sparql" \
+    --data-urlencode 'query=SELECT * WHERE { ?a ?p ?x . ?b ?q ?y . ?c ?r ?z }')
+ELAPSED=$(( $(date +%s) - START ))
+BODY="$(cat /tmp/chaos_body.$$; rm -f /tmp/chaos_body.$$)"
+if [ "$CODE" != 504 ]; then
+    echo "chaos-smoke: FAIL — timed-out query answered $CODE, want 504: $BODY" >&2
+    exit 1
+fi
+if ! printf '%s' "$BODY" | grep -q '"reason":"timeout"'; then
+    echo "chaos-smoke: FAIL — 504 body lacks structured timeout reason: $BODY" >&2
+    exit 1
+fi
+if [ "$ELAPSED" -gt 3 ]; then
+    echo "chaos-smoke: FAIL — timeout took ${ELAPSED}s, cancellation not cooperative" >&2
+    exit 1
+fi
+
+# 2. Handler panic via the armed X-Fault site -> 500, process survives.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H 'X-Fault: boom' "$BASE/api/state")
+if [ "$CODE" != 500 ]; then
+    echo "chaos-smoke: FAIL — panicking request answered $CODE, want 500" >&2
+    exit 1
+fi
+if ! kill -0 "$PID" 2>/dev/null; then
+    echo "chaos-smoke: FAIL — server died on handler panic" >&2
+    exit 1
+fi
+
+# 3. Oversized POST body -> 413.
+CODE=$(head -c 8192 /dev/zero | tr '\0' 'x' | curl -s -o /dev/null -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/x-www-form-urlencoded' \
+    --data-binary @- "$BASE/sparql")
+if [ "$CODE" != 413 ]; then
+    echo "chaos-smoke: FAIL — oversized body answered $CODE, want 413" >&2
+    exit 1
+fi
+
+# The metrics must report both abort classes.
+METRICS="$(curl -sf "$BASE/metrics")"
+for name in rdfa_sparql_queries_timeout_total rdfa_server_panics_total; do
+    VAL="$(printf '%s\n' "$METRICS" | grep "^$name " | awk '{print $2}')"
+    if [ -z "$VAL" ] || [ "$VAL" = 0 ]; then
+        echo "chaos-smoke: FAIL — metric $name is '${VAL:-missing}', want > 0" >&2
+        exit 1
+    fi
+done
+
+# 4. SIGTERM -> graceful drain, clean exit.
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "chaos-smoke: FAIL — server did not exit within 10s of SIGTERM" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+wait "$PID" 2>/dev/null || EXIT=$?
+if [ "${EXIT:-0}" != 0 ]; then
+    echo "chaos-smoke: FAIL — server exited with status ${EXIT} on SIGTERM; log:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+if ! grep -q 'shut down cleanly' "$LOG"; then
+    echo "chaos-smoke: FAIL — no clean-shutdown message in log:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+
+echo "chaos-smoke: OK — timeout, panic recovery, body cap and graceful shutdown all healthy"
