@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-json obs-smoke chaos-smoke fuzz-smoke clean
+.PHONY: build test check race bench bench-json obs-smoke chaos-smoke fuzz-smoke conformance clean
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,18 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) conformance
 	$(MAKE) obs-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) fuzz-smoke
+
+# conformance lints the corpus layout and runs the SPARQL-semantics harness:
+# the W3C-style testdata corpus, the metamorphic oracles and the HIFUN
+# differential oracle (see internal/conformance). -v so the per-category
+# pass/fail table is printed.
+conformance:
+	sh scripts/corpus-lint.sh
+	$(GO) test -v -run 'TestCorpus|TestMetamorphic|TestHIFUNDifferential' ./internal/conformance/
 
 # obs-smoke starts the server and asserts /metrics, /api/trace and pprof
 # respond with the expected content (see scripts/obs-smoke.sh).

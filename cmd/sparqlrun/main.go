@@ -67,7 +67,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res.Sort()
+		if len(q.OrderBy) == 0 {
+			// Canonical order for deterministic display — but an ORDER BY
+			// query is already in its answer order; re-sorting would undo it.
+			res.Sort()
+		}
 		switch *format {
 		case "csv":
 			if err := res.WriteCSV(os.Stdout); err != nil {

@@ -58,6 +58,11 @@ type InvoicesConfig struct {
 	Products int
 	Brands   int
 	Seed     int64
+	// Timestamps additionally emits a hasTimestamp xsd:dateTime per invoice
+	// with a timezone offset that varies across invoices — data whose lexical
+	// order differs from its time-line order, for exercising temporal
+	// comparison and ordering.
+	Timestamps bool
 }
 
 // Invoices generates a year of delivery invoices: each invoice has a branch,
@@ -99,6 +104,14 @@ func Invoices(cfg InvoicesConfig) *rdf.Graph {
 			O: rdf.NewTyped(fmt.Sprintf("2021-%02d-%02d", month, day), rdf.XSDDate)})
 		g.Add(rdf.Triple{S: inv, P: ie("inQuantity"),
 			O: rdf.NewInteger(int64(10 * (1 + rng.Intn(60))))})
+		if cfg.Timestamps {
+			// Drawn only when enabled so existing seeds keep their streams.
+			offsets := []string{"Z", "+05:00", "+01:00", "-04:00", "-11:00"}
+			g.Add(rdf.Triple{S: inv, P: ie("hasTimestamp"),
+				O: rdf.NewTyped(fmt.Sprintf("2021-%02d-%02dT%02d:%02d:00%s",
+					month, day, rng.Intn(24), rng.Intn(60), offsets[rng.Intn(len(offsets))]),
+					rdf.XSDDateTime)})
+		}
 	}
 	return g
 }

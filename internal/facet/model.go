@@ -201,6 +201,11 @@ func compareHolds(a rdf.Term, op string, b rdf.Term) bool {
 		}
 		return false
 	}
+	// Only genuinely temporal literals (xsd:date / xsd:dateTime) compare on
+	// the time line; a plain string that parses like a date does not.
+	if !a.IsTemporal() || !b.IsTemporal() {
+		return false
+	}
 	at, okA2 := a.Time()
 	bt, okB2 := b.Time()
 	if okA2 && okB2 {

@@ -14,6 +14,8 @@ func FuzzParse(f *testing.F) {
 		"Q(branch o customer, amount, SUM)",
 		"Q(type, price, SUM | price > 100)",
 		"Q((year(date), branch), quantity, MIN)",
+		"Q(month(hasDate), inQuantity, MIN)",
+		"Q(takesPlaceAt, hasTimestamp, MAX | hasTimestamp > \"2021-06-01T00:00:00Z\")",
 		"Q(type price SUM)",
 		"Q((type, , price, SUM)",
 		"Q(",

@@ -138,6 +138,16 @@ func (t Term) IsNumeric() bool {
 	return false
 }
 
+// IsTemporal reports whether the term is a literal of a temporal XSD
+// datatype (xsd:date / xsd:dateTime), the ones whose value space is ordered
+// chronologically rather than lexically.
+func (t Term) IsTemporal() bool {
+	if t.Kind != KindLiteral {
+		return false
+	}
+	return t.Datatype == XSDDate || t.Datatype == XSDDateTime
+}
+
 // Float returns the numeric value of a numeric literal.
 func (t Term) Float() (float64, bool) {
 	if !t.IsNumeric() {
@@ -245,6 +255,19 @@ func (t Term) Less(u Term) bool {
 		b, okB := u.Float()
 		if okA && okB && a != b {
 			return a < b
+		}
+	}
+	// Temporal literals order chronologically: timezone offsets and
+	// non-canonical lexical forms make string order diverge from the value
+	// space (e.g. "2021-06-01T12:00:00+02:00" is the same instant as
+	// "2021-06-01T10:00:00Z" but sorts after it lexically). Distinct lexical
+	// forms of the same instant fall through to the lexical tiebreak so the
+	// order stays total and antisymmetric.
+	if t.IsTemporal() && u.IsTemporal() {
+		a, okA := t.Time()
+		b, okB := u.Time()
+		if okA && okB && !a.Equal(b) {
+			return a.Before(b)
 		}
 	}
 	if t.Value != u.Value {

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -9,8 +10,13 @@ import (
 
 // aggregate implements GROUP BY + aggregate evaluation: rows are partitioned
 // by the group conditions, every aggregate in the projection/HAVING/ORDER BY
-// is computed per group, and HAVING prunes groups.
-func (ev *evaluator) aggregate(q *Query, rows []Binding) (*Results, error) {
+// is computed per group, and HAVING prunes groups. It returns one *extended*
+// solution per surviving group — the representative binding overlaid with
+// the SELECT-expression values and with hidden precomputed values for any
+// aggregate-bearing ORDER BY condition — plus the ORDER BY conditions
+// rewritten to reference those hidden variables. Projection happens later
+// (execSelect), after ORDER BY has seen the extended rows.
+func (ev *evaluator) aggregate(q *Query, rows []Binding) ([]Binding, []OrderCond, error) {
 	env := exprEnv{ev: ev}
 	type group struct {
 		rep  Binding // representative binding incl. group-cond values
@@ -22,7 +28,7 @@ func (ev *evaluator) aggregate(q *Query, rows []Binding) (*Results, error) {
 	// partitioning loop polls for cancellation.
 	for i, b := range rows {
 		if i%pollEvery == 0 && ev.cancel.poll() {
-			return nil, ev.cancel.cause()
+			return nil, nil, ev.cancel.cause()
 		}
 		var keyB strings.Builder
 		rep := Binding{}
@@ -81,14 +87,30 @@ func (ev *evaluator) aggregate(q *Query, rows []Binding) (*Results, error) {
 		order = append(order, "")
 	}
 	sort.Strings(order)
-	// Project each group.
-	out := &Results{}
-	for _, it := range q.Select.Items {
-		out.Vars = append(out.Vars, it.Var)
+	// ORDER BY conditions that contain aggregates must be computed over the
+	// group's rows, which are gone once grouping finishes — precompute each
+	// such condition per group into a hidden variable and rewrite the
+	// condition to reference it.
+	conds := make([]OrderCond, len(q.OrderBy))
+	type hiddenCond struct {
+		name string
+		expr Expr
 	}
+	var hidden []hiddenCond
+	for i, c := range q.OrderBy {
+		if HasAggregate(c.Expr) {
+			h := hiddenCond{name: fmt.Sprintf("_anon_ord%d", i), expr: c.Expr}
+			hidden = append(hidden, h)
+			conds[i] = OrderCond{Desc: c.Desc, Expr: ExprVar{Name: h.name}}
+		} else {
+			conds[i] = c
+		}
+	}
+	// Extend each surviving group's representative binding.
+	var work []Binding
 	for i, key := range order {
 		if i%256 == 0 && ev.cancel.poll() {
-			return nil, ev.cancel.cause()
+			return nil, nil, ev.cancel.cause()
 		}
 		g := groups[key]
 		// HAVING.
@@ -108,21 +130,28 @@ func (ev *evaluator) aggregate(q *Query, rows []Binding) (*Results, error) {
 		if !keep {
 			continue
 		}
-		nb := Binding{}
+		nb := g.rep.clone()
 		for _, it := range q.Select.Items {
 			if it.Expr == nil {
-				if t, ok := g.rep[it.Var]; ok {
-					nb[it.Var] = t
-				}
-				continue
+				continue // bare variable: already in the representative
 			}
 			if v, err := ev.evalGroupExpr(it.Expr, g.rows, g.rep); err == nil {
 				nb[it.Var] = v
+			} else {
+				// An erroring aggregate (e.g. MIN over an empty group, §18.5)
+				// leaves the cell unbound — it must not shadow a same-named
+				// representative variable.
+				delete(nb, it.Var)
 			}
 		}
-		out.Rows = append(out.Rows, nb)
+		for _, h := range hidden {
+			if v, err := ev.evalGroupExpr(h.expr, g.rows, g.rep); err == nil {
+				nb[h.name] = v
+			}
+		}
+		work = append(work, nb)
 	}
-	return out, nil
+	return work, conds, nil
 }
 
 func groupCondName(i int, gc GroupCond) string {
@@ -224,22 +253,34 @@ func (ev *evaluator) computeAggregate(agg ExprAggregate, rows []Binding) (rdf.Te
 	case "COUNT":
 		return rdf.NewInteger(int64(len(values))), nil
 	case "SUM":
-		sum := 0.0
+		// All-integer groups accumulate in int64: going through float64 and
+		// casting back silently loses precision past 2^53. The accumulator
+		// switches to float64 only when a non-integer value appears (numeric
+		// promotion to xsd:decimal, §18.5.1.3).
+		var isum int64
+		fsum := 0.0
 		allInt := true
 		for _, v := range values {
 			f, ok := v.Float()
 			if !ok {
 				return rdf.Term{}, evalErrf("SUM over non-numeric %s", v)
 			}
-			sum += f
-			if v.Datatype != rdf.XSDInteger {
-				allInt = false
+			if allInt && v.Datatype == rdf.XSDInteger {
+				if i, okI := v.Int(); okI {
+					isum += i
+					continue
+				}
 			}
+			if allInt {
+				allInt = false
+				fsum = float64(isum)
+			}
+			fsum += f
 		}
 		if allInt {
-			return rdf.NewInteger(int64(sum)), nil
+			return rdf.NewInteger(isum), nil
 		}
-		return rdf.NewDecimal(sum), nil
+		return rdf.NewDecimal(fsum), nil
 	case "AVG":
 		if len(values) == 0 {
 			return rdf.NewInteger(0), nil
@@ -255,6 +296,9 @@ func (ev *evaluator) computeAggregate(agg ExprAggregate, rows []Binding) (rdf.Te
 		return rdf.NewDecimal(sum / float64(len(values))), nil
 	case "MIN", "MAX":
 		if len(values) == 0 {
+			// Per §18.5 the aggregate errors on an empty group; callers map
+			// the wrapped errEval to an unbound cell (aggregate / evalGroupExpr),
+			// never to a query-level failure.
 			return rdf.Term{}, evalErrf("%s of empty group", agg.Func)
 		}
 		best := values[0]

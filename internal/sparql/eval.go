@@ -265,18 +265,25 @@ func (ev *evaluator) execSelect(q *Query, input []Binding) (*Results, error) {
 		return nil, err
 	}
 	grouped := len(q.GroupBy) > 0 || selectHasAggregate(q) || len(q.Having) > 0
-	var res *Results
+	// The modifier pipeline follows SPARQL 1.1 §18.2.4: the solution
+	// sequence is first extended with the SELECT-expression values (grouping
+	// and aggregation produce one extended solution per group), then ORDER BY
+	// sorts the *pre-projection* solutions — so a sort key does not have to
+	// be projected — and only then the projection drops variables, DISTINCT
+	// dedupes projected rows, and OFFSET/LIMIT slice.
+	work := rows
+	order := q.OrderBy
 	var err error
 	t1 := time.Now()
 	if grouped {
 		as := ev.enterSpan("aggregate")
 		as.SetAttr("groupBy", len(q.GroupBy))
-		res, err = ev.aggregate(q, rows)
+		work, order, err = ev.aggregate(q, rows)
 		ev.exitSpan(as)
 		observeSince(phaseAggregate, t1)
 	} else {
 		ps := ev.enterSpan("project")
-		res, err = ev.project(q, rows)
+		work = ev.extend(q, rows)
 		ev.exitSpan(ps)
 		observeSince(phaseProject, t1)
 	}
@@ -288,11 +295,12 @@ func (ev *evaluator) execSelect(q *Query, input []Binding) (*Results, error) {
 	}
 	t2 := time.Now()
 	mods := ev.enterSpan("modifiers")
+	if len(order) > 0 {
+		ev.orderBy(work, order)
+	}
+	res := ev.project(q, work)
 	if q.Select.Distinct {
 		res = distinct(res)
-	}
-	if len(q.OrderBy) > 0 {
-		ev.orderBy(res, q.OrderBy)
 	}
 	if q.Offset > 0 {
 		if q.Offset >= len(res.Rows) {
@@ -858,9 +866,44 @@ func (ev *evaluator) evalMinus(m *GroupPattern, input []Binding) []Binding {
 	return out
 }
 
-// project builds the result table for an ungrouped SELECT.
-func (ev *evaluator) project(q *Query, rows []Binding) (*Results, error) {
+// extend returns the solution rows extended with the SELECT-expression
+// values bound to their aliases (the algebra's Extend, SPARQL 1.1
+// §18.2.4.4), so ORDER BY can see them before projection. The input is
+// returned untouched when the projection has no expressions. Expressions
+// evaluate against the already-extended row, so a later select expression
+// may reference an earlier alias. An expression error leaves the alias
+// unbound, per the spec's error semantics.
+func (ev *evaluator) extend(q *Query, rows []Binding) []Binding {
+	hasExpr := false
+	for _, it := range q.Select.Items {
+		if it.Expr != nil {
+			hasExpr = true
+			break
+		}
+	}
+	if q.Select.Star || !hasExpr {
+		return rows
+	}
 	env := exprEnv{ev: ev}
+	out := make([]Binding, len(rows))
+	for i, b := range rows {
+		nb := b.clone()
+		for _, it := range q.Select.Items {
+			if it.Expr == nil {
+				continue
+			}
+			if v, err := env.evalExpr(it.Expr, nb); err == nil {
+				nb[it.Var] = v
+			}
+		}
+		out[i] = nb
+	}
+	return out
+}
+
+// project builds the final result table from the (extended, ordered)
+// solution rows, keeping only the projected variables.
+func (ev *evaluator) project(q *Query, rows []Binding) *Results {
 	if q.Select.Star {
 		varSet := map[string]bool{}
 		var vars []string
@@ -883,7 +926,7 @@ func (ev *evaluator) project(q *Query, rows []Binding) (*Results, error) {
 			}
 			out.Rows = append(out.Rows, nb)
 		}
-		return out, nil
+		return out
 	}
 	out := &Results{}
 	for _, it := range q.Select.Items {
@@ -892,19 +935,13 @@ func (ev *evaluator) project(q *Query, rows []Binding) (*Results, error) {
 	for _, b := range rows {
 		nb := Binding{}
 		for _, it := range q.Select.Items {
-			if it.Expr == nil {
-				if t, ok := b[it.Var]; ok {
-					nb[it.Var] = t
-				}
-				continue
-			}
-			if v, err := env.evalExpr(it.Expr, b); err == nil {
-				nb[it.Var] = v
+			if t, ok := b[it.Var]; ok {
+				nb[it.Var] = t
 			}
 		}
 		out.Rows = append(out.Rows, nb)
 	}
-	return out, nil
+	return out
 }
 
 func distinct(res *Results) *Results {
@@ -927,30 +964,58 @@ func distinct(res *Results) *Results {
 	return out
 }
 
-func (ev *evaluator) orderBy(res *Results, conds []OrderCond) {
+// orderBy stably sorts solution rows by the ORDER BY conditions. It runs on
+// the pre-projection solution sequence (see execSelect), so conditions may
+// reference variables the projection drops.
+func (ev *evaluator) orderBy(rows []Binding, conds []OrderCond) {
+	cmp := ev.orderComparator(conds)
+	sort.SliceStable(rows, func(i, j int) bool { return cmp(rows[i], rows[j]) < 0 })
+}
+
+// orderComparator returns the three-way comparator ORDER BY sorts with. The
+// comparator is a strict weak order: equivalent-but-unequal terms (distinct
+// lexical forms of one value) compare 0 in *both* directions — the earlier
+// boolean formulation returned true both ways under DESC, which corrupts
+// sort.SliceStable. Unbound/erroring expressions sort lowest ascending, per
+// SPARQL 1.1 §15.1.
+func (ev *evaluator) orderComparator(conds []OrderCond) func(a, b Binding) int {
 	env := exprEnv{ev: ev}
-	sort.SliceStable(res.Rows, func(i, j int) bool {
+	return func(a, b Binding) int {
 		for _, c := range conds {
-			a, errA := env.evalExpr(c.Expr, res.Rows[i])
-			b, errB := env.evalExpr(c.Expr, res.Rows[j])
-			if errA != nil && errB != nil {
+			va, errA := env.evalExpr(c.Expr, a)
+			vb, errB := env.evalExpr(c.Expr, b)
+			var cmp int
+			switch {
+			case errA != nil && errB != nil:
+				cmp = 0
+			case errA != nil:
+				cmp = -1
+			case errB != nil:
+				cmp = 1
+			case va == vb:
+				cmp = 0
+			case va.Less(vb):
+				cmp = -1
+			case vb.Less(va):
+				cmp = 1
+			}
+			if cmp == 0 {
 				continue
 			}
-			if errA != nil {
-				return !c.Desc // unbound sorts first ascending
-			}
-			if errB != nil {
-				return c.Desc
-			}
-			if a == b {
-				continue
-			}
-			less := a.Less(b)
 			if c.Desc {
-				return !less
+				return -cmp
 			}
-			return less
+			return cmp
 		}
-		return false
-	})
+		return 0
+	}
+}
+
+// OrderComparator exposes the ORDER BY comparator over solution bindings
+// for property-based testing (internal/conformance asserts it is a strict
+// weak order: irreflexive, antisymmetric, transitive). It never mutates the
+// graph and ignores resource limits.
+func OrderComparator(g *rdf.Graph, conds []OrderCond) func(a, b Binding) int {
+	ev := newEvaluator(context.Background(), g, Options{})
+	return ev.orderComparator(conds)
 }

@@ -246,9 +246,11 @@ func termsEqual(l, r rdf.Term) (bool, error) {
 			return lf == rf, nil
 		}
 	}
-	if lt, ok := l.Time(); ok {
-		if rt, ok2 := r.Time(); ok2 {
-			return lt.Equal(rt), nil
+	if l.IsTemporal() && r.IsTemporal() {
+		if lt, ok := l.Time(); ok {
+			if rt, ok2 := r.Time(); ok2 {
+				return lt.Equal(rt), nil
+			}
 		}
 	}
 	// Different kinds, or same-kind different values: plain inequality for
@@ -279,9 +281,14 @@ func compareTerms(l, r rdf.Term) (int, error) {
 			return 0, nil
 		}
 	}
-	lt, okL := l.Time()
-	rt, okR := r.Time()
-	if okL && okR {
+	// Only literals typed xsd:date / xsd:dateTime compare on the time line;
+	// a plain string that merely looks like a date keeps string comparison.
+	if l.IsTemporal() && r.IsTemporal() {
+		lt, okL := l.Time()
+		rt, okR := r.Time()
+		if !okL || !okR {
+			return 0, evalErrf("malformed temporal literal")
+		}
 		switch {
 		case lt.Before(rt):
 			return -1, nil

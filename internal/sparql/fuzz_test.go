@@ -21,6 +21,10 @@ func FuzzParse(f *testing.F) {
 		"SELECT * WHERE { VALUES ?x { 1 2.5 \"str\"@en \"t\"^^<http://www.w3.org/2001/XMLSchema#date> } }",
 		"SELECT * WHERE { ?s ?p \"a\\\"b\\nc\" } ORDER BY DESC(?s) LIMIT 10 OFFSET 2",
 		"SELECT * WHERE { BIND(1+2*3 AS ?x) FILTER EXISTS { ?a ?b ?c } }",
+		"SELECT ?x WHERE { ?x <http://e/at> \"2021-06-01T23:00:00+05:00\"^^<http://www.w3.org/2001/XMLSchema#dateTime> } ORDER BY ?x",
+		"SELECT ?x WHERE { ?x <http://e/d> ?d . FILTER(?d >= \"2021-01-10\"^^<http://www.w3.org/2001/XMLSchema#date>) } ORDER BY DESC(?d)",
+		"SELECT (MIN(?v) AS ?m) (MAX(?v) AS ?x) (COUNT(*) AS ?n) WHERE { ?s <http://e/none> ?v }",
+		"SELECT ?g WHERE { ?s <http://e/p> ?g . OPTIONAL { ?s <http://e/q> ?v } } GROUP BY ?g ORDER BY DESC(SUM(?v)) ?g",
 		"SELECT * WHERE {",
 		"SELECT ?x WHERE { ?x <p ?y }",
 		"PREFIX : <u> SELECT * WHERE { :a :b :c }",

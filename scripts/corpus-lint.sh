@@ -1,0 +1,47 @@
+#!/bin/sh
+# corpus-lint checks the conformance corpus layout before the harness runs:
+# every case directory must hold data.ttl, query.rq and exactly one
+# expect.{srj,bool,ttl}; stray files and empty categories fail the build.
+# (The Go loader enforces the same invariants at test time — the lint exists
+# so a malformed case fails fast, with a file-level message, even when
+# someone runs only a subset of the tests.)
+set -eu
+
+root=internal/conformance/testdata
+fail=0
+err() { echo "corpus-lint: $*" >&2; fail=1; }
+
+[ -d "$root" ] || { err "missing $root"; exit 1; }
+
+cases=0
+for cat in "$root"/*/; do
+    [ -d "$cat" ] || continue
+    found_case=0
+    for dir in "$cat"*/; do
+        [ -d "$dir" ] || continue
+        found_case=1
+        cases=$((cases + 1))
+        [ -f "$dir/data.ttl" ] || err "$dir missing data.ttl"
+        [ -f "$dir/query.rq" ] || err "$dir missing query.rq"
+        expects=0
+        for ef in expect.srj expect.bool expect.ttl; do
+            [ -f "$dir/$ef" ] && expects=$((expects + 1))
+        done
+        [ "$expects" -eq 1 ] || err "$dir has $expects expect files, want exactly 1"
+        for f in "$dir"*; do
+            case "$(basename "$f")" in
+                data.ttl|query.rq|expect.srj|expect.bool|expect.ttl|ordered) ;;
+                *) err "$dir has unexpected file $(basename "$f")" ;;
+            esac
+        done
+    done
+    [ "$found_case" -eq 1 ] || err "category $cat has no cases"
+done
+
+min_cases=60
+[ "$cases" -ge "$min_cases" ] || err "corpus has $cases cases, want >= $min_cases"
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "corpus-lint: $cases cases OK"
