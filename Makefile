@@ -8,12 +8,14 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the full verification gate: static analysis, the whole test
-# suite under the race detector (the parallel evaluator paths run with
-# Parallelism > 1 in tests, so races surface here), the telemetry and
-# chaos smoke tests against live servers, and a fuzz smoke pass over the
-# three parsers.
+# check is the full verification gate: formatting, static analysis, the
+# whole test suite under the race detector (the parallel evaluator paths
+# run with Parallelism > 1 in tests, so races surface here), the telemetry
+# and chaos smoke tests against live servers, and a fuzz smoke pass over
+# the three parsers.
 check:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) conformance
@@ -58,7 +60,10 @@ bench:
 	$(GO) test -bench 'BenchmarkMatch|BenchmarkCachedCountIDs' -run XXX ./internal/rdf/
 
 # bench-json regenerates the machine-readable BENCH_results.json via the
-# experiment runner (quick scales; drop -quick for the full sweep).
+# experiment runner (quick scales; drop -quick for the full sweep) and
+# appends the run — timestamped, with its configuration and git describe —
+# to the cumulative BENCH_history.json, so successive runs build a
+# performance timeline to diff regressions against (-history "" disables).
 bench-json:
 	$(GO) run ./cmd/benchrunner -exp E6 -quick
 

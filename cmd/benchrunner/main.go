@@ -17,6 +17,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"os/exec"
 	"strings"
 	"time"
 
@@ -36,6 +37,7 @@ var (
 	quick       = flag.Bool("quick", false, "reduced scales / repetitions")
 	outDir      = flag.String("out", ".", "directory for SVG/JSON artifacts (E11)")
 	jsonOut     = flag.String("json", "BENCH_results.json", "machine-readable results file (empty to disable)")
+	historyOut  = flag.String("history", "BENCH_history.json", "cumulative run-history file the run is appended to (empty to disable)")
 	parallelism = flag.Int("parallelism", 0, "evaluator worker pool (0 = GOMAXPROCS, 1 = sequential)")
 )
 
@@ -83,6 +85,35 @@ func main() {
 		}
 		fmt.Println("\nwrote", path)
 	}
+	if *historyOut != "" && len(records) > 0 {
+		path := *historyOut
+		if !strings.ContainsAny(path, "/") {
+			path = *outDir + "/" + path
+		}
+		entry := bench.HistoryEntry{
+			When: time.Now().UTC(),
+			Git:  gitDescribe(),
+			Config: map[string]any{
+				"exp": strings.ToUpper(*exp), "all": *all,
+				"quick": *quick, "parallelism": *parallelism,
+			},
+			Records: records,
+		}
+		if err := bench.AppendHistory(path, entry); err != nil {
+			log.Fatalf("appending %s: %v", path, err)
+		}
+		fmt.Println("appended run to", path)
+	}
+}
+
+// gitDescribe identifies the working tree for the run history; empty when
+// git is unavailable or the directory is not a repository.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func header(id string) {

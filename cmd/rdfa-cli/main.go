@@ -22,11 +22,16 @@
 //	back | reset                  undo / restart
 //	hifun | sparql <query>        show the HIFUN query / run raw SPARQL
 //	trace                         print the timing tree of the last run
+//	profile                       EXPLAIN ANALYZE the current analytic query:
+//	                              re-execute it bypassing the answer cache and
+//	                              print the operator profile (wall time, rows,
+//	                              est vs actual cardinality with q-error)
 //	quit
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -177,6 +182,13 @@ func execute(sess *core.Session, ns string, line string, out *os.File) error {
 			return fmt.Errorf("no analytic query has run yet")
 		}
 		fmt.Fprint(out, tr.Tree())
+	case "profile":
+		ans, prof, err := sess.ProfileAnalytics(context.Background())
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, prof.Tree())
+		fmt.Fprintf(out, "(%d rows)\n", len(ans.Rows))
 	case "chart":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: chart <bar|pie|column|line|treemap|spiral> <file.svg>")

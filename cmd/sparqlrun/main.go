@@ -25,6 +25,8 @@ func main() {
 	file := flag.String("f", "", "read the query from this file instead of argv")
 	format := flag.String("format", "table", "output format: table, csv, json")
 	explain := flag.Bool("explain", false, "print the evaluation plan instead of running the query")
+	explainAnalyze := flag.Bool("explain-analyze", false,
+		"run the query and print the operator profile: per-operator wall time, rows, est vs actual cardinality with q-error (SELECT only)")
 	trace := flag.Bool("trace", false, "print the per-phase timing tree after the results (SELECT only)")
 	flag.Parse()
 	var query string
@@ -50,6 +52,14 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(plan)
+		return
+	}
+	if *explainAnalyze {
+		tree, err := sparql.ExplainAnalyze(g, query, sparql.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(tree)
 		return
 	}
 	q, err := sparql.Parse(query)

@@ -2,7 +2,9 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
+	"time"
 )
 
 // Record is one machine-readable measurement row of BENCH_results.json:
@@ -49,6 +51,38 @@ func Records(experiment string, results []Result) []Record {
 // WriteJSON writes the records as indented JSON to path.
 func WriteJSON(path string, records []Record) error {
 	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// HistoryEntry is one benchrunner invocation in the cumulative
+// BENCH_history.json: when it ran, on which commit (git describe), with
+// which configuration, and the measurements it produced. Appending every
+// run — instead of overwriting like BENCH_results.json — gives regression
+// tooling a performance timeline to diff against.
+type HistoryEntry struct {
+	When    time.Time      `json:"when"`
+	Git     string         `json:"git,omitempty"`
+	Config  map[string]any `json:"config,omitempty"`
+	Records []Record       `json:"records"`
+}
+
+// AppendHistory reads path (a JSON array of HistoryEntry; a missing file
+// starts a new history), appends entry, and rewrites the file. A corrupt
+// history is an error, not silently truncated.
+func AppendHistory(path string, entry HistoryEntry) error {
+	var hist []HistoryEntry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &hist); err != nil {
+			return fmt.Errorf("bench: %s is not a history array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	hist = append(hist, entry)
+	data, err := json.MarshalIndent(hist, "", "  ")
 	if err != nil {
 		return err
 	}

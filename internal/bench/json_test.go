@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestAppendHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.json")
+	e1 := HistoryEntry{
+		When:    time.Date(2026, 8, 5, 10, 0, 0, 0, time.UTC),
+		Git:     "abc1234",
+		Config:  map[string]any{"quick": true},
+		Records: []Record{{Experiment: "E6", NsPerOp: 100}},
+	}
+	if err := AppendHistory(path, e1); err != nil {
+		t.Fatal(err)
+	}
+	e2 := e1
+	e2.Git = "def5678"
+	if err := AppendHistory(path, e2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist []HistoryEntry
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatalf("history not a JSON array: %v", err)
+	}
+	if len(hist) != 2 || hist[0].Git != "abc1234" || hist[1].Git != "def5678" {
+		t.Fatalf("history = %+v, want both runs in order", hist)
+	}
+	if hist[0].Config["quick"] != true || len(hist[1].Records) != 1 {
+		t.Fatalf("config/records lost: %+v", hist)
+	}
+	// A corrupt file must error, not be silently replaced.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, e1); err == nil {
+		t.Fatal("corrupt history accepted")
+	}
+}

@@ -98,6 +98,10 @@ type Session struct {
 	// lastTrace is the span tree of the most recent RunAnalytics, serving
 	// GET /api/trace and the CLI's `trace` command.
 	lastTrace *obs.Trace
+	// lastProfile is the operator-level runtime profile of the most recent
+	// RunAnalytics (empty below the root for cache and cube-rollup hits,
+	// which never touch the engine).
+	lastProfile *sparql.Profile
 	// limits are the resource budgets applied to every analytic query the
 	// session runs (see sparql.Limits). Zero values mean engine defaults.
 	limits sparql.Limits
@@ -113,6 +117,10 @@ func (s *Session) Limits() sparql.Limits { return s.limits }
 // LastTrace returns the trace of the most recent RunAnalytics call, or nil
 // when no analytic query has run yet.
 func (s *Session) LastTrace() *obs.Trace { return s.lastTrace }
+
+// LastProfile returns the operator profile of the most recent RunAnalytics
+// (or ProfileAnalytics) call, or nil when no analytic query has run yet.
+func (s *Session) LastProfile() *sparql.Profile { return s.lastProfile }
 
 // NewSession starts a session over g (which should be materialized) with
 // attribute namespace ns. The initial state is s0 (§5.3.2).
@@ -364,6 +372,8 @@ func (s *Session) RunAnalyticsCtx(qctx context.Context) (*hifun.Answer, error) {
 	tr := obs.NewTrace("run_analytics")
 	s.lastTrace = tr
 	defer tr.Finish()
+	prof := sparql.NewProfile("run_analytics")
+	s.lastProfile = prof
 
 	bq := tr.Root().StartChild("build_query")
 	q, err := s.BuildHIFUNQuery()
@@ -378,6 +388,7 @@ func (s *Session) RunAnalyticsCtx(qctx context.Context) (*hifun.Answer, error) {
 	if cached, ok := l.cache[key]; ok {
 		answerHits.Inc()
 		tr.Root().SetAttr("answer_source", "cache")
+		prof.Record(time.Since(start), 1, len(cached.Rows))
 		l.answer = cached
 		return cached, nil
 	}
@@ -386,6 +397,7 @@ func (s *Session) RunAnalyticsCtx(qctx context.Context) (*hifun.Answer, error) {
 	if rolled := l.tryCubeReuse(intentionKey, l.analytics); rolled != nil {
 		answerCubes.Inc()
 		tr.Root().SetAttr("answer_source", "cube_rollup")
+		prof.Record(time.Since(start), 1, len(rolled.Rows))
 		if l.cache == nil {
 			l.cache = map[string]*hifun.Answer{}
 		}
@@ -397,10 +409,12 @@ func (s *Session) RunAnalyticsCtx(qctx context.Context) (*hifun.Answer, error) {
 	tr.Root().SetAttr("answer_source", "query")
 	ctx := s.Context()
 	ctx.Trace = tr
+	ctx.Profile = prof
 	ans, err := ctx.ExecuteCtx(qctx, q)
 	if err != nil {
 		return nil, err
 	}
+	prof.Record(time.Since(start), 1, len(ans.Rows))
 	if l.cache == nil {
 		l.cache = map[string]*hifun.Answer{}
 	}
@@ -408,6 +422,31 @@ func (s *Session) RunAnalyticsCtx(qctx context.Context) (*hifun.Answer, error) {
 	l.rememberCube(intentionKey, l.analytics, ans)
 	l.answer = ans
 	return ans, nil
+}
+
+// ProfileAnalytics executes the current analytic query bypassing the answer
+// cache and the cube roll-up, so the returned operator profile reflects a
+// real end-to-end evaluation (EXPLAIN ANALYZE for the analytics pipeline —
+// the CLI's `profile` command). The computed answer is not cached: repeated
+// profiling keeps measuring the engine, and a later RunAnalytics still
+// benefits from its own memoization.
+func (s *Session) ProfileAnalytics(qctx context.Context) (*hifun.Answer, *sparql.Profile, error) {
+	q, err := s.BuildHIFUNQuery()
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	prof := sparql.NewProfile("run_analytics")
+	ctx := s.Context()
+	ctx.Profile = prof
+	ans, err := ctx.ExecuteCtx(qctx, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof.Record(time.Since(start), 1, len(ans.Rows))
+	s.lastProfile = prof
+	s.top().answer = ans
+	return ans, prof, nil
 }
 
 // InvalidateCache drops memoized answers and cubes at every level; call

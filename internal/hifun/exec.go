@@ -34,6 +34,11 @@ type Context struct {
 	// parse, exec, build_answer) under its root. Tracing never changes the
 	// answer, only records how it was computed.
 	Trace *obs.Trace
+	// Profile, when non-nil, receives the operator-level runtime profile of
+	// Execute: the translate and build_answer stages as flat nodes, and the
+	// full SPARQL operator tree under an "exec" node (EXPLAIN ANALYZE for
+	// the analytics pipeline). Like Trace, it never changes the answer.
+	Profile *sparql.Profile
 	// Limits are the resource budgets applied to the generated SPARQL
 	// evaluation (intermediate rows, path depth/visited). Zero values use
 	// the engine defaults.
@@ -187,6 +192,7 @@ func (c *Context) ExecuteCtx(ctx context.Context, q *Query) (*Answer, error) {
 	ts := root.StartChild("translate")
 	src, err := c.Translator().Translate(q)
 	translateSeconds.Observe(time.Since(start).Seconds())
+	c.Profile.Sub("translate", "").Record(time.Since(start), 0, 0)
 	if ts != nil {
 		ts.SetAttr("hifun", q.String())
 		ts.Finish()
@@ -199,12 +205,14 @@ func (c *Context) ExecuteCtx(ctx context.Context, q *Query) (*Answer, error) {
 		return nil, fmt.Errorf("hifun: generated SPARQL failed to parse: %w\n%s", err, src)
 	}
 	es := root.StartChild("exec")
-	res, err := sparql.ExecSelectCtx(ctx, c.Graph, parsed, sparql.Options{Trace: obs.SubTrace(es), Limits: c.Limits})
+	res, err := sparql.ExecSelectCtx(ctx, c.Graph, parsed,
+		sparql.Options{Trace: obs.SubTrace(es), Limits: c.Limits, Profile: c.Profile.Sub("exec", "")})
 	es.Finish()
 	if err != nil {
 		return nil, err
 	}
 	bs := root.StartChild("build_answer")
+	bstart := time.Now()
 	res.Sort()
 	ans := &Answer{SPARQL: src}
 	nGroups := len(res.Vars) - len(q.Ops)
@@ -220,6 +228,7 @@ func (c *Context) ExecuteCtx(ctx context.Context, q *Query) (*Answer, error) {
 		}
 		ans.Rows = append(ans.Rows, r)
 	}
+	c.Profile.Sub("build_answer", "").Record(time.Since(bstart), len(res.Rows), len(ans.Rows))
 	if bs != nil {
 		bs.SetAttr("rows", len(ans.Rows))
 		bs.Finish()

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// Exposition edge cases for the Prometheus text format: label-value
+// escaping must round-trip the three characters the format escapes,
+// family/series ordering must be deterministic, and the histogram quantile
+// estimator must behave exactly at bucket boundaries.
+
+// TestLabelEscapingRoundTrip writes label values containing quotes,
+// backslashes and newlines through a full exposition pass and checks the
+// escaped forms the 0.0.4 text format mandates — and that unescaping the
+// rendered value yields the original back.
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	cases := []struct {
+		raw, escaped string
+	}{
+		{`plain`, `plain`},
+		{`has "quotes"`, `has \"quotes\"`},
+		{`back\slash`, `back\\slash`},
+		{"new\nline", `new\nline`},
+		{"all\\three\"\n", `all\\three\"\n`},
+	}
+	for _, c := range cases {
+		reg := NewRegistry()
+		reg.Counter("m_total", "q", c.raw).Inc()
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		want := `m_total{q="` + c.escaped + `"} 1`
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("label %q: exposition missing %q:\n%s", c.raw, want, sb.String())
+		}
+		// Round-trip: applying the exposition-format unescape rules to the
+		// rendered value must restore the original.
+		got := strings.NewReplacer(`\\`, "\\", `\"`, `"`, `\n`, "\n").Replace(c.escaped)
+		if got != c.raw {
+			t.Errorf("unescape(%q) = %q, want %q", c.escaped, got, c.raw)
+		}
+	}
+}
+
+// TestWritePrometheusDeterministicOrder: families render in registration
+// order and series within a family in creation order, independent of map
+// iteration — asserted by rendering twice and by exact line positions.
+func TestWritePrometheusDeterministicOrder(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z_total", "op", "b").Inc()
+	reg.Counter("a_total").Inc()
+	reg.Counter("z_total", "op", "a").Inc()
+	reg.Gauge("m_gauge").Set(1)
+	render := func() string {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := render()
+	for i := 0; i < 10; i++ {
+		if got := render(); got != first {
+			t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+	idx := func(s string) int { return strings.Index(first, s) }
+	// z_total registered before a_total: family order follows registration.
+	if !(idx("# TYPE z_total") < idx("# TYPE a_total") && idx("# TYPE a_total") < idx("# TYPE m_gauge")) {
+		t.Fatalf("family order not registration order:\n%s", first)
+	}
+	// Series op="b" created before op="a": creation order within the family.
+	if !(idx(`z_total{op="b"}`) < idx(`z_total{op="a"}`)) {
+		t.Fatalf("series order not creation order:\n%s", first)
+	}
+}
+
+// TestQuantileAtBucketBoundaries pins the estimator where observations sit
+// exactly on bucket upper bounds: an observation equal to a bound lands in
+// that bound's bucket (le is inclusive), interpolation reaches the bound
+// exactly at the bucket's cumulative rank, and the overflow bucket clamps
+// to the highest finite bound.
+func TestQuantileAtBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// 4 observations, each exactly on a bound (2 twice): cumulative counts
+	// bucket(≤1)=1, bucket(≤2)=3, bucket(≤4)=4.
+	for _, v := range []float64{1, 2, 2, 4} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		{0.25, 1}, // rank 1 = all of bucket 1: interpolates to its bound
+		{0.75, 2}, // rank 3 exhausts bucket 2 exactly
+		{1.00, 4}, // rank 4 = top of the last finite bucket
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Overflow: everything above the top bound clamps to it.
+	h2 := newHistogram([]float64{1, 2, 4})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 4 {
+		t.Errorf("overflow Quantile = %v, want clamp to 4", got)
+	}
+	// Below the lowest bound: interpolation starts from 0.
+	h3 := newHistogram([]float64{1, 2})
+	h3.Observe(1)
+	if got := h3.Quantile(0.5); got != 0.5 {
+		t.Errorf("Quantile in first bucket = %v, want 0.5 (interpolated from 0)", got)
+	}
+}

@@ -49,19 +49,21 @@ func (l *SlowQueryLog) Threshold() time.Duration {
 }
 
 // Observe records one finished operation, logging it when dur reaches the
-// threshold. tr may be nil.
-func (l *SlowQueryLog) Observe(kind, query string, dur time.Duration, tr *Trace) {
+// threshold. fingerprint is the query's structural fingerprint id (may be
+// empty), so slow-log lines join against the workload profiler's
+// aggregates. The raw query text is truncated rune-safely to
+// maxLoggedQuery bytes, so a pathological multi-KB query cannot bloat the
+// log line. tr may be nil.
+func (l *SlowQueryLog) Observe(kind, query, fingerprint string, dur time.Duration, tr *Trace) {
 	if l == nil || dur < l.threshold {
 		return
 	}
 	l.count.Inc()
-	if len(query) > maxLoggedQuery {
-		query = query[:maxLoggedQuery] + "…"
-	}
 	l.logger.Warn("slow query",
 		slog.String("kind", kind),
+		slog.String("fingerprint", fingerprint),
 		slog.Duration("duration", dur),
-		slog.String("query", query),
+		slog.String("query", TruncateText(query, maxLoggedQuery)),
 		slog.String("plan", tr.Summary()),
 	)
 }

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"time"
+
+	"rdfanalytics/internal/obs"
+)
+
+// The built-in observability dashboard: one self-contained HTML page
+// rendered server-side with html/template — inline CSS, no scripts, no
+// external assets — so it works from a terminal browser on an air-gapped
+// box. It shows the RED view of the workload (rate, errors, duration
+// quantiles), the top-k slowest query fingerprints with their worst-case
+// run, the plan-vs-actual misestimation table fed by the operator profiler,
+// and the most recent queries.
+
+// dashboardTopK is how many slow fingerprints and misestimates the page
+// shows; the full data is always available from GET /api/workload.
+const dashboardTopK = 10
+
+type dashboardData struct {
+	Now          time.Time
+	Triples      int
+	Terms        int
+	Sessions     int
+	Snap         obs.WorkloadSnapshot
+	ErrorPct     float64
+	TopSlow      []obs.FingerprintSummary
+	Misestimates []obs.OpEstimate
+	Recent       []obs.QueryRecord
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	snap := s.workload.Snapshot()
+	data := dashboardData{
+		Now:          time.Now().UTC(),
+		Snap:         snap,
+		TopSlow:      s.workload.TopSlow(dashboardTopK),
+		Misestimates: snap.Misestimates,
+		Recent:       snap.Recent,
+	}
+	if len(data.Misestimates) > dashboardTopK {
+		data.Misestimates = data.Misestimates[:dashboardTopK]
+	}
+	if len(data.Recent) > dashboardTopK {
+		data.Recent = data.Recent[:dashboardTopK]
+	}
+	if snap.Total > 0 {
+		data.ErrorPct = 100 * float64(snap.Errors) / float64(snap.Total)
+	}
+	s.mu.Lock()
+	st := s.graph.Stats()
+	data.Sessions = len(s.sessions)
+	s.mu.Unlock()
+	data.Triples, data.Terms = st.Triples, st.Terms
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := dashboardTmpl.Execute(w, data); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+var dashboardTmpl = template.Must(template.New("dashboard").Funcs(template.FuncMap{
+	"ms": func(v float64) string { return fmt.Sprintf("%.2f", v) },
+	"qe": func(v float64) string {
+		if v == 0 {
+			return "–"
+		}
+		return fmt.Sprintf("%.1f", v)
+	},
+	"durms": func(d time.Duration) string {
+		return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+	},
+}).Parse(dashboardHTML))
+
+const dashboardHTML = `<!doctype html>
+<html><head><meta charset="utf-8"><title>RDF-Analytics dashboard</title>
+<style>
+body { font-family: ui-monospace, monospace; max-width: 72rem; margin: 1.5rem auto; padding: 0 1rem; color: #222; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+table { border-collapse: collapse; width: 100%; font-size: 0.85rem; }
+th, td { border: 1px solid #ccc; padding: 0.25rem 0.5rem; text-align: left; vertical-align: top; }
+th { background: #f2f2f2; }
+td.num, th.num { text-align: right; }
+.cards { display: flex; flex-wrap: wrap; gap: 0.8rem; }
+.card { border: 1px solid #ccc; padding: 0.5rem 0.9rem; min-width: 8rem; }
+.card b { display: block; font-size: 1.2rem; }
+.bad { color: #a00; }
+code { background: #f6f6f6; padding: 0 0.2rem; }
+footer { margin-top: 2rem; font-size: 0.75rem; color: #666; }
+</style></head><body>
+<h1>RDF-Analytics dashboard</h1>
+<p>Generated {{.Now.Format "2006-01-02 15:04:05"}} UTC · graph: {{.Triples}} triples, {{.Terms}} terms · {{.Sessions}} active sessions</p>
+
+<h2>Workload (RED)</h2>
+<div class="cards">
+<div class="card"><b>{{.Snap.Total}}</b>queries</div>
+<div class="card"><b{{if gt .Snap.Errors 0}} class="bad"{{end}}>{{.Snap.Errors}}</b>errors ({{ms .ErrorPct}}%)</div>
+<div class="card"><b>{{ms .Snap.P50Ms}} ms</b>p50 latency</div>
+<div class="card"><b>{{ms .Snap.P95Ms}} ms</b>p95 latency</div>
+</div>
+
+<h2>Slowest query fingerprints (top {{len .TopSlow}} by p95)</h2>
+{{if .TopSlow}}<table>
+<tr><th>fingerprint</th><th>kind</th><th>shape</th><th class="num">count</th><th class="num">p50 ms</th><th class="num">p95 ms</th><th class="num">worst ms</th><th class="num">avg rows</th><th class="num">max q-err</th><th>outcomes</th></tr>
+{{range .TopSlow}}<tr>
+<td><code>{{.ID}}</code></td><td>{{.Kind}}</td><td><code>{{.Shape}}</code></td>
+<td class="num">{{.Count}}</td><td class="num">{{ms .P50Ms}}</td><td class="num">{{ms .P95Ms}}</td>
+<td class="num">{{ms .WorstMs}}</td><td class="num">{{ms .AvgRows}}</td><td class="num">{{qe .MaxQError}}</td>
+<td>{{range $k, $v := .Outcomes}}{{$k}}={{$v}} {{end}}</td>
+</tr>{{end}}
+</table>{{else}}<p>No queries recorded yet.</p>{{end}}
+
+<h2>Plan vs. actual (worst misestimated operator sites)</h2>
+{{if .Misestimates}}<table>
+<tr><th>operator</th><th>site</th><th class="num">est</th><th class="num">actual</th><th class="num">q-error</th><th class="num">seen</th></tr>
+{{range .Misestimates}}<tr>
+<td>{{.Op}}</td><td><code>{{.Label}}</code></td>
+<td class="num">{{.Est}}</td><td class="num">{{.Actual}}</td><td class="num">{{qe .QError}}</td><td class="num">{{.Count}}</td>
+</tr>{{end}}
+</table>
+<p>q-error = max(est/actual, actual/est); estimates come from the cardinality-stats cache the planner ordered joins with.</p>
+{{else}}<p>No profiled operators yet.</p>{{end}}
+
+<h2>Recent queries</h2>
+{{if .Recent}}<table>
+<tr><th>when</th><th>kind</th><th>fingerprint</th><th class="num">ms</th><th class="num">rows</th><th>outcome</th><th>query</th></tr>
+{{range .Recent}}<tr>
+<td>{{.When.Format "15:04:05"}}</td><td>{{.Kind}}</td><td><code>{{.FingerprintID}}</code></td>
+<td class="num">{{durms .Duration}}</td><td class="num">{{.Rows}}</td>
+<td{{if ne .Outcome "ok"}} class="bad"{{end}}>{{.Outcome}}</td><td><code>{{.Query}}</code></td>
+</tr>{{end}}
+</table>{{else}}<p>No queries recorded yet.</p>{{end}}
+
+<footer>Raw data: <a href="/api/workload">/api/workload</a> · <a href="/api/trace">/api/trace</a> · <a href="/metrics">/metrics</a></footer>
+</body></html>
+`

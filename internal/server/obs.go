@@ -9,6 +9,7 @@ import (
 
 	"rdfanalytics/internal/fault"
 	"rdfanalytics/internal/obs"
+	"rdfanalytics/internal/sparql"
 )
 
 // Counters for session lifecycle events; the active-session count is a
@@ -84,31 +85,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.Default.WritePrometheus(w)
 }
 
-// traceJSON is the wire form of GET /api/trace: the span tree of the
-// session's last analytic query and of the server's last protocol-endpoint
-// query, whichever exist.
+// traceJSON is the wire form of GET /api/trace: the span tree and operator
+// profile of the session's last analytic query and of the server's last
+// protocol-endpoint query, whichever exist.
 type traceJSON struct {
-	Analytics *obs.SpanJSON `json:"analytics,omitempty"`
-	SPARQL    *obs.SpanJSON `json:"sparql,omitempty"`
+	Analytics        *obs.SpanJSON        `json:"analytics,omitempty"`
+	AnalyticsProfile *sparql.ProfNodeJSON `json:"analytics_profile,omitempty"`
+	SPARQL           *obs.SpanJSON        `json:"sparql,omitempty"`
+	SPARQLProfile    *sparql.ProfNodeJSON `json:"sparql_profile,omitempty"`
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out traceJSON
-	if tr := s.sessionFor(r).LastTrace(); tr != nil {
+	sess := s.sessionFor(r)
+	if tr := sess.LastTrace(); tr != nil {
 		e := tr.Export()
 		out.Analytics = &e
+		out.AnalyticsProfile = sess.LastProfile().Export()
 	}
 	if s.lastSparql != nil {
 		e := s.lastSparql.Export()
 		out.SPARQL = &e
+		out.SPARQLProfile = s.lastSparqlProf.Export()
 	}
 	if out.Analytics == nil && out.SPARQL == nil {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no query traced yet; POST /api/run or /sparql first"))
 		return
 	}
 	writeJSON(w, out)
+}
+
+// handleWorkload serves the workload profiler's snapshot: RED aggregates,
+// the recent-query ring, per-fingerprint summaries and the plan-vs-actual
+// misestimation table. The workload has its own lock, so the server mutex
+// is not taken — the endpoint stays responsive while a query runs.
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.workload.Snapshot())
 }
 
 // mountDebug exposes net/http/pprof on the server's own mux (the stdlib

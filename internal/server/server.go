@@ -43,7 +43,13 @@ type Server struct {
 	// lastSparql is the trace of the most recent /sparql SELECT, for
 	// GET /api/trace (the interaction sessions keep their own).
 	lastSparql *obs.Trace
-	slow       *obs.SlowQueryLog
+	// lastSparqlProf is the operator profile of the same query, served
+	// alongside the trace.
+	lastSparqlProf *sparql.Profile
+	slow           *obs.SlowQueryLog
+	// workload aggregates every completed query by structural fingerprint,
+	// feeding GET /api/workload and /debug/dashboard.
+	workload *obs.Workload
 	// sweepStop/sweepDone control the idle-session sweeper goroutine
 	// (started only when Config.SessionTTL is set; see hardening.go).
 	sweepStop chan struct{}
@@ -113,6 +119,7 @@ func NewWithConfig(g *rdf.Graph, ns string, cfg Config) *Server {
 		logger = slog.Default()
 	}
 	s.slow = obs.NewSlowQueryLog(logger, cfg.SlowQuery, obs.Default)
+	s.workload = obs.NewWorkload(256)
 	// Graph-level statistics are exported as functions evaluated at
 	// scrape time; re-registering (tests build many servers) rebinds the
 	// closures to the newest server's graph.
@@ -156,6 +163,8 @@ func NewWithConfig(g *rdf.Graph, ns string, cfg Config) *Server {
 	mux.HandleFunc("GET /api/answer.csv", s.handleAnswerCSV)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("GET /api/trace", s.handleTrace)
+	mux.HandleFunc("GET /api/workload", s.handleWorkload)
+	mux.HandleFunc("GET /debug/dashboard", s.handleDashboard)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /ui", s.handleUI)
 	if cfg.Debug {
@@ -343,10 +352,19 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	case sparql.FormSelect:
 		start := time.Now()
 		tr := obs.NewTrace("sparql")
-		res, err := sparql.ExecSelectCtx(ctx, s.graph, q, sparql.Options{Trace: tr, Limits: s.cfg.Limits})
+		prof := sparql.NewProfile("sparql")
+		res, err := sparql.ExecSelectCtx(ctx, s.graph, q,
+			sparql.Options{Trace: tr, Limits: s.cfg.Limits, Profile: prof})
 		tr.Finish()
 		s.lastSparql = tr
-		s.slow.Observe("sparql", query, time.Since(start), tr)
+		s.lastSparqlProf = prof
+		shape := sparql.Fingerprint(q)
+		s.slow.Observe("sparql", query, sparql.FingerprintID(shape), time.Since(start), tr)
+		rows := 0
+		if res != nil {
+			rows = len(res.Rows)
+		}
+		s.recordWorkload("sparql", query, shape, time.Since(start), rows, err, prof)
 		if err != nil {
 			queryError(w, err)
 			return
@@ -383,6 +401,42 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "application/n-triples")
 		rdf.WriteNTriples(w, out)
+	}
+}
+
+// recordWorkload folds one finished query into the workload profiler:
+// outcome from the error's abort taxonomy, worst q-error and plan-vs-actual
+// rows from the operator profile, and the profile export retained as the
+// fingerprint's worst-case exemplar. Safe with a nil profile.
+func (s *Server) recordWorkload(kind, query, shape string, dur time.Duration, rows int, err error, prof *sparql.Profile) {
+	outcome := "ok"
+	if err != nil {
+		outcome = sparql.AbortReason(err)
+		if outcome == "" {
+			outcome = "error"
+		}
+	}
+	var exemplar any
+	if exp := prof.Export(); exp != nil {
+		exemplar = exp
+	}
+	s.workload.Observe(obs.QueryRecord{
+		FingerprintID: sparql.FingerprintID(shape),
+		Shape:         shape,
+		Kind:          kind,
+		Query:         query,
+		Duration:      dur,
+		Rows:          rows,
+		Outcome:       outcome,
+		MaxQError:     prof.MaxQError(),
+		When:          time.Now(),
+	}, exemplar)
+	if ests := prof.Estimates(); len(ests) > 0 {
+		conv := make([]obs.OpEstimate, len(ests))
+		for i, e := range ests {
+			conv[i] = obs.OpEstimate{Op: e.Op, Label: e.Label, Est: e.Est, Actual: e.Actual, QError: e.QError}
+		}
+		s.workload.ObserveEstimates(conv)
 	}
 }
 
@@ -721,7 +775,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	ans, err := sess.RunAnalyticsCtx(ctx)
-	s.slow.Observe("analytics", q.String(), time.Since(start), sess.LastTrace())
+	dur := time.Since(start)
+	// Analytic queries fingerprint by the generated SPARQL when available
+	// (it carries the full shape); the HIFUN text stands in on failure.
+	shape := "analytics " + q.String()
+	rows := 0
+	if err == nil {
+		shape = sparql.FingerprintQuery(ans.SPARQL)
+		rows = len(ans.Rows)
+	}
+	s.slow.Observe("analytics", q.String(), sparql.FingerprintID(shape), dur, sess.LastTrace())
+	s.recordWorkload("analytics", q.String(), shape, dur, rows, err, sess.LastProfile())
 	if err != nil {
 		queryError(w, err)
 		return

@@ -27,6 +27,9 @@ type evaluator struct {
 	// cur is the span new trace children attach under; nil when tracing is
 	// off, in which case every span site is a single pointer test.
 	cur *obs.Span
+	// prof is the profile node new operator records attach under; nil when
+	// profiling is off, same single-pointer-test convention as cur.
+	prof *ProfNode
 	// cancel is the shared abort state (deadline, client disconnect, budget
 	// kill); see limits.go. Never nil.
 	cancel *evalCancel
@@ -65,6 +68,11 @@ type Options struct {
 	// and row counts, filters, and nested constructs. Tracing never changes
 	// results, only records them (see TestTraceDifferential).
 	Trace *obs.Trace
+	// Profile, when non-nil, receives an operator-level runtime profile of
+	// the evaluation (EXPLAIN ANALYZE): per-operator wall time, rows in/out
+	// and estimated-vs-actual cardinality with q-error. Like tracing,
+	// profiling never changes results (see TestProfileDifferential).
+	Profile *Profile
 	// Limits bounds the resources the evaluation may consume (row budget on
 	// intermediate binding sets, property-path depth/visited caps); the
 	// zero value means "no row budget, default path caps". Violations
@@ -82,6 +90,7 @@ func newEvaluator(ctx context.Context, g *rdf.Graph, opts Options) *evaluator {
 		noPushdown: opts.NoPushdown,
 		workers:    par.Workers(opts.Parallelism),
 		cur:        opts.Trace.Root(),
+		prof:       opts.Profile.Root(),
 		cancel:     &evalCancel{ctx: ctx},
 		limits:     opts.Limits,
 	}
@@ -103,6 +112,14 @@ func ExecSelectCtx(ctx context.Context, g *rdf.Graph, q *Query, opts Options) (*
 	ev := newEvaluator(ctx, g, opts)
 	res, err := ev.execSelect(q, []Binding{{}})
 	observeSince(execSeconds, start)
+	if p := opts.Profile; p != nil {
+		rows := 0
+		if res != nil {
+			rows = len(res.Rows)
+		}
+		p.root.record(time.Since(start), 1, rows)
+		p.emitMetrics()
+	}
 	if err != nil {
 		observeAbort(opts.Trace.Root(), err)
 		return nil, err
@@ -257,7 +274,9 @@ func ExecSelect(g *rdf.Graph, q *Query) (*Results, error) {
 func (ev *evaluator) execSelect(q *Query, input []Binding) (*Results, error) {
 	t0 := time.Now()
 	ms := ev.enterSpan("match")
+	pm, pmt := ev.profEnter("match", "")
 	rows := ev.evalGroup(q.Where, input)
+	ev.profExit(pm, pmt, len(input), len(rows))
 	ms.SetAttr("rows", len(rows))
 	ev.exitSpan(ms)
 	observeSince(phaseMatch, t0)
@@ -278,12 +297,16 @@ func (ev *evaluator) execSelect(q *Query, input []Binding) (*Results, error) {
 	if grouped {
 		as := ev.enterSpan("aggregate")
 		as.SetAttr("groupBy", len(q.GroupBy))
+		pa, pat := ev.profEnter("aggregate", "")
 		work, order, err = ev.aggregate(q, rows)
+		ev.profExit(pa, pat, len(rows), len(work))
 		ev.exitSpan(as)
 		observeSince(phaseAggregate, t1)
 	} else {
 		ps := ev.enterSpan("project")
+		pe, pet := ev.profEnter("extend", "")
 		work = ev.extend(q, rows)
+		ev.profExit(pe, pet, len(rows), len(work))
 		ev.exitSpan(ps)
 		observeSince(phaseProject, t1)
 	}
@@ -295,6 +318,7 @@ func (ev *evaluator) execSelect(q *Query, input []Binding) (*Results, error) {
 	}
 	t2 := time.Now()
 	mods := ev.enterSpan("modifiers")
+	pmod, pmodt := ev.profEnter("modifiers", "")
 	if len(order) > 0 {
 		ev.orderBy(work, order)
 	}
@@ -312,6 +336,7 @@ func (ev *evaluator) execSelect(q *Query, input []Binding) (*Results, error) {
 	if q.Limit >= 0 && q.Limit < len(res.Rows) {
 		res.Rows = res.Rows[:q.Limit]
 	}
+	ev.profExit(pmod, pmodt, len(work), len(res.Rows))
 	mods.SetAttr("rows", len(res.Rows))
 	ev.exitSpan(mods)
 	observeSince(phaseModifiers, t2)
@@ -357,6 +382,12 @@ func (ev *evaluator) evalGroup(gp *GroupPattern, input []Binding) []Binding {
 			fs.SetAttr("expr", fmt.Sprint(f.expr))
 			fs.SetAttr("rows_in", len(cur))
 		}
+		flabel := ""
+		if ev.prof != nil {
+			flabel = f.expr.String()
+		}
+		pf, pft := ev.profEnter("filter", flabel)
+		rowsIn := len(cur)
 		var out []Binding
 		for i, b := range cur {
 			if i%pollEvery == 0 && ev.cancel.poll() {
@@ -368,6 +399,7 @@ func (ev *evaluator) evalGroup(gp *GroupPattern, input []Binding) []Binding {
 		}
 		cur = out
 		f.applied = true
+		ev.profExit(pf, pft, rowsIn, len(cur))
 		if fs != nil {
 			fs.SetAttr("rows_out", len(cur))
 			fs.Finish()
@@ -734,6 +766,7 @@ func substNode(n Node, b Binding) (rdf.Term, string) {
 func (ev *evaluator) evalOptional(opt *GroupPattern, input []Binding) []Binding {
 	s := ev.enterSpan("optional")
 	s.SetAttr("rows_in", len(input))
+	po, pot := ev.profEnter("optional", "")
 	var out []Binding
 	for _, b := range input {
 		if ev.cancel.aborted() {
@@ -746,6 +779,7 @@ func (ev *evaluator) evalOptional(opt *GroupPattern, input []Binding) []Binding 
 		}
 		out = append(out, ext...)
 	}
+	ev.profExit(po, pot, len(input), len(out))
 	s.SetAttr("rows_out", len(out))
 	ev.exitSpan(s)
 	return out
@@ -754,10 +788,12 @@ func (ev *evaluator) evalOptional(opt *GroupPattern, input []Binding) []Binding 
 func (ev *evaluator) evalUnion(u *UnionPattern, input []Binding) []Binding {
 	s := ev.enterSpan("union")
 	s.SetAttr("alternatives", len(u.Alternatives))
+	pu, put := ev.profEnter("union", "")
 	var out []Binding
 	for _, alt := range u.Alternatives {
 		out = append(out, ev.evalGroup(alt, input)...)
 	}
+	ev.profExit(pu, put, len(input), len(out))
 	s.SetAttr("rows_out", len(out))
 	ev.exitSpan(s)
 	return out
@@ -807,8 +843,10 @@ func (ev *evaluator) evalValues(ve *ValuesElem, input []Binding) []Binding {
 func (ev *evaluator) evalSubQuery(q *Query, input []Binding) []Binding {
 	s := ev.enterSpan("subquery")
 	defer ev.exitSpan(s)
+	ps, pst := ev.profEnter("subquery", "")
 	res, err := ev.execSelect(q, []Binding{{}})
 	if err != nil {
+		ev.profExit(ps, pst, len(input), 0)
 		return nil
 	}
 	var out []Binding
@@ -829,12 +867,14 @@ func (ev *evaluator) evalSubQuery(q *Query, input []Binding) []Binding {
 			out = append(out, nb)
 		}
 	}
+	ev.profExit(ps, pst, len(input), len(out))
 	return out
 }
 
 func (ev *evaluator) evalMinus(m *GroupPattern, input []Binding) []Binding {
 	s := ev.enterSpan("minus")
 	defer ev.exitSpan(s)
+	pm, pmt := ev.profEnter("minus", "")
 	removed := ev.evalGroup(m, []Binding{{}})
 	var out []Binding
 	for i, b := range input {
@@ -863,6 +903,7 @@ func (ev *evaluator) evalMinus(m *GroupPattern, input []Binding) []Binding {
 			out = append(out, b)
 		}
 	}
+	ev.profExit(pm, pmt, len(input), len(out))
 	return out
 }
 

@@ -53,6 +53,35 @@ func ExplainOpts(g *rdf.Graph, src string, opts Options) (string, error) {
 	return sb.String(), nil
 }
 
+// ExplainAnalyze executes a SELECT query with the operator-level profiler
+// enabled and returns the EXPLAIN ANALYZE tree: every operator node carries
+// its invocation count, actual rows in/out and wall time, and every index
+// scan additionally shows the planner's stats-cache estimate next to the
+// actual cardinality with the q-error max(est/act, act/est). The query's
+// results are computed and discarded; profiling never changes them (see
+// TestProfileDifferential).
+func ExplainAnalyze(g *rdf.Graph, src string, opts Options) (string, error) {
+	return ExplainAnalyzeCtx(context.Background(), g, src, opts)
+}
+
+// ExplainAnalyzeCtx is ExplainAnalyze under a context (see ExecSelectCtx
+// for cancellation/limit semantics).
+func ExplainAnalyzeCtx(ctx context.Context, g *rdf.Graph, src string, opts Options) (string, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	if q.Form != FormSelect {
+		return "", fmt.Errorf("sparql: EXPLAIN ANALYZE supports SELECT queries")
+	}
+	prof := NewProfile("query")
+	opts.Profile = prof
+	if _, err := ExecSelectCtx(ctx, g, q, opts); err != nil {
+		return "", err
+	}
+	return prof.Tree(), nil
+}
+
 func countAggregates(q *Query) int {
 	n := 0
 	for _, it := range q.Select.Items {

@@ -1,0 +1,262 @@
+package sparql
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"rdfanalytics/internal/rdf"
+)
+
+// Structural query fingerprinting. A fingerprint is a canonical rendering
+// of a query's *shape*: variables are renamed ?v1, ?v2, ... in order of
+// first occurrence and constant terms are replaced by the placeholder "$",
+// so two queries that differ only in literal values or variable names share
+// a fingerprint and aggregate together in the workload profiler. Predicate
+// IRIs (and the class IRI of an rdf:type object) are kept — they define
+// which part of the graph the query touches, which is the shape a workload
+// analysis cares about. LIMIT/OFFSET values count as constants: only their
+// presence is recorded.
+
+// Fingerprint returns the structural fingerprint of a parsed query.
+func Fingerprint(q *Query) string {
+	w := &fpWriter{names: map[string]string{}}
+	w.query(q)
+	return w.sb.String()
+}
+
+// FingerprintQuery parses src and fingerprints it. Unparseable input maps
+// to the single fingerprint "unparseable", so broken queries still
+// aggregate in the workload view instead of vanishing.
+func FingerprintQuery(src string) string {
+	q, err := Parse(src)
+	if err != nil {
+		return "unparseable"
+	}
+	return Fingerprint(q)
+}
+
+// FingerprintID returns a short stable hex identifier for a fingerprint
+// string (FNV-64a), compact enough for log lines and metric labels.
+func FingerprintID(fp string) string {
+	h := fnv.New64a()
+	h.Write([]byte(fp))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// fpWriter accumulates the canonical rendering; names maps original
+// variable names to their canonical ?vN form.
+type fpWriter struct {
+	sb    strings.Builder
+	names map[string]string
+}
+
+func (w *fpWriter) canon(v string) string {
+	if c, ok := w.names[v]; ok {
+		return c
+	}
+	c := fmt.Sprintf("?v%d", len(w.names)+1)
+	w.names[v] = c
+	return c
+}
+
+func (w *fpWriter) query(q *Query) {
+	switch q.Form {
+	case FormAsk:
+		w.sb.WriteString("ask")
+	case FormConstruct:
+		w.sb.WriteString("construct")
+	case FormDescribe:
+		w.sb.WriteString("describe")
+	default:
+		w.sb.WriteString("select")
+		if q.Select.Distinct {
+			w.sb.WriteString(" distinct")
+		}
+		if q.Select.Star {
+			w.sb.WriteString(" *")
+		}
+		for _, it := range q.Select.Items {
+			w.sb.WriteByte(' ')
+			if it.Expr != nil {
+				w.sb.WriteString("(" + w.expr(it.Expr) + " as " + w.canon(it.Var) + ")")
+			} else {
+				w.sb.WriteString(w.canon(it.Var))
+			}
+		}
+	}
+	w.sb.WriteByte(' ')
+	w.group(q.Where)
+	if len(q.GroupBy) > 0 {
+		w.sb.WriteString(" group(")
+		for i, gc := range q.GroupBy {
+			if i > 0 {
+				w.sb.WriteByte(',')
+			}
+			if gc.Expr != nil {
+				w.sb.WriteString(w.expr(gc.Expr))
+				if gc.Var != "" {
+					w.sb.WriteString(" as " + w.canon(gc.Var))
+				}
+			} else {
+				w.sb.WriteString(w.canon(gc.Var))
+			}
+		}
+		w.sb.WriteByte(')')
+	}
+	if len(q.Having) > 0 {
+		w.sb.WriteString(" having(")
+		for i, h := range q.Having {
+			if i > 0 {
+				w.sb.WriteByte(',')
+			}
+			w.sb.WriteString(w.expr(h))
+		}
+		w.sb.WriteByte(')')
+	}
+	if len(q.OrderBy) > 0 {
+		w.sb.WriteString(" order(")
+		for i, oc := range q.OrderBy {
+			if i > 0 {
+				w.sb.WriteByte(',')
+			}
+			if oc.Desc {
+				w.sb.WriteString("desc ")
+			}
+			w.sb.WriteString(w.expr(oc.Expr))
+		}
+		w.sb.WriteByte(')')
+	}
+	if q.Limit >= 0 {
+		w.sb.WriteString(" limit")
+	}
+	if q.Offset > 0 {
+		w.sb.WriteString(" offset")
+	}
+}
+
+func (w *fpWriter) group(gp *GroupPattern) {
+	w.sb.WriteByte('{')
+	for i, e := range gp.Elems {
+		if i > 0 {
+			w.sb.WriteByte(' ')
+		}
+		switch {
+		case e.Triple != nil:
+			w.triple(e.Triple)
+		case e.Filter != nil:
+			w.sb.WriteString("filter(" + w.expr(e.Filter) + ")")
+		case e.Optional != nil:
+			w.sb.WriteString("optional")
+			w.group(e.Optional)
+		case e.Union != nil:
+			w.sb.WriteString("union(")
+			for j, alt := range e.Union.Alternatives {
+				if j > 0 {
+					w.sb.WriteByte('|')
+				}
+				w.group(alt)
+			}
+			w.sb.WriteByte(')')
+		case e.Group != nil:
+			w.group(e.Group)
+		case e.Bind != nil:
+			w.sb.WriteString("bind(" + w.expr(e.Bind.Expr) + " as " + w.canon(e.Bind.Var) + ")")
+		case e.Values != nil:
+			// The data rows are constants; only the bound variables are shape.
+			w.sb.WriteString("values(")
+			for j, v := range e.Values.Vars {
+				if j > 0 {
+					w.sb.WriteByte(',')
+				}
+				w.sb.WriteString(w.canon(v))
+			}
+			w.sb.WriteByte(')')
+		case e.SubQuery != nil:
+			w.sb.WriteString("sub(")
+			w.query(e.SubQuery)
+			w.sb.WriteByte(')')
+		case e.Minus != nil:
+			w.sb.WriteString("minus")
+			w.group(e.Minus)
+		}
+	}
+	w.sb.WriteByte('}')
+}
+
+func (w *fpWriter) triple(tp *TriplePattern) {
+	w.sb.WriteString(w.node(tp.S, false))
+	w.sb.WriteByte(' ')
+	if tp.Path != nil {
+		w.sb.WriteString(tp.Path.String())
+	} else {
+		w.sb.WriteString(w.node(tp.P, true))
+	}
+	w.sb.WriteByte(' ')
+	keepObject := tp.Path == nil && !tp.P.IsVar() &&
+		tp.P.Term.IsIRI() && tp.P.Term.Value == rdf.RDFType
+	w.sb.WriteString(w.node(tp.O, keepObject))
+	w.sb.WriteString(" .")
+}
+
+// node renders one triple-pattern position: canonical variable, the literal
+// term when keep is set (predicates, rdf:type classes), "$" otherwise.
+func (w *fpWriter) node(n Node, keep bool) string {
+	if n.IsVar() {
+		return w.canon(n.Var)
+	}
+	if keep {
+		return n.Term.String()
+	}
+	return "$"
+}
+
+func (w *fpWriter) expr(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case ExprVar:
+		return w.canon(x.Name)
+	case ExprTerm:
+		return "$"
+	case ExprUnary:
+		return x.Op + w.expr(x.Sub)
+	case ExprBinary:
+		return "(" + w.expr(x.Left) + x.Op + w.expr(x.Right) + ")"
+	case ExprCall:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = w.expr(a)
+		}
+		return x.Func + "(" + strings.Join(args, ",") + ")"
+	case ExprAggregate:
+		inner := "*"
+		if !x.Star && x.Arg != nil {
+			inner = w.expr(x.Arg)
+		}
+		if x.Distinct {
+			inner = "distinct " + inner
+		}
+		return x.Func + "(" + inner + ")"
+	case ExprExists:
+		prefix := "exists"
+		if x.Not {
+			prefix = "not exists"
+		}
+		sub := &fpWriter{names: w.names}
+		sub.group(x.Pattern)
+		return prefix + sub.sb.String()
+	case ExprIn:
+		items := make([]string, len(x.List))
+		for i, it := range x.List {
+			items[i] = w.expr(it)
+		}
+		op := " in("
+		if x.Not {
+			op = " not in("
+		}
+		return w.expr(x.Left) + op + strings.Join(items, ",") + ")"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,95 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+)
+
+func fpOf(t *testing.T, src string) string {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return Fingerprint(q)
+}
+
+// TestFingerprintStripsConstants: queries that differ only in literal
+// values or subject/object IRIs share one fingerprint.
+func TestFingerprintStripsConstants(t *testing.T) {
+	a := fpOf(t, `PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:v 5 . FILTER(?s != ex:s1) } LIMIT 10`)
+	b := fpOf(t, `PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:v 99 . FILTER(?s != ex:s42) } LIMIT 500`)
+	if a != b {
+		t.Errorf("constant-only difference changed fingerprint:\n%s\n%s", a, b)
+	}
+	if strings.Contains(a, "5") && strings.Contains(a, "ex:s1") {
+		t.Errorf("fingerprint leaks constants: %s", a)
+	}
+}
+
+// TestFingerprintCanonicalizesVariables: renaming variables does not change
+// the fingerprint.
+func TestFingerprintCanonicalizesVariables(t *testing.T) {
+	a := fpOf(t, `PREFIX ex: <http://e/> SELECT ?s ?w WHERE { ?s ex:link ?t . ?t ex:w ?w }`)
+	b := fpOf(t, `PREFIX ex: <http://e/> SELECT ?x ?y WHERE { ?x ex:link ?mid . ?mid ex:w ?y }`)
+	if a != b {
+		t.Errorf("variable renaming changed fingerprint:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "?v1") {
+		t.Errorf("fingerprint not canonicalized: %s", a)
+	}
+}
+
+// TestFingerprintKeepsShape: predicates, rdf:type classes, and structural
+// differences must all separate fingerprints.
+func TestFingerprintKeepsShape(t *testing.T) {
+	base := fpOf(t, `PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:v ?o }`)
+	cases := map[string]string{
+		"different predicate": `PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:w ?o }`,
+		"added pattern":       `PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:v ?o . ?s ex:w ?x }`,
+		"distinct":            `PREFIX ex: <http://e/> SELECT DISTINCT ?s WHERE { ?s ex:v ?o }`,
+		"with limit":          `PREFIX ex: <http://e/> SELECT ?s WHERE { ?s ex:v ?o } LIMIT 5`,
+		"grouped":             `PREFIX ex: <http://e/> SELECT (COUNT(?s) AS ?n) WHERE { ?s ex:v ?o }`,
+	}
+	for name, src := range cases {
+		if got := fpOf(t, src); got == base {
+			t.Errorf("%s: fingerprint did not change: %s", name, got)
+		}
+	}
+	// rdf:type objects are classes — part of the shape, not a constant.
+	people := fpOf(t, `PREFIX ex: <http://e/> SELECT ?s WHERE { ?s a ex:Person }`)
+	orders := fpOf(t, `PREFIX ex: <http://e/> SELECT ?s WHERE { ?s a ex:Order }`)
+	if people == orders {
+		t.Error("rdf:type class stripped from fingerprint; classes define shape")
+	}
+}
+
+func TestFingerprintModifiersAndOperators(t *testing.T) {
+	fp := fpOf(t, `PREFIX ex: <http://e/>
+SELECT ?t (SUM(?v) AS ?total) WHERE {
+  ?s ex:link+ ?t . ?s ex:v ?v .
+  OPTIONAL { ?s ex:tag ?g } MINUS { ?s ex:tag ex:cold }
+} GROUP BY ?t HAVING (SUM(?v) > 10) ORDER BY DESC(?total) LIMIT 3 OFFSET 1`)
+	for _, want := range []string{"optional", "minus", "group(", "having(", "order(", "limit", "offset", "SUM"} {
+		if !strings.Contains(fp, want) {
+			t.Errorf("fingerprint missing %q: %s", want, fp)
+		}
+	}
+}
+
+func TestFingerprintQueryAndID(t *testing.T) {
+	if FingerprintQuery("THIS IS NOT SPARQL") != "unparseable" {
+		t.Error("unparseable input must map to the sentinel fingerprint")
+	}
+	fp := FingerprintQuery(`SELECT ?s WHERE { ?s ?p ?o }`)
+	id := FingerprintID(fp)
+	if len(id) != 16 {
+		t.Errorf("FingerprintID length = %d, want 16 hex chars", len(id))
+	}
+	if id != FingerprintID(fp) {
+		t.Error("FingerprintID not stable")
+	}
+	if id == FingerprintID("unparseable") {
+		t.Error("distinct fingerprints collide")
+	}
+}

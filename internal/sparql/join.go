@@ -131,7 +131,9 @@ func (ev *evaluator) evalTripleRun(run []*TriplePattern, input []Binding) []Bind
 		bs.SetAttr("rows_in", len(input))
 		bs.SetAttr("workers", ev.workers)
 	}
+	pb, pbt := ev.profEnter("bgp", "")
 	out := ev.runTriples(run, input)
+	ev.profExit(pb, pbt, len(input), len(out))
 	if bs != nil {
 		bs.SetAttr("rows_out", len(out))
 	}
@@ -252,6 +254,16 @@ func (ev *evaluator) evalPattern(tp *TriplePattern, rp *runPlan, pp *patPlan, ro
 		ss.SetAttr("strategy", strategy.String())
 		ss.SetAttr("rows_in", rows.n())
 	}
+	plabel := ""
+	if ev.prof != nil {
+		plabel = tp.String()
+	}
+	psc, psct := ev.profEnter("scan", plabel)
+	// The scan's estimate is the PR 1 cardinality-stats-cache count for the
+	// pattern's constant positions — the same number the planner ordered and
+	// strategy-picked with, so q-error measures the planner's own input.
+	ev.prof.addEst(pp.baseEst)
+	ev.prof.setStrategy(strategy.String())
 	// Each pattern opens a fresh row-budget window: the budget caps the
 	// size of any one intermediate binding set, counted live across the
 	// worker partitions while this join produces.
@@ -267,6 +279,7 @@ func (ev *evaluator) evalPattern(tp *TriplePattern, rp *runPlan, pp *patPlan, ro
 			return ev.nestedLoopRun(pp, rows, lo, hi)
 		})
 	}
+	ev.profExit(psc, psct, rows.n(), out.n())
 	if ss != nil {
 		ss.SetAttr("rows_out", out.n())
 		ss.Finish()
@@ -313,7 +326,7 @@ func (ev *evaluator) nestedLoopRun(pp *patPlan, rows *idRows, lo, hi int) *idRow
 		vals:    make([]rdf.ID, 0, (hi-lo)*rows.width),
 		parents: make([]int32, 0, hi-lo),
 	}
-	produced := 0 // rows appended since the last budget flush
+	produced := 0           // rows appended since the last budget flush
 	var matches [][3]rdf.ID // scratch, reused across rows
 	for r := lo; r < hi; r++ {
 		if (r-lo)%64 == 0 && ev.cancel.aborted() {

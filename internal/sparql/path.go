@@ -15,6 +15,11 @@ func (ev *evaluator) evalPathTriple(tp *TriplePattern, input []Binding) []Bindin
 		ps.SetAttr("pattern", tp.String())
 		ps.SetAttr("rows_in", len(input))
 	}
+	plabel := ""
+	if ev.prof != nil {
+		plabel = tp.String()
+	}
+	pp, ppt := ev.profEnter("path_scan", plabel)
 	var out []Binding
 	for _, b := range input {
 		if ev.cancel.poll() {
@@ -72,6 +77,7 @@ func (ev *evaluator) evalPathTriple(tp *TriplePattern, input []Binding) []Bindin
 			}
 		}
 	}
+	ev.profExit(pp, ppt, len(input), len(out))
 	if ps != nil {
 		ps.SetAttr("rows_out", len(out))
 		ps.Finish()

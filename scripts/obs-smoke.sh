@@ -55,6 +55,9 @@ for name in \
     rdfa_hifun_execute_seconds_count \
     rdfa_core_run_analytics_seconds_count \
     rdfa_facet_compute_seconds_count \
+    rdfa_planner_qerror_bucket \
+    rdfa_sparql_operator_rows_total \
+    rdfa_sparql_operator_seconds_count \
     rdfa_slow_queries_total; do
     if ! printf '%s\n' "$METRICS" | grep -q "^$name"; then
         echo "obs-smoke: FAIL — metric $name missing from /metrics" >&2
@@ -70,7 +73,34 @@ for frag in run_analytics translate exec; do
     fi
 done
 
+# The workload profiler aggregated both query kinds.
+WORKLOAD="$(curl -sf "$BASE/api/workload")"
+for frag in fingerprints misestimates q_error; do
+    if ! printf '%s' "$WORKLOAD" | grep -q "$frag"; then
+        echo "obs-smoke: FAIL — /api/workload missing \"$frag\": $WORKLOAD" >&2
+        exit 1
+    fi
+done
+
+# The dashboard renders as one self-contained HTML page: no scripts and no
+# external assets (every src/href must stay on this host).
+DASH="$(curl -sf "$BASE/debug/dashboard")"
+for frag in 'RDF-Analytics dashboard' 'Workload (RED)' 'Plan vs. actual' 'q-error'; do
+    if ! printf '%s' "$DASH" | grep -q "$frag"; then
+        echo "obs-smoke: FAIL — dashboard missing \"$frag\"" >&2
+        exit 1
+    fi
+done
+if printf '%s' "$DASH" | grep -q '<script'; then
+    echo "obs-smoke: FAIL — dashboard embeds a script" >&2
+    exit 1
+fi
+if printf '%s' "$DASH" | grep -Eq '(src|href)="(https?:)?//'; then
+    echo "obs-smoke: FAIL — dashboard references an external asset" >&2
+    exit 1
+fi
+
 # -debug must mount pprof.
 curl -sf "$BASE/debug/pprof/cmdline" >/dev/null
 
-echo "obs-smoke: OK — metrics, trace and pprof endpoints all healthy"
+echo "obs-smoke: OK — metrics, trace, workload, dashboard and pprof endpoints all healthy"
