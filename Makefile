@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-json obs-smoke chaos-smoke fuzz-smoke conformance clean
+.PHONY: build test check race bench bench-json bench-planner obs-smoke chaos-smoke fuzz-smoke conformance clean
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,13 @@ bench:
 # performance timeline to diff regressions against (-history "" disables).
 bench-json:
 	$(GO) run ./cmd/benchrunner -exp E6 -quick
+
+# bench-planner runs the adaptive-planner feedback-convergence experiment
+# (E12): the workload replays twice over one feedback store and the per-pass
+# worst q-error and latency quantiles are appended to BENCH_history.json —
+# the acceptance evidence that the second pass plans strictly better.
+bench-planner:
+	$(GO) run ./cmd/benchrunner -exp E12
 
 clean:
 	rm -f BENCH_results.json spiral.svg city.svg city.json

@@ -1,9 +1,9 @@
 // Command benchrunner regenerates every evaluation artifact of the paper
-// (the experiment index E1–E11 of DESIGN.md): translation examples, facet
+// (the experiment index E1–E12 of DESIGN.md): translation examples, facet
 // trees, the §5.1 interaction walk-throughs, the efficiency tables
 // (Tables 6.1–6.2), the OLAP correspondence (Fig 7.1–7.2), the simulated
-// user study (Figs 8.1–8.2), the evaluation-strategy ablation, and the
-// spiral/3D layouts.
+// user study (Figs 8.1–8.2), the evaluation-strategy ablation, the
+// spiral/3D layouts, and the planner feedback-convergence run.
 //
 // Usage:
 //
@@ -46,14 +46,14 @@ var (
 var records []bench.Record
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E11)")
+	exp := flag.String("exp", "", "experiment id (E1..E12)")
 	all := flag.Bool("all", false, "run every experiment")
 	flag.Parse()
 	experiments := map[string]func() error{
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
-		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11,
+		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11, "E12": e12,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 	switch {
 	case *all:
 		for _, id := range order {
@@ -65,7 +65,7 @@ func main() {
 	case *exp != "":
 		fn, ok := experiments[strings.ToUpper(*exp)]
 		if !ok {
-			log.Fatalf("unknown experiment %q (want E1..E11)", *exp)
+			log.Fatalf("unknown experiment %q (want E1..E12)", *exp)
 		}
 		header(strings.ToUpper(*exp))
 		if err := fn(); err != nil {
@@ -471,5 +471,25 @@ func e11() error {
 		return err
 	}
 	fmt.Println("wrote", jsonPath)
+	return nil
+}
+
+// E12 — adaptive-planner feedback convergence: the workload replays twice
+// over a shared feedback store; the second pass plans from the first pass's
+// observed cardinalities, so its worst q-error must fall while p95 latency
+// does not regress. The per-pass q-error rides into BENCH_history.json via
+// the record labels.
+func e12() error {
+	cfg := bench.PlannerConfig{Seed: 1}
+	if *quick {
+		cfg.Laptops = 500
+		cfg.Runs = 3
+	}
+	passes, err := bench.RunPlannerFeedback(cfg)
+	if err != nil {
+		return err
+	}
+	bench.WritePlannerTable(os.Stdout, passes)
+	records = append(records, bench.PlannerRecords("E12", passes)...)
 	return nil
 }

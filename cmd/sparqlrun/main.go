@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"rdfanalytics/internal/datagen"
 	"rdfanalytics/internal/obs"
@@ -28,7 +29,14 @@ func main() {
 	explainAnalyze := flag.Bool("explain-analyze", false,
 		"run the query and print the operator profile: per-operator wall time, rows, est vs actual cardinality with q-error (SELECT only)")
 	trace := flag.Bool("trace", false, "print the per-phase timing tree after the results (SELECT only)")
+	noReorder := flag.Bool("no-reorder", false, "evaluate BGPs in textual order (join-ordering ablation)")
+	plannerName := flag.String("planner", "auto", "BGP join-order planner: auto, greedy, dp or feedback")
+	repeat := flag.Int("repeat", 1, "run the query this many times (with -planner=feedback, later passes plan from observed cardinalities)")
 	flag.Parse()
+	planner, err := sparql.ParsePlannerMode(*plannerName)
+	if err != nil {
+		log.Fatalf("sparqlrun: %v", err)
+	}
 	var query string
 	switch {
 	case *file != "":
@@ -46,8 +54,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	planOpts := sparql.Options{NoReorder: *noReorder, Planner: planner}
 	if *explain {
-		plan, err := sparql.Explain(g, query)
+		plan, err := sparql.ExplainOpts(g, query, planOpts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,7 +64,7 @@ func main() {
 		return
 	}
 	if *explainAnalyze {
-		tree, err := sparql.ExplainAnalyze(g, query, sparql.Options{})
+		tree, err := sparql.ExplainAnalyze(g, query, planOpts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,14 +77,41 @@ func main() {
 	}
 	switch q.Form {
 	case sparql.FormSelect:
-		var tr *obs.Trace
-		if *trace {
-			tr = obs.NewTrace("query")
+		if *repeat < 1 {
+			*repeat = 1
 		}
-		res, err := sparql.ExecSelectOpts(g, q, sparql.Options{Trace: tr})
-		tr.Finish()
-		if err != nil {
-			log.Fatal(err)
+		// With -repeat, a per-process feedback store lets later passes plan
+		// from the cardinalities the first pass observed (the closed loop
+		// the server runs continuously).
+		var fb *sparql.FeedbackStore
+		if *repeat > 1 && planner != sparql.PlannerGreedy && !*noReorder {
+			fb = sparql.NewFeedbackStore()
+		}
+		var tr *obs.Trace
+		var res *sparql.Results
+		for pass := 1; pass <= *repeat; pass++ {
+			tr = nil
+			if *trace {
+				tr = obs.NewTrace("query")
+			}
+			opts := planOpts
+			opts.Trace = tr
+			if fb != nil {
+				opts.Feedback = fb
+				opts.FingerprintID = sparql.FingerprintID(sparql.Fingerprint(q))
+				opts.Profile = sparql.NewProfile("query")
+			}
+			start := time.Now()
+			res, err = sparql.ExecSelectOpts(g, q, opts)
+			elapsed := time.Since(start)
+			tr.Finish()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *repeat > 1 {
+				fmt.Fprintf(os.Stderr, "pass %d/%d: %s, max q-error %.2f\n",
+					pass, *repeat, elapsed.Round(time.Microsecond), opts.Profile.MaxQError())
+			}
 		}
 		if len(q.OrderBy) == 0 {
 			// Canonical order for deterministic display — but an ORDER BY

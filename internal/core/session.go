@@ -105,6 +105,11 @@ type Session struct {
 	// limits are the resource budgets applied to every analytic query the
 	// session runs (see sparql.Limits). Zero values mean engine defaults.
 	limits sparql.Limits
+	// feedback, when non-nil, is the planner feedback store shared with the
+	// owner of the session (e.g. the HTTP server): every analytic query
+	// plans with — and reports actuals back to — the same store, so
+	// repeated analytic shapes converge on true cardinalities.
+	feedback *sparql.FeedbackStore
 }
 
 // SetLimits installs the resource budgets applied to the session's analytic
@@ -113,6 +118,10 @@ func (s *Session) SetLimits(l sparql.Limits) { s.limits = l }
 
 // Limits returns the session's current resource budgets.
 func (s *Session) Limits() sparql.Limits { return s.limits }
+
+// SetFeedback installs the planner feedback store used by the session's
+// analytic queries. Pass nil to disable feedback-driven planning.
+func (s *Session) SetFeedback(fb *sparql.FeedbackStore) { s.feedback = fb }
 
 // LastTrace returns the trace of the most recent RunAnalytics call, or nil
 // when no analytic query has run yet.
@@ -345,6 +354,7 @@ func (s *Session) Context() *hifun.Context {
 	l := s.top()
 	ctx := hifun.NewContext(l.model.G, l.ns)
 	ctx.Limits = s.limits
+	ctx.Feedback = s.feedback
 	patterns := l.state().Int.Patterns(hifun.RootVar)
 	if strings.TrimSpace(patterns) != "" {
 		// Wrap in a subquery so the extension contributes each entity once,

@@ -60,6 +60,9 @@ type OpEstimate struct {
 	Actual int64   `json:"actual"`
 	QError float64 `json:"q_error"`
 	Count  uint64  `json:"count"`
+	// Feedback marks an estimate that was seeded from the planner's
+	// execution-feedback store rather than the cold stats cache.
+	Feedback bool `json:"feedback,omitempty"`
 }
 
 // fpStats aggregates all completed queries of one fingerprint.
@@ -203,6 +206,9 @@ func (w *Workload) ObserveEstimates(ests []OpEstimate) {
 			continue
 		}
 		cur.Count++
+		if e.Feedback {
+			cur.Feedback = true
+		}
 		if e.QError > cur.QError {
 			cur.QError, cur.Est, cur.Actual = e.QError, e.Est, e.Actual
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rdfanalytics/internal/obs"
+	"rdfanalytics/internal/sparql"
 )
 
 // The built-in observability dashboard: one self-contained HTML page
@@ -31,6 +32,10 @@ type dashboardData struct {
 	TopSlow      []obs.FingerprintSummary
 	Misestimates []obs.OpEstimate
 	Recent       []obs.QueryRecord
+	// Feedback is the planner feedback store's counters; FeedbackPct is the
+	// hit rate hits/(hits+misses) in percent (0 when nothing was looked up).
+	Feedback    sparql.FeedbackStats
+	FeedbackPct float64
 }
 
 func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
@@ -41,6 +46,10 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		TopSlow:      s.workload.TopSlow(dashboardTopK),
 		Misestimates: snap.Misestimates,
 		Recent:       snap.Recent,
+		Feedback:     s.feedback.Stats(),
+	}
+	if n := data.Feedback.Hits + data.Feedback.Misses; n > 0 {
+		data.FeedbackPct = 100 * float64(data.Feedback.Hits) / float64(n)
 	}
 	if len(data.Misestimates) > dashboardTopK {
 		data.Misestimates = data.Misestimates[:dashboardTopK]
@@ -73,6 +82,7 @@ var dashboardTmpl = template.Must(template.New("dashboard").Funcs(template.FuncM
 	"durms": func(d time.Duration) string {
 		return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
 	},
+	"add": func(a, b uint64) uint64 { return a + b },
 }).Parse(dashboardHTML))
 
 const dashboardHTML = `<!doctype html>
@@ -100,6 +110,7 @@ footer { margin-top: 2rem; font-size: 0.75rem; color: #666; }
 <div class="card"><b{{if gt .Snap.Errors 0}} class="bad"{{end}}>{{.Snap.Errors}}</b>errors ({{ms .ErrorPct}}%)</div>
 <div class="card"><b>{{ms .Snap.P50Ms}} ms</b>p50 latency</div>
 <div class="card"><b>{{ms .Snap.P95Ms}} ms</b>p95 latency</div>
+<div class="card"><b>{{ms .FeedbackPct}}%</b>feedback hit rate ({{.Feedback.Hits}}/{{add .Feedback.Hits .Feedback.Misses}}, {{.Feedback.Fingerprints}} shapes)</div>
 </div>
 
 <h2>Slowest query fingerprints (top {{len .TopSlow}} by p95)</h2>
@@ -115,13 +126,14 @@ footer { margin-top: 2rem; font-size: 0.75rem; color: #666; }
 
 <h2>Plan vs. actual (worst misestimated operator sites)</h2>
 {{if .Misestimates}}<table>
-<tr><th>operator</th><th>site</th><th class="num">est</th><th class="num">actual</th><th class="num">q-error</th><th class="num">seen</th></tr>
+<tr><th>operator</th><th>site</th><th class="num">est</th><th class="num">actual</th><th class="num">q-error</th><th class="num">seen</th><th>est. source</th></tr>
 {{range .Misestimates}}<tr>
 <td>{{.Op}}</td><td><code>{{.Label}}</code></td>
 <td class="num">{{.Est}}</td><td class="num">{{.Actual}}</td><td class="num">{{qe .QError}}</td><td class="num">{{.Count}}</td>
+<td>{{if .Feedback}}feedback{{else}}stats cache{{end}}</td>
 </tr>{{end}}
 </table>
-<p>q-error = max(est/actual, actual/est); estimates come from the cardinality-stats cache the planner ordered joins with.</p>
+<p>q-error = max(est/actual, actual/est); estimates come from the cardinality-stats cache the planner ordered joins with, or from the execution-feedback store once a fingerprint has run before (marked “feedback”).</p>
 {{else}}<p>No profiled operators yet.</p>{{end}}
 
 <h2>Recent queries</h2>

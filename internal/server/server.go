@@ -50,6 +50,12 @@ type Server struct {
 	// workload aggregates every completed query by structural fingerprint,
 	// feeding GET /api/workload and /debug/dashboard.
 	workload *obs.Workload
+	// feedback is the cost-based planner's execution-feedback store: every
+	// profiled query seeds it with per-scan actual cardinalities, and
+	// replans of the same fingerprint (interactive sessions re-run the same
+	// shapes every facet click) plan with those actuals instead of cold
+	// stats-cache estimates.
+	feedback *sparql.FeedbackStore
 	// sweepStop/sweepDone control the idle-session sweeper goroutine
 	// (started only when Config.SessionTTL is set; see hardening.go).
 	sweepStop chan struct{}
@@ -120,6 +126,7 @@ func NewWithConfig(g *rdf.Graph, ns string, cfg Config) *Server {
 	}
 	s.slow = obs.NewSlowQueryLog(logger, cfg.SlowQuery, obs.Default)
 	s.workload = obs.NewWorkload(256)
+	s.feedback = sparql.NewFeedbackStore()
 	// Graph-level statistics are exported as functions evaluated at
 	// scrape time; re-registering (tests build many servers) rebinds the
 	// closures to the newest server's graph.
@@ -205,6 +212,7 @@ func (s *Server) sessionFor(r *http.Request) *core.Session {
 	}
 	sess := core.NewSession(s.graph, s.ns)
 	sess.SetLimits(s.cfg.Limits)
+	sess.SetFeedback(s.feedback)
 	s.sessions[id] = &sessEntry{sess: sess, lastUsed: s.clock, lastAt: time.Now()}
 	sessionsCreated.Inc()
 	return sess
@@ -353,12 +361,14 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		tr := obs.NewTrace("sparql")
 		prof := sparql.NewProfile("sparql")
-		res, err := sparql.ExecSelectCtx(ctx, s.graph, q,
-			sparql.Options{Trace: tr, Limits: s.cfg.Limits, Profile: prof})
+		shape := sparql.Fingerprint(q)
+		res, err := sparql.ExecSelectCtx(ctx, s.graph, q, sparql.Options{
+			Trace: tr, Limits: s.cfg.Limits, Profile: prof,
+			Feedback: s.feedback, FingerprintID: sparql.FingerprintID(shape),
+		})
 		tr.Finish()
 		s.lastSparql = tr
 		s.lastSparqlProf = prof
-		shape := sparql.Fingerprint(q)
 		s.slow.Observe("sparql", query, sparql.FingerprintID(shape), time.Since(start), tr)
 		rows := 0
 		if res != nil {
@@ -434,7 +444,10 @@ func (s *Server) recordWorkload(kind, query, shape string, dur time.Duration, ro
 	if ests := prof.Estimates(); len(ests) > 0 {
 		conv := make([]obs.OpEstimate, len(ests))
 		for i, e := range ests {
-			conv[i] = obs.OpEstimate{Op: e.Op, Label: e.Label, Est: e.Est, Actual: e.Actual, QError: e.QError}
+			conv[i] = obs.OpEstimate{
+				Op: e.Op, Label: e.Label, Est: e.Est, Actual: e.Actual,
+				QError: e.QError, Feedback: e.Feedback,
+			}
 		}
 		s.workload.ObserveEstimates(conv)
 	}

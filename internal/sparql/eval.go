@@ -35,6 +35,25 @@ type evaluator struct {
 	cancel *evalCancel
 	// limits are the resolved resource caps for this evaluation.
 	limits Limits
+	// planner is the resolved BGP planner mode (PlannerAuto is resolved at
+	// construction, so this is never PlannerAuto).
+	planner PlannerMode
+	// fbSites is the per-query feedback snapshot: scan site key (label +
+	// bound-variable context) → observed (input, output) cardinality for
+	// this query's fingerprint, taken once at construction so planning and
+	// mid-query replans never lock the store. Nil when feedback is off or
+	// the fingerprint has no valid entries.
+	fbSites map[string]SiteActual
+	// replanFactor is the mid-query re-planning trigger: a scan whose actual
+	// output exceeds its estimate by this factor re-optimizes the remaining
+	// patterns of its run. 0 disables adaptive re-planning.
+	replanFactor float64
+	// varUses counts every textual reference to each variable across the
+	// current SELECT query; materialize uses it to skip run-local variables
+	// (projection pushdown). Nil (pruning off) outside execSelect.
+	varUses map[string]int
+	// varStar disables projection pruning for SELECT * queries.
+	varStar bool
 }
 
 // overBudget checks a materialized intermediate binding set against the row
@@ -78,22 +97,64 @@ type Options struct {
 	// zero value means "no row budget, default path caps". Violations
 	// return a *BudgetError matching ErrBudgetExceeded.
 	Limits
+	// Planner selects the BGP join-order planner. The zero value
+	// (PlannerAuto) resolves to PlannerFeedback when Feedback is set and
+	// PlannerDP otherwise; PlannerGreedy keeps the legacy single-pass
+	// orderer for ablation runs. Ignored when NoReorder is set (textual
+	// order wins).
+	Planner PlannerMode
+	// Feedback, when non-nil, closes the q-error loop: scans of a query
+	// whose FingerprintID ran before (on the current graph version) are
+	// costed with their observed actual cardinalities, and — when Profile
+	// is also set — the finished query's actuals are folded back into the
+	// store for the next replan of the same fingerprint.
+	Feedback *FeedbackStore
+	// FingerprintID keys feedback lookups and observations; use
+	// FingerprintID(Fingerprint(q)). Feedback is inert without it.
+	FingerprintID string
+	// ReplanQError is the adaptive re-planning trigger: when a scan's
+	// actual cardinality exceeds its estimate by this factor and at least
+	// two patterns of the run remain, the rest of the run is re-optimized
+	// with the observed row count. 0 means the default (8); negative
+	// disables mid-query re-planning. Only cost-based planners replan.
+	ReplanQError float64
 }
 
 func newEvaluator(ctx context.Context, g *rdf.Graph, opts Options) *evaluator {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &evaluator{
-		g:          g,
-		noReorder:  opts.NoReorder,
-		noPushdown: opts.NoPushdown,
-		workers:    par.Workers(opts.Parallelism),
-		cur:        opts.Trace.Root(),
-		prof:       opts.Profile.Root(),
-		cancel:     &evalCancel{ctx: ctx},
-		limits:     opts.Limits,
+	mode := opts.Planner
+	if mode == PlannerAuto {
+		if opts.Feedback != nil {
+			mode = PlannerFeedback
+		} else {
+			mode = PlannerDP
+		}
 	}
+	replan := opts.ReplanQError
+	switch {
+	case replan == 0:
+		replan = defaultReplanQError
+	case replan < 0:
+		replan = 0
+	}
+	ev := &evaluator{
+		g:            g,
+		noReorder:    opts.NoReorder,
+		noPushdown:   opts.NoPushdown,
+		workers:      par.Workers(opts.Parallelism),
+		cur:          opts.Trace.Root(),
+		prof:         opts.Profile.Root(),
+		cancel:       &evalCancel{ctx: ctx},
+		limits:       opts.Limits,
+		planner:      mode,
+		replanFactor: replan,
+	}
+	if mode == PlannerFeedback && opts.Feedback != nil && g != nil {
+		ev.fbSites = opts.Feedback.SiteActuals(opts.FingerprintID, g.Version())
+	}
+	return ev
 }
 
 // ExecSelectOpts executes a parsed SELECT query with explicit options.
@@ -119,6 +180,12 @@ func ExecSelectCtx(ctx context.Context, g *rdf.Graph, q *Query, opts Options) (*
 		}
 		p.root.record(time.Since(start), 1, rows)
 		p.emitMetrics()
+		if err == nil && opts.Feedback != nil && opts.FingerprintID != "" {
+			// Close the loop: fold this run's per-scan actuals into the
+			// feedback store so the next replan of the same fingerprint
+			// plans with true cardinalities.
+			opts.Feedback.Observe(opts.FingerprintID, g.Version(), p.Estimates())
+		}
 	}
 	if err != nil {
 		observeAbort(opts.Trace.Root(), err)
@@ -272,6 +339,12 @@ func ExecSelect(g *rdf.Graph, q *Query) (*Results, error) {
 }
 
 func (ev *evaluator) execSelect(q *Query, input []Binding) (*Results, error) {
+	// Projection pushdown: count every textual variable reference of this
+	// query so materialize can skip run-local variables (saved/restored
+	// because subqueries re-enter here with their own scope).
+	savedUses, savedStar := ev.varUses, ev.varStar
+	ev.varUses, ev.varStar = countVarUses(q)
+	defer func() { ev.varUses, ev.varStar = savedUses, savedStar }()
 	t0 := time.Now()
 	ms := ev.enterSpan("match")
 	pm, pmt := ev.profEnter("match", "")
@@ -370,11 +443,43 @@ func (ev *evaluator) evalGroup(gp *GroupPattern, input []Binding) []Binding {
 	}
 	var filters []*pendingFilter
 	// Reorder consecutive triple patterns for join selectivity (ablation #3
-	// in DESIGN.md), leaving every other element in place.
+	// in DESIGN.md), leaving every other element in place. Under the
+	// cost-based planners this greedy pass only fixes the placement of
+	// property-path triples; plain-triple runs are re-ordered by the
+	// join-order search inside runTriples.
 	elems := ev.reorderTriples(gp.Elems)
 	// Variables surely bound so far (input bindings may bind more per-row,
 	// but only guarantees matter here).
 	bound := map[string]bool{}
+	// costBased switches BGP runs to the cost-based planner: runs span
+	// intervening filters (the planner places them inside the run), and
+	// estBound tracks estimation-only bindings — variables bound via
+	// VALUES/BIND/input rows that the sure-bound set cannot claim but the
+	// cardinality math should credit.
+	costBased := ev.planner != PlannerGreedy && !ev.noReorder
+	var estBound map[string]bool
+	if costBased {
+		estBound = map[string]bool{}
+		if len(input) > 0 {
+			for v := range input[0] {
+				estBound[v] = true
+			}
+		}
+		if !ev.noPushdown {
+			// Pre-register the group's filters so a run can pick up a filter
+			// that textually follows it; group scoping makes filters apply to
+			// the whole group regardless of position, and the sure-bound gate
+			// plus deferToEnd keep pushdown semantics unchanged.
+			for _, e := range gp.Elems {
+				if e.Filter != nil {
+					f := &pendingFilter{expr: e.Filter, vars: map[string]bool{}}
+					collectExprVars(e.Filter, f.vars)
+					f.deferToEnd = usesBoundOrExists(e.Filter)
+					filters = append(filters, f)
+				}
+			}
+		}
+	}
 	env := exprEnv{ev: ev}
 	applyFilter := func(f *pendingFilter) {
 		fs := ev.cur.StartChild("filter")
@@ -456,12 +561,65 @@ func (ev *evaluator) evalGroup(gp *GroupPattern, input []Binding) []Binding {
 			cur = ev.evalPathTriple(elem.Triple, cur)
 			for _, v := range elem.Triple.Vars() {
 				bound[v] = true
+				if estBound != nil {
+					estBound[v] = true
+				}
 			}
+		case elem.Triple != nil && costBased:
+			// Gather the maximal run of plain triple patterns, spanning
+			// intervening filters (pre-registered above): the cost-based
+			// planner re-orders the whole run and places each pushed-down
+			// filter right after the step that binds its last variable, so
+			// filters prune inside the ID-space pipeline instead of breaking
+			// the run.
+			run := []*TriplePattern{elem.Triple}
+			for i+1 < len(elems) {
+				nx := elems[i+1]
+				if nx.Triple != nil && nx.Triple.Path == nil {
+					run = append(run, nx.Triple)
+					i++
+					continue
+				}
+				if nx.Filter != nil && !ev.noPushdown {
+					i++ // pre-registered; placed inside the run below
+					continue
+				}
+				break
+			}
+			preSure := cloneVarSet(bound)
+			preEst := cloneVarSet(estBound)
+			for _, tp := range run {
+				for _, v := range tp.Vars() {
+					bound[v] = true
+					estBound[v] = true
+				}
+			}
+			var pushed []*runFilter
+			if !ev.noPushdown {
+				for _, f := range filters {
+					if f.applied || f.deferToEnd {
+						continue
+					}
+					ready := true
+					for v := range f.vars {
+						if !bound[v] {
+							ready = false
+							break
+						}
+					}
+					if ready {
+						f.applied = true
+						pushed = append(pushed, &runFilter{expr: f.expr, vars: f.vars})
+					}
+				}
+			}
+			cur = ev.evalTripleRun(run, pushed, preSure, preEst, cur)
 		case elem.Triple != nil:
-			// Fuse the maximal run of consecutive plain triple patterns into
-			// one ID-space pipeline — intermediate rows stay as ID slices.
-			// The run breaks where a pushed-down filter becomes applicable,
-			// so filter pushdown still prunes between patterns.
+			// Legacy greedy path: fuse the maximal run of consecutive plain
+			// triple patterns into one ID-space pipeline — intermediate rows
+			// stay as ID slices. The run breaks where a pushed-down filter
+			// becomes applicable, so filter pushdown still prunes between
+			// patterns.
 			run := []*TriplePattern{elem.Triple}
 			for _, v := range elem.Triple.Vars() {
 				bound[v] = true
@@ -475,8 +633,11 @@ func (ev *evaluator) evalGroup(gp *GroupPattern, input []Binding) []Binding {
 				}
 				i++
 			}
-			cur = ev.evalTripleRun(run, cur)
+			cur = ev.evalTripleRun(run, nil, nil, nil, cur)
 		case elem.Filter != nil:
+			if costBased && !ev.noPushdown {
+				break // pre-registered before the walk
+			}
 			f := &pendingFilter{expr: elem.Filter, vars: map[string]bool{}}
 			collectExprVars(elem.Filter, f.vars)
 			f.deferToEnd = usesBoundOrExists(elem.Filter)
@@ -488,18 +649,46 @@ func (ev *evaluator) evalGroup(gp *GroupPattern, input []Binding) []Binding {
 			cur = ev.evalUnion(elem.Union, cur)
 			for v := range surelyBoundInUnion(elem.Union) {
 				bound[v] = true
+				if estBound != nil {
+					estBound[v] = true
+				}
 			}
 		case elem.Group != nil:
 			cur = ev.evalGroup(elem.Group, cur)
 			for v := range surelyBound(elem.Group) {
 				bound[v] = true
+				if estBound != nil {
+					estBound[v] = true
+				}
 			}
 		case elem.Bind != nil:
 			cur = ev.evalBind(elem.Bind, cur)
-			// BIND may leave the var unbound on expression error.
+			// BIND may leave the var unbound on expression error, so it binds
+			// nothing surely — but for cardinality estimation the variable
+			// arrives bound in (almost) every row.
+			if estBound != nil {
+				estBound[elem.Bind.Var] = true
+			}
 		case elem.Values != nil:
 			cur = ev.evalValues(elem.Values, cur)
-			// VALUES rows may contain UNDEF; no sure bindings.
+			// A VALUES column with no UNDEF binds its variable in every row;
+			// columns with UNDEF rows bind nothing surely but still inform
+			// cardinality estimation.
+			for j, v := range elem.Values.Vars {
+				sure := len(elem.Values.Rows) > 0
+				for _, row := range elem.Values.Rows {
+					if row[j].IsZero() {
+						sure = false
+						break
+					}
+				}
+				if sure {
+					bound[v] = true
+				}
+				if estBound != nil {
+					estBound[v] = true
+				}
+			}
 		case elem.SubQuery != nil:
 			cur = ev.evalSubQuery(elem.SubQuery, cur)
 			// Projection may contain unbound results; be conservative.
@@ -631,15 +820,36 @@ func surelyBoundInUnion(u *UnionPattern) map[string]bool {
 
 // reorderTriples greedily orders maximal runs of triple patterns by
 // estimated cardinality, preferring patterns connected to already-bound
-// variables. Non-triple elements act as barriers.
+// variables. Non-triple elements act as barriers — but the bindings they
+// introduce (VALUES columns, BIND aliases, sure bindings of nested groups
+// and unions, and the variables of earlier runs) seed the next run's
+// estimation, so a pattern joined only through a VALUES/BIND variable no
+// longer costs as fully unbound.
 func (ev *evaluator) reorderTriples(elems []PatternElem) []PatternElem {
 	if ev.noReorder {
 		return elems
 	}
 	out := make([]PatternElem, 0, len(elems))
+	pre := map[string]bool{}
 	i := 0
 	for i < len(elems) {
 		if elems[i].Triple == nil {
+			switch e := elems[i]; {
+			case e.Values != nil:
+				for _, v := range e.Values.Vars {
+					pre[v] = true
+				}
+			case e.Bind != nil:
+				pre[e.Bind.Var] = true
+			case e.Group != nil:
+				for v := range surelyBound(e.Group) {
+					pre[v] = true
+				}
+			case e.Union != nil:
+				for v := range surelyBoundInUnion(e.Union) {
+					pre[v] = true
+				}
+			}
 			out = append(out, elems[i])
 			i++
 			continue
@@ -652,19 +862,27 @@ func (ev *evaluator) reorderTriples(elems []PatternElem) []PatternElem {
 		for _, e := range elems[i:j] {
 			run = append(run, e.Triple)
 		}
-		for _, tp := range ev.orderRun(run) {
+		for _, tp := range ev.orderRun(run, pre) {
 			out = append(out, PatternElem{Triple: tp})
+		}
+		for _, tp := range run {
+			for _, v := range tp.Vars() {
+				pre[v] = true
+			}
 		}
 		i = j
 	}
 	return out
 }
 
-func (ev *evaluator) orderRun(run []*TriplePattern) []*TriplePattern {
+// orderRun is the legacy greedy orderer: cheapest-estimate-first with a
+// connectivity preference. pre seeds the bound set with variables flowing in
+// from elements before the run.
+func (ev *evaluator) orderRun(run []*TriplePattern, pre map[string]bool) []*TriplePattern {
 	if len(run) <= 1 {
 		return run
 	}
-	bound := map[string]bool{}
+	bound := cloneVarSet(pre)
 	var ordered []*TriplePattern
 	remaining := append([]*TriplePattern(nil), run...)
 	for len(remaining) > 0 {
@@ -748,7 +966,7 @@ func (ev *evaluator) evalTriple(tp *TriplePattern, input []Binding) []Binding {
 	if tp.Path != nil {
 		return ev.evalPathTriple(tp, input)
 	}
-	return ev.evalTripleRun([]*TriplePattern{tp}, input)
+	return ev.evalTripleRun([]*TriplePattern{tp}, nil, nil, nil, input)
 }
 
 // substNode maps a pattern node to a match term given current bindings,

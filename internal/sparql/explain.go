@@ -95,14 +95,117 @@ func countAggregates(q *Query) int {
 func explainGroup(ev *evaluator, gp *GroupPattern, sb *strings.Builder, depth int) {
 	indent := strings.Repeat("  ", depth)
 	elems := ev.reorderTriples(gp.Elems)
+	costBased := ev.planner != PlannerGreedy && !ev.noReorder
 	step := 0
 	bound := map[string]bool{}
+	estB := map[string]bool{}
 	// rows tracks the estimated input cardinality flowing into each scan,
-	// mirroring what planTriple sees at run time, so the reported strategy
+	// mirroring what the planner sees at run time, so the reported strategy
 	// matches the one the executor would pick.
 	rows := 1
-	for _, e := range elems {
+	// Mirror evalGroup's cost-mode filter pre-registration so the report
+	// shows where each filter actually applies: inside a run, pushed down
+	// when bound, or at group end.
+	type xFilter struct {
+		expr       Expr
+		vars       map[string]bool
+		deferToEnd bool
+		consumed   bool
+	}
+	var pending []*xFilter
+	if costBased && !ev.noPushdown {
+		for _, e := range gp.Elems {
+			if e.Filter != nil {
+				f := &xFilter{expr: e.Filter, vars: map[string]bool{}}
+				collectExprVars(e.Filter, f.vars)
+				f.deferToEnd = usesBoundOrExists(e.Filter)
+				pending = append(pending, f)
+			}
+		}
+	}
+	for idx := 0; idx < len(elems); idx++ {
+		e := elems[idx]
 		switch {
+		case e.Triple != nil && e.Triple.Path == nil && costBased:
+			// Gather the run exactly as evalGroup does (spanning filters when
+			// pushdown is on) and render the cost-based plan.
+			run := []*TriplePattern{e.Triple}
+			for idx+1 < len(elems) {
+				nx := elems[idx+1]
+				if nx.Triple != nil && nx.Triple.Path == nil {
+					run = append(run, nx.Triple)
+					idx++
+					continue
+				}
+				if nx.Filter != nil && !ev.noPushdown {
+					idx++
+					continue
+				}
+				break
+			}
+			preSure := cloneVarSet(bound)
+			preEst := cloneVarSet(estB)
+			for _, tp := range run {
+				for _, v := range tp.Vars() {
+					bound[v] = true
+					estB[v] = true
+				}
+			}
+			step++
+			rp := ev.planRun(run)
+			if !rp.ok {
+				fmt.Fprintf(sb, "%s%d. bgp %d pattern(s): no matches (constant term not in dictionary)\n",
+					indent, step, len(run))
+				rows = 0
+				continue
+			}
+			if rows < 1 {
+				rows = 1
+			}
+			plan, _ := ev.planBGP(rp, run, colsFromVars(rp, preEst), rows)
+			var pushed []*runFilter
+			for _, f := range pending {
+				if f.consumed || f.deferToEnd {
+					continue
+				}
+				ready := true
+				for v := range f.vars {
+					if !bound[v] {
+						ready = false
+						break
+					}
+				}
+				if ready {
+					f.consumed = true
+					pushed = append(pushed, &runFilter{expr: f.expr, vars: f.vars})
+				}
+			}
+			if len(pushed) > 0 {
+				attachFilters(plan, run, pushed, preSure)
+			}
+			seeded := ""
+			if plan.fbSeeded() {
+				seeded = ", feedback-seeded"
+			}
+			fmt.Fprintf(sb, "%s%d. bgp %d pattern(s)  (planner=%s, order=%s, cost=%d%s)\n",
+				indent, step, len(run), plan.mode, plan.order(), int(plan.cost), seeded)
+			for _, st := range plan.steps {
+				fb := ""
+				if st.fbSeeded {
+					fb = ", feedback"
+				}
+				fmt.Fprintf(sb, "%s   - scan %s  (est. %d, %s%s)\n",
+					indent, run[st.pat], st.card, st.strategy, fb)
+				for _, f := range st.filters {
+					fmt.Fprintf(sb, "%s     · filter %s  (in-run)\n", indent, f.expr)
+				}
+			}
+			out := plan.steps[len(plan.steps)-1].estOut
+			if out > 1<<30 {
+				rows = 1 << 30
+			} else {
+				rows = int(out)
+			}
 		case e.Triple != nil:
 			step++
 			est := ev.estimate(e.Triple, bound)
@@ -130,8 +233,12 @@ func explainGroup(ev *evaluator, gp *GroupPattern, sb *strings.Builder, depth in
 			}
 			for _, v := range e.Triple.Vars() {
 				bound[v] = true
+				estB[v] = true
 			}
 		case e.Filter != nil:
+			if costBased && !ev.noPushdown {
+				continue // reported inside a run or after the group walk
+			}
 			step++
 			when := "pushed down when bound"
 			if usesBoundOrExists(e.Filter) {
@@ -157,9 +264,23 @@ func explainGroup(ev *evaluator, gp *GroupPattern, sb *strings.Builder, depth in
 		case e.Bind != nil:
 			step++
 			fmt.Fprintf(sb, "%s%d. bind %s as ?%s\n", indent, step, e.Bind.Expr, e.Bind.Var)
+			estB[e.Bind.Var] = true
 		case e.Values != nil:
 			step++
 			fmt.Fprintf(sb, "%s%d. values %v (%d rows)\n", indent, step, e.Values.Vars, len(e.Values.Rows))
+			for j, v := range e.Values.Vars {
+				sure := len(e.Values.Rows) > 0
+				for _, row := range e.Values.Rows {
+					if row[j].IsZero() {
+						sure = false
+						break
+					}
+				}
+				if sure {
+					bound[v] = true
+				}
+				estB[v] = true
+			}
 		case e.SubQuery != nil:
 			step++
 			fmt.Fprintf(sb, "%s%d. subquery {\n", indent, step)
@@ -171,5 +292,17 @@ func explainGroup(ev *evaluator, gp *GroupPattern, sb *strings.Builder, depth in
 			explainGroup(ev, e.Minus, sb, depth+1)
 			fmt.Fprintf(sb, "%s}\n", indent)
 		}
+	}
+	// Filters the cost-based planner did not fold into a run.
+	for _, f := range pending {
+		if f.consumed {
+			continue
+		}
+		step++
+		when := "pushed down when bound"
+		if f.deferToEnd {
+			when = "at group end"
+		}
+		fmt.Fprintf(sb, "%s%d. filter %s  (%s)\n", indent, step, f.expr, when)
 	}
 }

@@ -46,7 +46,7 @@ SELECT DISTINCT ?b (SUM(?q) AS ?t) WHERE {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
-		"pushed down when bound", "at group end", "optional {", "subquery {",
+		"(in-run)", "at group end", "optional {", "subquery {",
 		"bind", "values", "minus {", "union of 2", "group by", "having",
 		"order by", "distinct", "limit 5 offset 1",
 	} {

@@ -124,7 +124,11 @@ func (r *idRows) row(i int) []rdf.ID { return r.vals[i*r.width : (i+1)*r.width] 
 // evalTripleRun joins the input bindings with every pattern of the run and
 // returns the extended bindings. Output order is deterministic: input order
 // crossed with the deterministic MatchIDs enumeration order per pattern.
-func (ev *evaluator) evalTripleRun(run []*TriplePattern, input []Binding) []Binding {
+// filters are pushed-down filter expressions the cost-based planner may
+// place inside the run; sureOutside names the variables surely bound before
+// the run, estBound the variables bound for estimation purposes (both may
+// be nil on the legacy greedy path, which never pushes filters into runs).
+func (ev *evaluator) evalTripleRun(run []*TriplePattern, filters []*runFilter, sureOutside, estBound map[string]bool, input []Binding) []Binding {
 	bs := ev.enterSpan("bgp")
 	if bs != nil {
 		bs.SetAttr("patterns", len(run))
@@ -132,7 +136,7 @@ func (ev *evaluator) evalTripleRun(run []*TriplePattern, input []Binding) []Bind
 		bs.SetAttr("workers", ev.workers)
 	}
 	pb, pbt := ev.profEnter("bgp", "")
-	out := ev.runTriples(run, input)
+	out := ev.runTriples(run, filters, sureOutside, estBound, input)
 	ev.profExit(pb, pbt, len(input), len(out))
 	if bs != nil {
 		bs.SetAttr("rows_out", len(out))
@@ -141,25 +145,52 @@ func (ev *evaluator) evalTripleRun(run []*TriplePattern, input []Binding) []Bind
 	return out
 }
 
-func (ev *evaluator) runTriples(run []*TriplePattern, input []Binding) []Binding {
+func (ev *evaluator) runTriples(run []*TriplePattern, filters []*runFilter, sureOutside, estBound map[string]bool, input []Binding) []Binding {
 	if len(input) == 0 {
 		return nil
 	}
 	ps := ev.cur.StartChild("plan")
 	rp := ev.planRun(run)
+	costBased := rp.ok && !ev.noReorder && ev.planner != PlannerGreedy
+	var plan *bgpPlan
+	var cm *costModel
+	var boundCols uint64
+	if costBased {
+		boundCols = colsFromVars(rp, estBound)
+		plan, cm = ev.planBGP(rp, run, boundCols, len(input))
+		if len(filters) > 0 {
+			attachFilters(plan, run, filters, sureOutside)
+		}
+	} else {
+		plan = textualPlan(rp, ev.planner)
+	}
 	if ps != nil {
 		// The plan phase is where the cardinality-stats cache is consulted
 		// (one CachedCountIDs per pattern); surface its running totals.
 		_, hits, misses := ev.g.CardCacheStats()
 		ps.SetAttr("stats_cache_hits", hits)
 		ps.SetAttr("stats_cache_misses", misses)
+		ps.SetAttr("planner", plan.mode.String())
+		if costBased {
+			ps.SetAttr("order", plan.order())
+			ps.SetAttr("cost", int(plan.cost))
+			if plan.fbSeeded() {
+				ps.SetAttr("feedback_seeded", true)
+			}
+		}
 		ps.Finish()
 	}
 	if !rp.ok {
 		return nil
 	}
 	rows := ev.convertInput(rp, input)
-	for i := range rp.pats {
+	// sureRun accumulates the surely-bound variables as steps execute, for
+	// re-placing pushed-down filters when the tail is re-planned.
+	var sureRun map[string]bool
+	if costBased {
+		sureRun = cloneVarSet(sureOutside)
+	}
+	for si := 0; si < len(plan.steps); si++ {
 		if rows.n() == 0 || ev.cancel.poll() {
 			return nil
 		}
@@ -167,12 +198,106 @@ func (ev *evaluator) runTriples(run []*TriplePattern, input []Binding) []Binding
 			ev.cancel.abort(err)
 			return nil
 		}
-		rows = ev.evalPattern(run[i], rp, &rp.pats[i], rows)
+		step := &plan.steps[si]
+		rows = ev.evalPattern(run[step.pat], rp, &rp.pats[step.pat], rows, step)
+		scanOut := rows.n()
+		for _, f := range step.filters {
+			if rows.n() == 0 {
+				break
+			}
+			rows = ev.applyRunFilter(f, rp, rows, input)
+		}
+		if costBased {
+			boundCols |= cm.patternCols(step.pat)
+			for _, v := range run[step.pat].Vars() {
+				sureRun[v] = true
+			}
+			// Adaptive re-planning: when the scan blew past its estimate by
+			// the q-error factor and at least two patterns remain, re-order
+			// the tail with the observed cardinality.
+			if ev.replanFactor > 0 && len(plan.steps)-si-1 >= 2 &&
+				scanOut >= replanMinRows &&
+				float64(scanOut) > step.estOut*ev.replanFactor {
+				replanTail(plan, cm, run, si, rows.n(), boundCols, sureRun)
+			}
+		}
+	}
+	if plan.replans > 0 {
+		ev.prof.addReplans(plan.replans)
 	}
 	if rows.n() == 0 || ev.cancel.aborted() {
 		return nil
 	}
 	return ev.materialize(rp, rows, input)
+}
+
+// applyRunFilter evaluates one pushed-down filter over the run's ID rows,
+// materializing a minimal Binding (only the filter's variables) per row:
+// run columns resolve through the term memo, variables bound outside the
+// run read from the row's parent input binding (placement guarantees they
+// are surely bound there). Rows whose expression errors or is false drop,
+// matching group-level filter semantics.
+func (ev *evaluator) applyRunFilter(f *runFilter, rp *runPlan, rows *idRows, input []Binding) *idRows {
+	fs := ev.cur.StartChild("filter")
+	if fs != nil {
+		fs.SetAttr("expr", f.expr.String())
+		fs.SetAttr("pushed", "in-run")
+		fs.SetAttr("rows_in", rows.n())
+	}
+	flabel := ""
+	if ev.prof != nil {
+		flabel = f.expr.String()
+	}
+	pf, pft := ev.profEnter("filter", flabel)
+	type fcol struct {
+		name string
+		col  int
+	}
+	var cols []fcol
+	var outer []string
+	for v := range f.vars {
+		if idx, ok := rp.varIdx[v]; ok {
+			cols = append(cols, fcol{v, idx})
+		} else {
+			outer = append(outer, v)
+		}
+	}
+	memo := newTermMemo(ev.g)
+	env := exprEnv{ev: ev}
+	rowsIn := rows.n()
+	out := &idRows{
+		width:   rows.width,
+		vals:    make([]rdf.ID, 0, len(rows.vals)),
+		parents: make([]int32, 0, rowsIn),
+	}
+	for r := 0; r < rowsIn; r++ {
+		if r%pollEvery == 0 && ev.cancel.poll() {
+			break
+		}
+		parent := input[rows.parents[r]]
+		b := make(Binding, len(cols)+len(outer))
+		for _, v := range outer {
+			if t, ok := parent[v]; ok {
+				b[v] = t
+			}
+		}
+		row := rows.row(r)
+		for _, c := range cols {
+			if row[c.col] != 0 {
+				b[c.name] = memo.term(row[c.col])
+			}
+		}
+		if v, err := env.evalBool(f.expr, b); err == nil && v {
+			out.vals = append(out.vals, row...)
+			out.parents = append(out.parents, rows.parents[r])
+		}
+	}
+	ev.profExit(pf, pft, rowsIn, out.n())
+	if fs != nil {
+		fs.SetAttr("rows_out", out.n())
+		fs.Finish()
+	}
+	return out
 }
 
 // convertInput resolves the run variables of each input binding to IDs.
@@ -215,8 +340,12 @@ func (ev *evaluator) convertInput(rp *runPlan, input []Binding) *idRows {
 // is classified over the full row set and the strategy chosen once; only
 // the per-row work is partitioned, so the strategy (and output order) is
 // independent of the worker count. tp is the source pattern, used only to
-// label the trace span.
-func (ev *evaluator) evalPattern(tp *TriplePattern, rp *runPlan, pp *patPlan, rows *idRows) *idRows {
+// label the trace span. step carries the plan's decisions: a planned join
+// strategy is honored unless runtime boundness is mixed (a variable bound
+// in only part of the rows forces per-row handling for correctness), and
+// step.card is the estimate the profile's q-error measures against — the
+// feedback actual on a seeded scan, the stats-cache count otherwise.
+func (ev *evaluator) evalPattern(tp *TriplePattern, rp *runPlan, pp *patPlan, rows *idRows, step *planStep) *idRows {
 	nJoin, mixed := 0, false
 	var joinPos, freePos []int // first pattern position of each distinct var
 	seen := [3]bool{}
@@ -247,23 +376,36 @@ func (ev *evaluator) evalPattern(tp *TriplePattern, rp *runPlan, pp *patPlan, ro
 		}
 	}
 	strategy := chooseStrategy(pp.baseEst, rows.n(), nJoin, mixed)
+	if step.planned && !mixed {
+		// Honor the cost model's join-type choice; mixed boundness still
+		// overrides it because a hash probe needs fully-bound join columns.
+		strategy = step.strategy
+	}
 	ss := ev.cur.StartChild("scan")
 	if ss != nil {
 		ss.SetAttr("pattern", tp.String())
-		ss.SetAttr("est", pp.baseEst)
+		ss.SetAttr("est", step.card)
 		ss.SetAttr("strategy", strategy.String())
 		ss.SetAttr("rows_in", rows.n())
+		if step.fbSeeded {
+			ss.SetAttr("feedback", true)
+		}
 	}
 	plabel := ""
 	if ev.prof != nil {
 		plabel = tp.String()
 	}
 	psc, psct := ev.profEnter("scan", plabel)
-	// The scan's estimate is the PR 1 cardinality-stats-cache count for the
-	// pattern's constant positions — the same number the planner ordered and
-	// strategy-picked with, so q-error measures the planner's own input.
-	ev.prof.addEst(pp.baseEst)
+	// The scan's estimate is what the planner priced it with: the
+	// cardinality-stats-cache count for the pattern's constant positions, or
+	// the feedback-observed actual on a seeded scan — so q-error measures
+	// the planner's own input either way.
+	ev.prof.addEst(step.card)
 	ev.prof.setStrategy(strategy.String())
+	ev.prof.setFbCtx(step.fbCtx)
+	if step.fbSeeded {
+		ev.prof.setFeedback()
+	}
 	// Each pattern opens a fresh row-budget window: the budget caps the
 	// size of any one intermediate binding set, counted live across the
 	// worker partitions while this join produces.
@@ -455,7 +597,12 @@ func (ev *evaluator) probeHashRun(pp *patPlan, ht hashRun, joinPos, freePos []in
 // the parent input binding per row, extended with the run's newly bound
 // variables. This is the only per-row map allocation of the whole run, and
 // it is partitioned across the workers (the clone is the dominant cost).
+// Projection pushdown happens here: a run variable whose global reference
+// count equals its in-run position count is referenced nowhere else in the
+// query — not by later patterns, filters, projection, modifiers or nested
+// groups — so its bindings are dead weight and are skipped.
 func (ev *evaluator) materialize(rp *runPlan, rows *idRows, input []Binding) []Binding {
+	skip := ev.pruneableRunVars(rp)
 	build := func(lo, hi int, out []Binding, memo *termMemo) []Binding {
 		for r := lo; r < hi; r++ {
 			if (r-lo)%256 == 0 && ev.cancel.aborted() {
@@ -468,7 +615,7 @@ func (ev *evaluator) materialize(rp *runPlan, rows *idRows, input []Binding) []B
 			}
 			row := rows.row(r)
 			for j, name := range rp.vars {
-				if row[j] == 0 {
+				if row[j] == 0 || (skip != nil && skip[j]) {
 					continue
 				}
 				if _, exists := nb[name]; !exists {
@@ -494,6 +641,35 @@ func (ev *evaluator) materialize(rp *runPlan, rows *idRows, input []Binding) []B
 		out = append(out, p...)
 	}
 	return out
+}
+
+// pruneableRunVars returns, per run-plan column, whether the variable can
+// be dropped at materialization: its total reference count across the whole
+// query (countVarUses, set by execSelect) equals its position count within
+// this run. Nil when pruning is off — no SELECT in scope (ASK/CONSTRUCT/
+// DESCRIBE evaluate groups directly), SELECT *, or nothing pruneable.
+func (ev *evaluator) pruneableRunVars(rp *runPlan) []bool {
+	if ev.varUses == nil || ev.varStar {
+		return nil
+	}
+	counts := make([]int, len(rp.vars))
+	for _, pp := range rp.pats {
+		for _, idx := range pp.pos {
+			if idx >= 0 {
+				counts[idx]++
+			}
+		}
+	}
+	var skip []bool
+	for j, name := range rp.vars {
+		if total, ok := ev.varUses[name]; ok && total == counts[j] {
+			if skip == nil {
+				skip = make([]bool, len(rp.vars))
+			}
+			skip[j] = true
+		}
+	}
+	return skip
 }
 
 // termMemo caches dictionary lookups in both directions for one batch, so

@@ -1,0 +1,523 @@
+package sparql
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Cost-based BGP planning. A run of triple patterns is compiled to an
+// explicit plan: an ordered sequence of scan steps, each carrying the
+// cardinality estimate it was costed with, the join strategy the cost model
+// selected (index-nested-loop vs hash, priced — not re-decided per scan at
+// execution time), whether feedback supplied the estimate, and the filters
+// pushed inside the run. Join-order search is exact dynamic programming
+// over pattern subsets for runs of up to dpMaxPatterns, and greedy with
+// one-step lookahead beyond; both read the costModel in cost.go.
+//
+// The plan is adaptive: when a scan's actual cardinality exceeds its
+// estimate by the configured q-error factor mid-run, the remaining steps
+// are re-optimized with the observed row count (see runTriples in join.go).
+
+const (
+	// dpMaxPatterns is the largest run planned by exhaustive subset DP
+	// (2^10 × 10 transitions ≈ 10k cost evaluations, microseconds); longer
+	// runs use greedy ordering with one-step lookahead.
+	dpMaxPatterns = 10
+	// replanMinRows keeps mid-query re-planning away from tiny
+	// intermediates where any order finishes instantly.
+	replanMinRows = 64
+	// defaultReplanQError is the q-error factor that triggers mid-query
+	// re-planning when Options.ReplanQError is zero.
+	defaultReplanQError = 8.0
+)
+
+// PlannerMode selects the BGP join-order planner.
+type PlannerMode int
+
+const (
+	// PlannerAuto resolves to PlannerFeedback when a feedback store is
+	// configured and PlannerDP otherwise. It is the zero value.
+	PlannerAuto PlannerMode = iota
+	// PlannerGreedy is the legacy single-pass greedy scan orderer
+	// (selectivity sort with a connectivity preference, strategy chosen
+	// per scan at execution time). Kept for ablation A/B runs.
+	PlannerGreedy
+	// PlannerDP is the cost-based planner without feedback reads: DP (or
+	// greedy+lookahead) join-order search over stats-cache estimates with
+	// join-type selection folded into the cost model.
+	PlannerDP
+	// PlannerFeedback is PlannerDP plus the q-error feedback loop: scan
+	// sites whose fingerprint ran before are costed with their observed
+	// actual cardinalities, and estimates that blow up mid-query trigger
+	// re-planning of the remaining patterns.
+	PlannerFeedback
+)
+
+func (m PlannerMode) String() string {
+	switch m {
+	case PlannerGreedy:
+		return "greedy"
+	case PlannerDP:
+		return "dp"
+	case PlannerFeedback:
+		return "feedback"
+	default:
+		return "auto"
+	}
+}
+
+// ParsePlannerMode parses a -planner CLI value.
+func ParsePlannerMode(s string) (PlannerMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return PlannerAuto, nil
+	case "greedy":
+		return PlannerGreedy, nil
+	case "dp":
+		return PlannerDP, nil
+	case "feedback":
+		return PlannerFeedback, nil
+	}
+	return PlannerAuto, fmt.Errorf("sparql: unknown planner %q (want greedy, dp or feedback)", s)
+}
+
+// planStep is one scan of a BGP plan.
+type planStep struct {
+	// pat indexes the pattern in the source run / runPlan.
+	pat int
+	// strategy is the join strategy the cost model selected. Only honored
+	// when planned is true (and never when runtime boundness is mixed,
+	// which forces per-row handling for correctness).
+	strategy joinStrategy
+	planned  bool
+	// estOut is the predicted output cardinality after this step — the
+	// reference mid-query re-planning compares actual row counts against.
+	estOut float64
+	// card is the scan's per-pattern cardinality estimate recorded in the
+	// profile (feedback actual on a hit, stats-cache count otherwise).
+	card int
+	// fbSeeded reports whether feedback supplied the estimate.
+	fbSeeded bool
+	// fbCtx is the step's bound-variable context (costModel.ctxKey) — the
+	// feedback site key half recorded into the profile so Observe can store
+	// the scan's actual under the context it actually ran in. Empty on
+	// unplanned (textual/greedy) steps, which are never recorded.
+	fbCtx string
+	// filters are pushed-down filters applied right after this step,
+	// inside the run's ID space.
+	filters []*runFilter
+}
+
+// bgpPlan is the compiled plan of one BGP run.
+type bgpPlan struct {
+	steps []planStep
+	cost  float64
+	mode  PlannerMode
+	// replans counts mid-query re-optimizations of this run.
+	replans int
+}
+
+// fbSeeded reports whether any step's estimate came from feedback.
+func (p *bgpPlan) fbSeeded() bool {
+	for _, s := range p.steps {
+		if s.fbSeeded {
+			return true
+		}
+	}
+	return false
+}
+
+// order renders the plan's pattern order as "3→1→2" (1-based source
+// positions) for traces and EXPLAIN.
+func (p *bgpPlan) order() string {
+	var sb strings.Builder
+	for i, s := range p.steps {
+		if i > 0 {
+			sb.WriteString("→")
+		}
+		fmt.Fprintf(&sb, "%d", s.pat+1)
+	}
+	return sb.String()
+}
+
+// runFilter is a filter expression pushed inside a BGP run, applied in ID
+// space as soon as its variables are bound.
+type runFilter struct {
+	expr Expr
+	vars map[string]bool
+}
+
+// textualPlan is the no-reorder / legacy plan: patterns in the given order,
+// strategies left to execution time.
+func textualPlan(rp *runPlan, mode PlannerMode) *bgpPlan {
+	plan := &bgpPlan{mode: mode, steps: make([]planStep, len(rp.pats))}
+	for i := range rp.pats {
+		plan.steps[i] = planStep{pat: i, card: rp.pats[i].baseEst, estOut: math.Inf(1)}
+	}
+	return plan
+}
+
+// planBGP builds the cost-based plan for a run: join-order search over the
+// cost model, with estimation-only bound columns (variables flowing in from
+// VALUES/BIND/earlier elements) seeding the selectivity math.
+func (ev *evaluator) planBGP(rp *runPlan, run []*TriplePattern, boundCols uint64, inRows int) (*bgpPlan, *costModel) {
+	var fb map[string]SiteActual
+	if ev.planner == PlannerFeedback {
+		fb = ev.fbSites
+	}
+	cm := newCostModel(rp, run, fb)
+	pats := make([]int, len(rp.pats))
+	for i := range pats {
+		pats[i] = i
+	}
+	order, cost := planOrder(cm, pats, boundCols, float64(inRows))
+	plan := &bgpPlan{mode: ev.planner, cost: cost}
+	plan.steps = buildSteps(cm, order, boundCols, float64(inRows))
+	return plan, cm
+}
+
+// planOrder searches for the cheapest execution order of the given pattern
+// indexes: exact subset DP up to dpMaxPatterns, greedy with one-step
+// lookahead beyond (or when the run has more variables than the bitmask
+// width). Deterministic: ties break toward lower estimated rows, then
+// lower pattern index.
+func planOrder(cm *costModel, pats []int, boundCols uint64, inRows float64) ([]int, float64) {
+	n := len(pats)
+	if n <= 1 {
+		return append([]int(nil), pats...), 0
+	}
+	if n > dpMaxPatterns || len(cm.rp.vars) > 64 {
+		return greedyLookahead(cm, pats, boundCols, inRows)
+	}
+	return dpOrder(cm, pats, boundCols, inRows)
+}
+
+// dpCell is one DP state: the best known way to have executed the subset.
+type dpCell struct {
+	cost, rows float64
+	last       int8 // index into pats of the final pattern of the best path
+	set        bool
+}
+
+// dpOrder is Selinger-style exhaustive search over pattern subsets.
+func dpOrder(cm *costModel, pats []int, boundCols uint64, inRows float64) ([]int, float64) {
+	n := len(pats)
+	cols := make([]uint64, n)
+	for i, p := range pats {
+		cols[i] = cm.patternCols(p)
+	}
+	cells := make([]dpCell, 1<<uint(n))
+	cells[0] = dpCell{rows: inRows, set: true, last: -1}
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var best dpCell
+		for j := 0; j < n; j++ {
+			if mask&(1<<uint(j)) == 0 {
+				continue
+			}
+			prev := mask &^ (1 << uint(j))
+			pc := cells[prev]
+			bc := boundCols
+			for k := 0; k < n; k++ {
+				if prev&(1<<uint(k)) != 0 {
+					bc |= cols[k]
+				}
+			}
+			se := cm.step(pats[j], pc.rows, bc)
+			cand := dpCell{cost: pc.cost + se.cost, rows: se.outRows, last: int8(j), set: true}
+			if cand.cost > costCap {
+				cand.cost = costCap
+			}
+			if !best.set || cand.cost < best.cost ||
+				(cand.cost == best.cost && cand.rows < best.rows) ||
+				(cand.cost == best.cost && cand.rows == best.rows && cand.last < best.last) {
+				best = cand
+			}
+		}
+		cells[mask] = best
+	}
+	// Reconstruct the order from the last pointers.
+	order := make([]int, 0, n)
+	mask := 1<<uint(n) - 1
+	for mask != 0 {
+		j := int(cells[mask].last)
+		order = append(order, pats[j])
+		mask &^= 1 << uint(j)
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order, cells[1<<uint(n)-1].cost
+}
+
+// greedyLookahead orders patterns by picking, at each step, the candidate
+// minimizing its own cost plus the cheapest immediate follow-up — one step
+// of lookahead on top of plain greedy, which avoids the classic trap of a
+// cheap-now scan that unbinds nothing.
+func greedyLookahead(cm *costModel, pats []int, boundCols uint64, inRows float64) ([]int, float64) {
+	n := len(pats)
+	remaining := append([]int(nil), pats...)
+	order := make([]int, 0, n)
+	rows, total := inRows, 0.0
+	bc := boundCols
+	for len(remaining) > 0 {
+		bestIdx := -1
+		bestScore, bestSelf := math.Inf(1), stepEstimate{}
+		for idx, p := range remaining {
+			se := cm.step(p, rows, bc)
+			score := se.cost
+			if len(remaining) > 1 {
+				nbc := bc | cm.patternCols(p)
+				follow := math.Inf(1)
+				for idx2, p2 := range remaining {
+					if idx2 == idx {
+						continue
+					}
+					if c := cm.step(p2, se.outRows, nbc).cost; c < follow {
+						follow = c
+					}
+				}
+				score += follow
+			}
+			if bestIdx < 0 || score < bestScore ||
+				(score == bestScore && se.outRows < bestSelf.outRows) {
+				bestIdx, bestScore, bestSelf = idx, score, se
+			}
+		}
+		p := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		order = append(order, p)
+		total += bestSelf.cost
+		rows = bestSelf.outRows
+		bc |= cm.patternCols(p)
+	}
+	return order, total
+}
+
+// buildSteps walks an order through the cost model, filling per-step
+// estimates, strategies and feedback provenance.
+func buildSteps(cm *costModel, order []int, boundCols uint64, inRows float64) []planStep {
+	steps := make([]planStep, len(order))
+	rows := inRows
+	bc := boundCols
+	for i, p := range order {
+		se := cm.step(p, rows, bc)
+		steps[i] = planStep{
+			pat:      p,
+			strategy: se.strategy,
+			planned:  true,
+			estOut:   se.outRows,
+			card:     se.card,
+			fbSeeded: se.fbSeeded,
+			fbCtx:    cm.ctxKey(p, bc),
+		}
+		rows = se.outRows
+		bc |= cm.patternCols(p)
+	}
+	return steps
+}
+
+// attachFilters places each pushed-down filter on the earliest plan step
+// after which every variable it mentions is bound — either outside the run
+// (sureOutside) or by the scans executed so far. Filters whose variables
+// are already bound before the run's first step attach to step 0 (they
+// could not have been applied earlier or evalGroup would have done so).
+func attachFilters(plan *bgpPlan, run []*TriplePattern, filters []*runFilter, sureOutside map[string]bool) {
+	for _, f := range filters {
+		placed := false
+		boundHere := map[string]bool{}
+		for i := range plan.steps {
+			for _, v := range run[plan.steps[i].pat].Vars() {
+				boundHere[v] = true
+			}
+			ok := true
+			for v := range f.vars {
+				if !sureOutside[v] && !boundHere[v] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				plan.steps[i].filters = append(plan.steps[i].filters, f)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Defensive: eligibility should guarantee placement; fall back to
+			// the last step so the filter still applies within the run.
+			last := len(plan.steps) - 1
+			plan.steps[last].filters = append(plan.steps[last].filters, f)
+		}
+	}
+}
+
+// replanTail re-optimizes the remaining steps of a running plan after the
+// step at index done produced liveRows rows (its estimate blown past the
+// re-planning threshold). Pushed-down filters attached to the tail are
+// re-placed on the new order. boundCols/sureBound describe the variables
+// bound by the executed prefix plus the run's inputs.
+func replanTail(plan *bgpPlan, cm *costModel, run []*TriplePattern, done int, liveRows int, boundCols uint64, sureBound map[string]bool) {
+	tail := plan.steps[done+1:]
+	if len(tail) < 2 {
+		return
+	}
+	pats := make([]int, len(tail))
+	var filters []*runFilter
+	for i, s := range tail {
+		pats[i] = s.pat
+		filters = append(filters, s.filters...)
+	}
+	order, _ := planOrder(cm, pats, boundCols, float64(liveRows))
+	steps := buildSteps(cm, order, boundCols, float64(liveRows))
+	sub := &bgpPlan{steps: steps}
+	attachFilters(sub, run, filters, sureBound)
+	copy(tail, sub.steps)
+	plan.replans++
+}
+
+// colsFromVars maps a set of variable names to a bitmask over the run
+// plan's variable columns (names outside the run are ignored).
+func colsFromVars(rp *runPlan, vars map[string]bool) uint64 {
+	if len(rp.vars) > 64 {
+		return 0
+	}
+	var mask uint64
+	for v := range vars {
+		if idx, ok := rp.varIdx[v]; ok {
+			mask |= 1 << uint(idx)
+		}
+	}
+	return mask
+}
+
+// cloneVarSet copies a variable set (nil clones to an empty, writable set).
+func cloneVarSet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// countVarUses counts every textual reference to each variable across a
+// query — triple-pattern positions, filter/select/order/group/having
+// expressions, BIND targets, VALUES columns, and the whole text of nested
+// EXISTS groups, subqueries and MINUS blocks. materialize compares a run
+// variable's in-run position count against this total: equality proves the
+// variable is referenced nowhere else, so its bindings can be pruned at
+// materialization (projection pushdown). star reports SELECT *, which
+// disables pruning (every variable is observable). Overcounting is safe —
+// it only keeps a variable alive; subqueries therefore fold into the same
+// counter even though their scopes are distinct.
+func countVarUses(q *Query) (map[string]int, bool) {
+	c := map[string]int{}
+	countQueryUses(q, c)
+	return c, q.Select.Star
+}
+
+func countQueryUses(q *Query, c map[string]int) {
+	for _, it := range q.Select.Items {
+		if it.Expr != nil {
+			countExprUses(it.Expr, c)
+		}
+		if it.Var != "" {
+			c[it.Var]++
+		}
+	}
+	if q.Where != nil {
+		countGroupUses(q.Where, c)
+	}
+	for _, gc := range q.GroupBy {
+		if gc.Expr != nil {
+			countExprUses(gc.Expr, c)
+		}
+		if gc.Var != "" {
+			c[gc.Var]++
+		}
+	}
+	for _, h := range q.Having {
+		countExprUses(h, c)
+	}
+	for _, oc := range q.OrderBy {
+		countExprUses(oc.Expr, c)
+	}
+	for _, tp := range q.Template {
+		countTripleUses(&tp, c)
+	}
+	for _, n := range q.Describe {
+		if n.IsVar() && n.Var != "" {
+			c[n.Var]++
+		}
+	}
+}
+
+func countGroupUses(gp *GroupPattern, c map[string]int) {
+	for _, e := range gp.Elems {
+		switch {
+		case e.Triple != nil:
+			countTripleUses(e.Triple, c)
+		case e.Filter != nil:
+			countExprUses(e.Filter, c)
+		case e.Optional != nil:
+			countGroupUses(e.Optional, c)
+		case e.Union != nil:
+			for _, alt := range e.Union.Alternatives {
+				countGroupUses(alt, c)
+			}
+		case e.Group != nil:
+			countGroupUses(e.Group, c)
+		case e.Bind != nil:
+			countExprUses(e.Bind.Expr, c)
+			c[e.Bind.Var]++
+		case e.Values != nil:
+			for _, v := range e.Values.Vars {
+				c[v]++
+			}
+		case e.SubQuery != nil:
+			countQueryUses(e.SubQuery, c)
+		case e.Minus != nil:
+			countGroupUses(e.Minus, c)
+		}
+	}
+}
+
+// countTripleUses counts one occurrence per variable position, mirroring how
+// materialize counts a run's in-pattern positions (see runVarUseCounts).
+func countTripleUses(tp *TriplePattern, c map[string]int) {
+	for _, n := range [3]Node{tp.S, tp.P, tp.O} {
+		if n.IsVar() && n.Var != "" {
+			c[n.Var]++
+		}
+	}
+}
+
+// countExprUses is collectExprVars with a counter — and unlike it, descends
+// into EXISTS patterns, whose variable references must keep run variables
+// alive.
+func countExprUses(e Expr, c map[string]int) {
+	switch x := e.(type) {
+	case ExprVar:
+		c[x.Name]++
+	case ExprUnary:
+		countExprUses(x.Sub, c)
+	case ExprBinary:
+		countExprUses(x.Left, c)
+		countExprUses(x.Right, c)
+	case ExprCall:
+		for _, a := range x.Args {
+			countExprUses(a, c)
+		}
+	case ExprIn:
+		countExprUses(x.Left, c)
+		for _, a := range x.List {
+			countExprUses(a, c)
+		}
+	case ExprAggregate:
+		if x.Arg != nil {
+			countExprUses(x.Arg, c)
+		}
+	case ExprExists:
+		countGroupUses(x.Pattern, c)
+	}
+}

@@ -1,0 +1,328 @@
+package sparql
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"rdfanalytics/internal/rdf"
+)
+
+func TestParsePlannerMode(t *testing.T) {
+	cases := map[string]PlannerMode{
+		"":           PlannerAuto,
+		"auto":       PlannerAuto,
+		"greedy":     PlannerGreedy,
+		"DP":         PlannerDP,
+		" feedback ": PlannerFeedback,
+	}
+	for in, want := range cases {
+		got, err := ParsePlannerMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePlannerMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePlannerMode("selinger"); err == nil {
+		t.Error("unknown planner accepted")
+	}
+	for _, m := range []PlannerMode{PlannerAuto, PlannerGreedy, PlannerDP, PlannerFeedback} {
+		rt, err := ParsePlannerMode(m.String())
+		if err != nil || rt != m {
+			t.Errorf("round trip %v -> %q -> %v, %v", m, m.String(), rt, err)
+		}
+	}
+}
+
+// plannerOptionSets are the ablation configurations every differential test
+// runs: all must produce identical answers.
+func plannerOptionSets() map[string]Options {
+	return map[string]Options{
+		"no-reorder": {NoReorder: true},
+		"greedy":     {Planner: PlannerGreedy},
+		"dp":         {Planner: PlannerDP},
+		"dp-nopush":  {Planner: PlannerDP, NoPushdown: true},
+		"dp-replan":  {Planner: PlannerDP, ReplanQError: 1e-9},
+		"feedback":   {Planner: PlannerFeedback},
+	}
+}
+
+// TestPlannerDifferential: the cost-based planners must agree with the naive
+// reference evaluator on random conjunctive queries — same harness as
+// TestBGPDifferential, wider pattern counts so both the DP and the
+// per-subset bound propagation get exercised.
+func TestPlannerDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 150; trial++ {
+		g, triples := randomGraph(rng, 3+rng.Intn(25))
+		nPatterns := 1 + rng.Intn(5)
+		patterns := make([]TriplePattern, nPatterns)
+		varSet := map[string]bool{}
+		for i := range patterns {
+			patterns[i] = randomPattern(rng)
+			for _, v := range patterns[i].Vars() {
+				varSet[v] = true
+			}
+		}
+		var vars []string
+		for v := range varSet {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		want := canonical(naiveBGP(triples, patterns), vars)
+		for name, opts := range plannerOptionSets() {
+			gp := &GroupPattern{}
+			for i := range patterns {
+				tp := patterns[i]
+				gp.Elems = append(gp.Elems, PatternElem{Triple: &tp})
+			}
+			ev := newEvaluator(context.Background(), g, opts)
+			got := canonical(ev.evalGroup(gp, []Binding{{}}), vars)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d [%s]: %d rows, reference %d\npatterns: %v",
+					trial, name, len(got), len(want), patterns)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d [%s]: row %d differs:\n  got:  %q\n  want: %q\npatterns: %v",
+						trial, name, i, got[i], want[i], patterns)
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerClauseDifferential runs full queries — filters between
+// patterns, VALUES/BIND-seeded estimates, OPTIONAL, MINUS, EXISTS,
+// subqueries and aggregates — under every planner configuration and demands
+// identical answers. This is the acceptance check that reordering, in-run
+// filter pushdown and projection pruning never change semantics.
+func TestPlannerClauseDifferential(t *testing.T) {
+	queries := []string{
+		`SELECT ?a ?b WHERE { ?a <http://e/p0> ?b . FILTER(?b >= 1) ?a <http://e/p1> ?c . }`,
+		`SELECT ?a WHERE { ?a <http://e/p0> ?b . ?b <http://e/p1> ?c . ?c <http://e/p2> ?d . FILTER(?d != 0) }`,
+		`SELECT ?b WHERE { ?a <http://e/p0> ?b . ?a <http://e/p1> ?c }`, // ?a, ?c prunable
+		`SELECT ?a WHERE { VALUES ?b { <http://e/s0> <http://e/s1> } ?a <http://e/p0> ?b . ?a <http://e/p1> ?c }`,
+		`SELECT ?a ?d WHERE { ?a <http://e/p0> ?b . BIND(?b AS ?d) ?a <http://e/p1> ?c . FILTER(?d = ?c) }`,
+		`SELECT ?a WHERE { ?a <http://e/p0> ?b . OPTIONAL { ?a <http://e/p1> ?c } FILTER(!BOUND(?c)) }`,
+		`SELECT ?a WHERE { ?a <http://e/p0> ?b . MINUS { ?a <http://e/p1> ?b } }`,
+		`SELECT ?a WHERE { ?a <http://e/p0> ?b . FILTER EXISTS { ?a <http://e/p1> ?c } }`,
+		`SELECT ?a WHERE { { SELECT ?a WHERE { ?a <http://e/p0> ?b } } ?a <http://e/p1> ?c . }`,
+		`SELECT ?b (COUNT(?a) AS ?n) WHERE { ?a <http://e/p0> ?b . ?a <http://e/p1> ?c } GROUP BY ?b`,
+		`SELECT DISTINCT ?a WHERE { { ?a <http://e/p0> ?b } UNION { ?a <http://e/p1> ?b } ?a <http://e/p2> ?c . }`,
+		`SELECT * WHERE { ?a <http://e/p0> ?b . ?a <http://e/p1> ?c . FILTER(?b != ?c) }`,
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		g, _ := randomGraph(rng, 5+rng.Intn(25))
+		for _, src := range queries {
+			q := MustParse(src)
+			base, err := ExecSelectOpts(g, q, Options{NoReorder: true, NoPushdown: true})
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			want := canonical(base.Rows, base.Vars)
+			for name, opts := range plannerOptionSets() {
+				res, err := ExecSelectOpts(g, q, opts)
+				if err != nil {
+					t.Fatalf("[%s] %s: %v", name, src, err)
+				}
+				got := canonical(res.Rows, res.Vars)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d [%s] %s: %d rows, want %d", trial, name, src, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d [%s] %s: row %d differs\n  got:  %q\n  want: %q",
+							trial, name, src, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerDeterminism: repeated planning of the same query must yield an
+// identical plan (EXPLAIN text), for both search strategies.
+func TestPlannerDeterminism(t *testing.T) {
+	g := invoices(t)
+	src := `PREFIX ex: <http://e/>
+SELECT ?i ?b ?q ?p ?w WHERE {
+  ?i ex:takesPlaceAt ?b .
+  ?i ex:inQuantity ?q .
+  ?i ex:delivers ?p .
+  ?p ex:brand ?w .
+}`
+	for _, mode := range []PlannerMode{PlannerDP, PlannerGreedy, PlannerFeedback} {
+		first, err := ExplainOpts(g, src, Options{Planner: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			again, err := ExplainOpts(g, src, Options{Planner: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != first {
+				t.Fatalf("[%v] plan not deterministic:\n--- first\n%s\n--- again\n%s", mode, first, again)
+			}
+		}
+	}
+}
+
+// TestPlannerSelectiveFirst: the DP order must schedule the selective
+// pattern before the full scan, same contract the greedy orderer had.
+func TestPlannerSelectiveFirst(t *testing.T) {
+	g := invoices(t)
+	plan, err := ExplainOpts(g, `PREFIX ex: <http://e/>
+SELECT ?i WHERE {
+  ?i ?p ?o .
+  ?i ex:delivers ex:fanta .
+}`, Options{Planner: PlannerDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanta := strings.Index(plan, "fanta")
+	scanAll := strings.Index(plan, "?i ?p ?o")
+	if fanta < 0 || scanAll < 0 || fanta > scanAll {
+		t.Errorf("selective pattern not first:\n%s", plan)
+	}
+	if !strings.Contains(plan, "planner=dp") {
+		t.Errorf("planner tag missing:\n%s", plan)
+	}
+}
+
+// replanGraph builds n subjects each carrying a 3-step property chain, so
+// every pattern of a 3-pattern chain query matches n triples.
+func replanGraph(n int) *rdf.Graph {
+	g := rdf.NewGraph()
+	for i := 0; i < n; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://e/s%d", i))
+		v := rdf.NewIRI(fmt.Sprintf("http://e/v%d", i))
+		w := rdf.NewIRI(fmt.Sprintf("http://e/w%d", i))
+		g.Add(rdf.Triple{S: s, P: rdf.NewIRI("http://e/p0"), O: v})
+		g.Add(rdf.Triple{S: v, P: rdf.NewIRI("http://e/p1"), O: w})
+		g.Add(rdf.Triple{S: w, P: rdf.NewIRI("http://e/p2"), O: rdf.NewInteger(int64(i))})
+	}
+	return g
+}
+
+const replanQuery = `SELECT ?a ?d WHERE {
+  ?a <http://e/p0> ?b .
+  ?b <http://e/p1> ?c .
+  ?c <http://e/p2> ?d .
+}`
+
+// TestReplanTriggers: with an absurdly low q-error threshold every scan that
+// produces >= replanMinRows rows re-plans the remaining patterns; the run
+// must still return correct results and the profile must record the replans.
+func TestReplanTriggers(t *testing.T) {
+	g := replanGraph(100)
+	q := MustParse(replanQuery)
+	prof := NewProfile("query")
+	res, err := ExecSelectOpts(g, q, Options{Planner: PlannerDP, ReplanQError: 1e-9, Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 100 {
+		t.Fatalf("rows = %d, want 100", res.Len())
+	}
+	if !strings.Contains(prof.Tree(), "replans=") {
+		t.Fatalf("profile records no replans:\n%s", prof.Tree())
+	}
+}
+
+// TestReplanDisabled: a negative ReplanQError switches adaptivity off.
+func TestReplanDisabled(t *testing.T) {
+	g := replanGraph(100)
+	q := MustParse(replanQuery)
+	prof := NewProfile("query")
+	if _, err := ExecSelectOpts(g, q, Options{Planner: PlannerDP, ReplanQError: -1, Profile: prof}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(prof.Tree(), "replans=") {
+		t.Fatalf("replanning ran despite being disabled:\n%s", prof.Tree())
+	}
+}
+
+// TestGreedyLookaheadLargeRun: runs beyond dpMaxPatterns fall back to the
+// lookahead orderer and stay correct.
+func TestGreedyLookaheadLargeRun(t *testing.T) {
+	g := rdf.NewGraph()
+	s := rdf.NewIRI("http://e/s")
+	var sb strings.Builder
+	sb.WriteString("SELECT ?v0 WHERE {\n")
+	for i := 0; i < dpMaxPatterns+2; i++ {
+		g.Add(rdf.Triple{S: s, P: rdf.NewIRI(fmt.Sprintf("http://e/q%d", i)), O: rdf.NewInteger(int64(i))})
+		fmt.Fprintf(&sb, "  ?s <http://e/q%d> ?v%d .\n", i, i)
+	}
+	sb.WriteString("}")
+	res, err := ExecSelectOpts(g, MustParse(sb.String()), Options{Planner: PlannerDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", res.Len())
+	}
+}
+
+// TestCountVarUses verifies the reference counter behind projection pruning.
+func TestCountVarUses(t *testing.T) {
+	q := MustParse(`SELECT ?b WHERE {
+  ?a <http://e/p0> ?b .
+  ?a <http://e/p1> ?c .
+  FILTER EXISTS { ?d <http://e/p2> ?c }
+}`)
+	counts, star := countVarUses(q)
+	if star {
+		t.Fatal("star = true for explicit projection")
+	}
+	want := map[string]int{"a": 2, "b": 2, "c": 2, "d": 1}
+	for v, n := range want {
+		if counts[v] != n {
+			t.Errorf("count[%s] = %d, want %d (all: %v)", v, counts[v], n, counts)
+		}
+	}
+	if _, star := countVarUses(MustParse(`SELECT * WHERE { ?a ?p ?o }`)); !star {
+		t.Error("SELECT * not flagged")
+	}
+}
+
+// TestValuesSeededEstimates (estimate() edge case): a variable bound only by
+// VALUES upstream must count as bound when ordering the run — the selective
+// ?a p0 ?b scan with ?b pinned should come first even under the legacy
+// greedy orderer, which used to cost it as fully unbound.
+func TestValuesSeededEstimates(t *testing.T) {
+	g, _ := randomGraph(rand.New(rand.NewSource(5)), 30)
+	src := `SELECT ?a WHERE {
+  VALUES ?b { <http://e/s0> }
+  ?a <http://e/p0> ?b .
+  ?a <http://e/p1> ?c .
+}`
+	for _, mode := range []PlannerMode{PlannerGreedy, PlannerDP} {
+		plan, err := ExplainOpts(g, src, Options{Planner: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p0 := strings.Index(plan, "p0")
+		p1 := strings.Index(plan, "p1")
+		if p0 < 0 || p1 < 0 || p0 > p1 {
+			t.Errorf("[%v] VALUES-bound scan not scheduled first:\n%s", mode, plan)
+		}
+	}
+}
+
+// TestPlanOrderEmptyAndSingle covers the degenerate search inputs.
+func TestPlanOrderEmptyAndSingle(t *testing.T) {
+	g := invoices(t)
+	res, err := ExecSelectOpts(g, MustParse(`PREFIX ex: <http://e/>
+SELECT ?b WHERE { ?i ex:takesPlaceAt ?b }`), Options{Planner: PlannerDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 7 {
+		t.Fatalf("rows = %d, want 7", res.Len())
+	}
+}
