@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-json bench-planner obs-smoke chaos-smoke fuzz-smoke conformance clean
+.PHONY: build test check race bench bench-json bench-planner obs-smoke metrics-lint chaos-smoke fuzz-smoke conformance clean
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,7 @@ check:
 	$(GO) test -race ./...
 	$(MAKE) conformance
 	$(MAKE) obs-smoke
+	$(MAKE) metrics-lint
 	$(MAKE) chaos-smoke
 	$(MAKE) fuzz-smoke
 
@@ -40,6 +41,12 @@ obs-smoke:
 # governance layer holds: query timeout -> structured 504, handler panic ->
 # 500 with the process still up, oversized body -> 413, SIGTERM -> clean
 # drain (see scripts/chaos-smoke.sh).
+# metrics-lint asserts every /metrics family follows the naming
+# conventions (rdfa_ prefix, _total counters, _seconds histograms) — see
+# scripts/metrics-lint.sh.
+metrics-lint:
+	sh scripts/metrics-lint.sh
+
 chaos-smoke:
 	sh scripts/chaos-smoke.sh
 

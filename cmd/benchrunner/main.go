@@ -26,6 +26,7 @@ import (
 	"rdfanalytics/internal/datagen"
 	"rdfanalytics/internal/facet"
 	"rdfanalytics/internal/hifun"
+	"rdfanalytics/internal/obs"
 	"rdfanalytics/internal/par"
 	"rdfanalytics/internal/rdf"
 	"rdfanalytics/internal/sparql"
@@ -49,6 +50,13 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (E1..E12)")
 	all := flag.Bool("all", false, "run every experiment")
 	flag.Parse()
+	// Sample runtime telemetry (heap, GC, goroutines) across the whole run;
+	// the end-of-run summary rides into BENCH_history.json so regressions
+	// correlate with memory/GC pressure, not just wall time.
+	obs.RegisterRuntimeMetrics(obs.Default)
+	sampler := obs.NewSampler(obs.Default, nil, nil,
+		obs.TSDBConfig{Interval: time.Second}).Start()
+	defer sampler.Close()
 	experiments := map[string]func() error{
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11, "E12": e12,
@@ -90,6 +98,7 @@ func main() {
 		if !strings.ContainsAny(path, "/") {
 			path = *outDir + "/" + path
 		}
+		sampler.Tick(time.Now())
 		entry := bench.HistoryEntry{
 			When: time.Now().UTC(),
 			Git:  gitDescribe(),
@@ -97,7 +106,8 @@ func main() {
 				"exp": strings.ToUpper(*exp), "all": *all,
 				"quick": *quick, "parallelism": *parallelism,
 			},
-			Records: records,
+			Records:   records,
+			Telemetry: sampler.TelemetrySummary(),
 		}
 		if err := bench.AppendHistory(path, entry); err != nil {
 			log.Fatalf("appending %s: %v", path, err)

@@ -36,12 +36,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"rdfanalytics/internal/core"
 	"rdfanalytics/internal/datagen"
 	"rdfanalytics/internal/facet"
 	"rdfanalytics/internal/hifun"
+	"rdfanalytics/internal/obs"
 	"rdfanalytics/internal/rdf"
 	"rdfanalytics/internal/sparql"
 	"rdfanalytics/internal/viz"
@@ -52,7 +54,12 @@ func main() {
 	scale := flag.Int("scale", 0, "dataset scale")
 	restore := flag.String("restore", "", "restore a session snapshot (JSON file) over the dataset")
 	flag.BoolVar(&traceRuns, "trace", false, "print the per-phase timing tree after every run")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Printf("rdfa-cli %s (%s)\n", obs.Version(), runtime.Version())
+		return
+	}
 	g, ns, err := datagen.Load(*data, *scale)
 	if err != nil {
 		log.Fatal(err)

@@ -12,11 +12,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/obs"
 	"rdfanalytics/internal/server"
 	"rdfanalytics/internal/sparql"
 )
@@ -32,7 +35,18 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "expire interaction sessions idle longer than this (0 disables)")
 	maxRows := flag.Int("max-intermediate-rows", 0, "row budget on intermediate binding sets (0 = unlimited)")
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "in-flight request drain window on SIGINT/SIGTERM")
+	sampleInterval := flag.Duration("sample-interval", 10*time.Second, "telemetry sampling period for /api/timeseries and SLO evaluation (0 disables)")
+	sloAvailability := flag.Float64("slo-availability", 0.999, "availability SLO target in (0,1); 0 disables")
+	sloLatency := flag.Float64("slo-latency", 0.95, "latency SLO target in (0,1); 0 disables")
+	sloLatencyThreshold := flag.Duration("slo-latency-threshold", 250*time.Millisecond, "latency SLO threshold (requests faster than this count as good)")
+	sloShapeLatency := flag.Float64("slo-shape-latency", 0, "per-query-shape latency SLO target in (0,1); 0 disables")
+	sloShapeThreshold := flag.Duration("slo-shape-latency-threshold", time.Second, "per-query-shape latency SLO threshold")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Printf("rdfanalytics %s (%s)\n", obs.Version(), runtime.Version())
+		os.Exit(0)
+	}
 	g, ns, err := datagen.Load(*data, *scale)
 	if err != nil {
 		log.Fatal(err)
@@ -51,12 +65,20 @@ func main() {
 		fmt.Println("rdf-analytics: pprof enabled at /debug/pprof/")
 	}
 	srv := server.NewWithConfig(g, ns, server.Config{
-		SlowQuery:    *slowQuery,
-		Debug:        *debug,
-		QueryTimeout: *queryTimeout,
-		MaxBodyBytes: *maxBody,
-		SessionTTL:   *sessionTTL,
-		Limits:       sparql.Limits{MaxIntermediateRows: *maxRows},
+		SlowQuery:      *slowQuery,
+		Debug:          *debug,
+		QueryTimeout:   *queryTimeout,
+		MaxBodyBytes:   *maxBody,
+		SessionTTL:     *sessionTTL,
+		Limits:         sparql.Limits{MaxIntermediateRows: *maxRows},
+		SampleInterval: *sampleInterval,
+		SLO: server.SLOConfig{
+			AvailabilityTarget:    *sloAvailability,
+			LatencyTarget:         *sloLatency,
+			LatencyThreshold:      *sloLatencyThreshold,
+			ShapeLatencyTarget:    *sloShapeLatency,
+			ShapeLatencyThreshold: *sloShapeThreshold,
+		},
 	})
 	defer srv.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"rdfanalytics/internal/datagen"
@@ -32,7 +33,12 @@ func main() {
 	noReorder := flag.Bool("no-reorder", false, "evaluate BGPs in textual order (join-ordering ablation)")
 	plannerName := flag.String("planner", "auto", "BGP join-order planner: auto, greedy, dp or feedback")
 	repeat := flag.Int("repeat", 1, "run the query this many times (with -planner=feedback, later passes plan from observed cardinalities)")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Printf("sparqlrun %s (%s)\n", obs.Version(), runtime.Version())
+		return
+	}
 	planner, err := sparql.ParsePlannerMode(*plannerName)
 	if err != nil {
 		log.Fatalf("sparqlrun: %v", err)

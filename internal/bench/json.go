@@ -67,6 +67,10 @@ type HistoryEntry struct {
 	Git     string         `json:"git,omitempty"`
 	Config  map[string]any `json:"config,omitempty"`
 	Records []Record       `json:"records"`
+	// Telemetry is the sampler's end-of-run snapshot (heap, GC, goroutines,
+	// tick counts), so the history correlates performance with runtime
+	// pressure across commits.
+	Telemetry map[string]float64 `json:"telemetry,omitempty"`
 }
 
 // AppendHistory reads path (a JSON array of HistoryEntry; a missing file

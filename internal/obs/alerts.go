@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Alerting state machine for the SLO evaluator. Each objective has at most
+// one active alert at a time (severity "warn" or "page"); the evaluator
+// reports the desired severity on every tick and the log records the
+// firing/resolved transitions into a bounded event ring — the data behind
+// GET /api/alerts and the dashboard's alert timeline. Severities also feed
+// /readyz: a firing page-severity alert degrades readiness.
+
+// Severity levels, ordered: "" (ok) < warn < page.
+const (
+	SeverityWarn = "warn"
+	SeverityPage = "page"
+)
+
+// maxAlertEvents bounds the transition ring.
+const maxAlertEvents = 256
+
+// Alert is one objective's active alert.
+type Alert struct {
+	Objective string    `json:"objective"`
+	Severity  string    `json:"severity"`
+	Since     time.Time `json:"since"`
+	// BurnFast/BurnSlow are the burn rates of the window pair that tripped
+	// (or last evaluated) the alert.
+	BurnFast float64 `json:"burn_fast"`
+	BurnSlow float64 `json:"burn_slow"`
+	Message  string  `json:"message,omitempty"`
+}
+
+// AlertEvent is one firing/resolved transition.
+type AlertEvent struct {
+	Objective string    `json:"objective"`
+	Severity  string    `json:"severity"`
+	State     string    `json:"state"` // firing | resolved
+	At        time.Time `json:"at"`
+	BurnFast  float64   `json:"burn_fast"`
+	BurnSlow  float64   `json:"burn_slow"`
+	Message   string    `json:"message,omitempty"`
+}
+
+// AlertLog tracks active alerts and their transition history. A nil
+// *AlertLog is a valid no-op.
+type AlertLog struct {
+	mu     sync.Mutex
+	active map[string]*Alert
+	events []AlertEvent
+	next   int
+	filled bool
+
+	firing      *Gauge
+	transitions func(state string) *Counter
+}
+
+// NewAlertLog builds an alert log registering its gauges on reg (nil means
+// Default).
+func NewAlertLog(reg *Registry) *AlertLog {
+	if reg == nil {
+		reg = Default
+	}
+	l := &AlertLog{
+		active: map[string]*Alert{},
+		events: make([]AlertEvent, maxAlertEvents),
+		firing: reg.Gauge("rdfa_slo_alerts_firing"),
+		transitions: func(state string) *Counter {
+			return reg.Counter("rdfa_slo_alert_transitions_total", "state", state)
+		},
+	}
+	reg.Help("rdfa_slo_alerts_firing", "Currently firing SLO alerts.")
+	return l
+}
+
+// Update reconciles one objective's desired severity ("" to clear) at time
+// at, recording transitions. Severity changes resolve the old alert and
+// fire the new one. Burn rates refresh on every call while firing.
+func (l *AlertLog) Update(objective, severity string, at time.Time, burnFast, burnSlow float64, message string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.active[objective]
+	switch {
+	case cur == nil && severity == "":
+		return
+	case cur != nil && cur.Severity == severity:
+		cur.BurnFast, cur.BurnSlow = burnFast, burnSlow
+		return
+	}
+	if cur != nil {
+		l.pushLocked(AlertEvent{
+			Objective: objective, Severity: cur.Severity, State: "resolved",
+			At: at, BurnFast: burnFast, BurnSlow: burnSlow, Message: message,
+		})
+		delete(l.active, objective)
+	}
+	if severity != "" {
+		l.active[objective] = &Alert{
+			Objective: objective, Severity: severity, Since: at,
+			BurnFast: burnFast, BurnSlow: burnSlow, Message: message,
+		}
+		l.pushLocked(AlertEvent{
+			Objective: objective, Severity: severity, State: "firing",
+			At: at, BurnFast: burnFast, BurnSlow: burnSlow, Message: message,
+		})
+	}
+	l.firing.Set(float64(len(l.active)))
+}
+
+func (l *AlertLog) pushLocked(e AlertEvent) {
+	l.events[l.next] = e
+	l.next = (l.next + 1) % len(l.events)
+	if l.next == 0 {
+		l.filled = true
+	}
+	l.transitions(e.State).Inc()
+}
+
+// MaxSeverity returns the highest active severity ("" when quiet).
+func (l *AlertLog) MaxSeverity() string {
+	if l == nil {
+		return ""
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	max := ""
+	for _, a := range l.active {
+		if a.Severity == SeverityPage {
+			return SeverityPage
+		}
+		max = a.Severity
+	}
+	return max
+}
+
+// AlertsSnapshot is the GET /api/alerts payload: active alerts (page
+// first, then by objective) and the transition history, newest first.
+type AlertsSnapshot struct {
+	Active []Alert      `json:"active"`
+	Recent []AlertEvent `json:"recent"`
+}
+
+// Snapshot copies the current alert state.
+func (l *AlertLog) Snapshot() AlertsSnapshot {
+	if l == nil {
+		return AlertsSnapshot{Active: []Alert{}, Recent: []AlertEvent{}}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	snap := AlertsSnapshot{Active: []Alert{}, Recent: []AlertEvent{}}
+	for _, a := range l.active {
+		snap.Active = append(snap.Active, *a)
+	}
+	for i := 0; i < len(snap.Active); i++ {
+		for j := i + 1; j < len(snap.Active); j++ {
+			ai, aj := snap.Active[i], snap.Active[j]
+			if (aj.Severity == SeverityPage && ai.Severity != SeverityPage) ||
+				(ai.Severity == aj.Severity && aj.Objective < ai.Objective) {
+				snap.Active[i], snap.Active[j] = aj, ai
+			}
+		}
+	}
+	n := len(l.events)
+	count := l.next
+	if l.filled {
+		count = n
+	}
+	for i := 1; i <= count; i++ {
+		snap.Recent = append(snap.Recent, l.events[(l.next-i+n)%n])
+	}
+	return snap
+}

@@ -51,10 +51,11 @@ func (l *SlowQueryLog) Threshold() time.Duration {
 // Observe records one finished operation, logging it when dur reaches the
 // threshold. fingerprint is the query's structural fingerprint id (may be
 // empty), so slow-log lines join against the workload profiler's
-// aggregates. The raw query text is truncated rune-safely to
+// aggregates; requestID (may be empty) joins them against access logs and
+// trace exports. The raw query text is truncated rune-safely to
 // maxLoggedQuery bytes, so a pathological multi-KB query cannot bloat the
 // log line. tr may be nil.
-func (l *SlowQueryLog) Observe(kind, query, fingerprint string, dur time.Duration, tr *Trace) {
+func (l *SlowQueryLog) Observe(kind, query, fingerprint, requestID string, dur time.Duration, tr *Trace) {
 	if l == nil || dur < l.threshold {
 		return
 	}
@@ -62,6 +63,7 @@ func (l *SlowQueryLog) Observe(kind, query, fingerprint string, dur time.Duratio
 	l.logger.Warn("slow query",
 		slog.String("kind", kind),
 		slog.String("fingerprint", fingerprint),
+		slog.String("request_id", requestID),
 		slog.Duration("duration", dur),
 		slog.String("query", TruncateText(query, maxLoggedQuery)),
 		slog.String("plan", tr.Summary()),

@@ -92,13 +92,13 @@ func TestSlowQueryLog(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(&buf, nil))
 	reg := NewRegistry()
 	l := NewSlowQueryLog(logger, 10*time.Millisecond, reg)
-	l.Observe("sparql", "SELECT fast", "fp1", time.Millisecond, nil)
+	l.Observe("sparql", "SELECT fast", "fp1", "req-fast", time.Millisecond, nil)
 	if buf.Len() != 0 {
 		t.Fatalf("fast query logged: %s", buf.String())
 	}
 	tr := NewTrace("sparql")
 	tr.Finish()
-	l.Observe("sparql", "SELECT slow", "fp1", 50*time.Millisecond, tr)
+	l.Observe("sparql", "SELECT slow", "fp1", "req-slow", 50*time.Millisecond, tr)
 	out := buf.String()
 	if !strings.Contains(out, "slow query") || !strings.Contains(out, "SELECT slow") {
 		t.Fatalf("slow query not logged: %s", out)
@@ -106,10 +106,13 @@ func TestSlowQueryLog(t *testing.T) {
 	if !strings.Contains(out, "fingerprint=fp1") {
 		t.Fatalf("fingerprint missing from slow-query record: %s", out)
 	}
+	if !strings.Contains(out, "request_id=req-slow") {
+		t.Fatalf("request id missing from slow-query record: %s", out)
+	}
 	// A pathological multi-KB query is truncated to a bounded length,
 	// without splitting the trailing multi-byte rune.
 	buf.Reset()
-	l.Observe("sparql", strings.Repeat("é", 2000), "fp2", 50*time.Millisecond, nil)
+	l.Observe("sparql", strings.Repeat("é", 2000), "fp2", "", 50*time.Millisecond, nil)
 	out = buf.String()
 	if len(out) > 2*maxLoggedQuery {
 		t.Fatalf("oversized query not truncated: %d bytes", len(out))
@@ -125,7 +128,7 @@ func TestSlowQueryLog(t *testing.T) {
 		t.Error("threshold 0 must disable")
 	}
 	var nilLog *SlowQueryLog
-	nilLog.Observe("x", "y", "", time.Hour, nil)
+	nilLog.Observe("x", "y", "", "", time.Hour, nil)
 	if nilLog.Threshold() != 0 {
 		t.Error("nil log threshold must be 0")
 	}

@@ -70,9 +70,13 @@ func abortStatus(err error, fallback int) int {
 func queryError(w http.ResponseWriter, err error) {
 	code := abortStatus(err, http.StatusInternalServerError)
 	if reason := sparql.AbortReason(err); reason != "" {
+		body := map[string]string{"error": err.Error(), "reason": reason}
+		if id := w.Header().Get("X-Request-ID"); id != "" {
+			body["request_id"] = id
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(code)
-		writeJSONBody(w, map[string]string{"error": err.Error(), "reason": reason})
+		writeJSONBody(w, body)
 		return
 	}
 	httpError(w, code, err)
@@ -145,15 +149,16 @@ func (s *Server) startSweeper(ttl time.Duration) {
 	}()
 }
 
-// Close stops the server's background work (the session sweeper). Safe to
-// call when no sweeper is running, and idempotent is not required — call
-// once when tearing the server down.
+// Close stops the server's background work (the session sweeper and the
+// telemetry sampler). Safe to call when neither is running, and idempotent
+// is not required — call once when tearing the server down.
 func (s *Server) Close() {
 	if s.sweepStop != nil {
 		close(s.sweepStop)
 		<-s.sweepDone
 		s.sweepStop = nil
 	}
+	s.sampler.Close()
 }
 
 // ---- graceful shutdown ----
@@ -172,6 +177,9 @@ func Run(ctx context.Context, addr string, h http.Handler, grace time.Duration) 
 
 // RunListener is Run over an existing listener (tests use a :0 listener to
 // get a free port). The listener is owned by the server once passed in.
+// When h exposes a drain flag (our *Server does), it flips before Shutdown
+// so /healthz and /readyz fail the balancer's probes while in-flight
+// requests finish under the grace period.
 func RunListener(ctx context.Context, ln net.Listener, h http.Handler, grace time.Duration) error {
 	srv := &http.Server{Handler: h}
 	errCh := make(chan error, 1)
@@ -180,6 +188,9 @@ func RunListener(ctx context.Context, ln net.Listener, h http.Handler, grace tim
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
+	}
+	if d, ok := h.(interface{ SetDraining(bool) }); ok {
+		d.SetDraining(true)
 	}
 	shCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()

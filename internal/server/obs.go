@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"rdfanalytics/internal/fault"
@@ -50,6 +51,16 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sw := &statusWriter{ResponseWriter: w}
+	// Request-ID middleware: keep a well-formed client-supplied X-Request-ID
+	// (so ids propagate through proxies and retries), mint one otherwise, and
+	// stamp it on both the request (handlers, the slow-query log and traces
+	// read it back) and the response.
+	id := r.Header.Get("X-Request-ID")
+	if !validRequestID(id) {
+		id = newRequestID()
+	}
+	r.Header.Set("X-Request-ID", id)
+	sw.Header().Set("X-Request-ID", id)
 	if r.Method == http.MethodPost {
 		if max := s.cfg.maxBodyBytes(); max > 0 {
 			r.Body = http.MaxBytesReader(sw, r.Body, max)
@@ -73,10 +84,38 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if endpoint == "" {
 		endpoint = "unmatched"
 	}
+	dur := time.Since(start)
 	obs.Default.Counter("rdfa_http_requests_total",
 		"endpoint", endpoint, "status", strconv.Itoa(sw.status)).Inc()
 	obs.Default.Histogram("rdfa_http_request_seconds", nil,
-		"endpoint", endpoint).Observe(time.Since(start).Seconds())
+		"endpoint", endpoint).Observe(dur.Seconds())
+	s.recordHTTPSLO(endpoint, sw.status, dur)
+}
+
+// recordHTTPSLO folds one finished request into the HTTP objectives:
+// availability (good = non-5xx), the process-wide latency objective, and a
+// lazily created per-endpoint latency objective. Probe and scrape endpoints
+// are excluded from the per-endpoint set — they are not user traffic and
+// would dilute the burn rates.
+func (s *Server) recordHTTPSLO(endpoint string, status int, dur time.Duration) {
+	failed := status >= 500
+	s.sloHTTPAvail.Record(!failed)
+	s.sloHTTPLat.Observe(dur, failed)
+	if t := s.cfg.SLO.LatencyTarget; t > 0 && s.cfg.SLO.LatencyThreshold > 0 && sloTrackedEndpoint(endpoint) {
+		s.slos.Add("endpoint:"+endpoint, obs.SLOLatency, t, s.cfg.SLO.LatencyThreshold).
+			Observe(dur, failed)
+	}
+}
+
+// sloTrackedEndpoint reports whether the matched route pattern deserves its
+// own latency objective.
+func sloTrackedEndpoint(pattern string) bool {
+	switch pattern {
+	case "", "unmatched", "GET /metrics", "GET /healthz", "GET /readyz",
+		"GET /api/timeseries", "GET /api/alerts":
+		return false
+	}
+	return !strings.Contains(pattern, "/debug/")
 }
 
 // handleMetrics serves the whole registry in Prometheus text format.

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rdfanalytics/internal/core"
@@ -56,6 +57,21 @@ type Server struct {
 	// shapes every facet click) plan with those actuals instead of cold
 	// stats-cache estimates.
 	feedback *sparql.FeedbackStore
+	// sampler/slos/alerts are the telemetry time-series engine: the sampler
+	// scrapes every metric into bounded ring buffers, the SLO set evaluates
+	// multi-window burn rates on each tick, and the alert log records the
+	// firing/resolved transitions (see internal/obs timeseries.go, slo.go,
+	// alerts.go).
+	sampler *obs.Sampler
+	slos    *obs.SLOSet
+	alerts  *obs.AlertLog
+	// sloHTTPAvail/sloHTTPLat are the process-wide HTTP objectives the
+	// middleware records into (nil when disabled by config).
+	sloHTTPAvail *obs.Objective
+	sloHTTPLat   *obs.Objective
+	// draining flips when graceful shutdown begins; /healthz and /readyz
+	// answer 503 from then on.
+	draining atomic.Bool
 	// sweepStop/sweepDone control the idle-session sweeper goroutine
 	// (started only when Config.SessionTTL is set; see hardening.go).
 	sweepStop chan struct{}
@@ -97,6 +113,34 @@ type Config struct {
 	// Limits are the per-query resource budgets applied to every session
 	// and protocol-endpoint evaluation.
 	Limits sparql.Limits
+	// SampleInterval starts the background telemetry sampler at this
+	// period. Zero leaves the sampler passive (no goroutine): endpoints
+	// still work and tests drive ticks manually.
+	SampleInterval time.Duration
+	// SLO configures the declarative objectives the burn-rate evaluator
+	// watches. The zero value disables all of them.
+	SLO SLOConfig
+}
+
+// SLOConfig declares the service-level objectives. A target of 0 disables
+// the corresponding objective; targets are fractions in (0, 1).
+type SLOConfig struct {
+	// AvailabilityTarget is the good-response ratio for the whole HTTP
+	// surface (good = status < 500), e.g. 0.999.
+	AvailabilityTarget float64
+	// LatencyTarget/LatencyThreshold: LatencyTarget of all HTTP requests
+	// must finish within LatencyThreshold (e.g. 0.95 within 250ms). Also
+	// applied per endpoint (objectives named "endpoint:<pattern>").
+	LatencyTarget    float64
+	LatencyThreshold time.Duration
+	// ShapeLatencyTarget/ShapeLatencyThreshold: per-query-fingerprint
+	// latency objectives, created lazily as shapes appear (objectives
+	// named "shape:<fingerprint>").
+	ShapeLatencyTarget    float64
+	ShapeLatencyThreshold time.Duration
+	// Burn overrides the evaluation windows/factors; zero fields take
+	// obs.DefaultBurnConfig.
+	Burn obs.BurnConfig
 }
 
 // maxBodyBytes resolves the configured POST body cap.
@@ -127,6 +171,21 @@ func NewWithConfig(g *rdf.Graph, ns string, cfg Config) *Server {
 	s.slow = obs.NewSlowQueryLog(logger, cfg.SlowQuery, obs.Default)
 	s.workload = obs.NewWorkload(256)
 	s.feedback = sparql.NewFeedbackStore()
+	// Telemetry engine: runtime + build-info metrics feed the registry, the
+	// sampler retains everything in ring buffers, and the SLO set evaluates
+	// burn rates on every tick.
+	obs.RegisterRuntimeMetrics(obs.Default)
+	obs.RegisterBuildInfo(obs.Default)
+	s.alerts = obs.NewAlertLog(obs.Default)
+	s.slos = obs.NewSLOSet(obs.Default, s.alerts, cfg.SLO.Burn)
+	if t := cfg.SLO.AvailabilityTarget; t > 0 {
+		s.sloHTTPAvail = s.slos.Add("http-availability", obs.SLOAvailability, t, 0)
+	}
+	if t := cfg.SLO.LatencyTarget; t > 0 && cfg.SLO.LatencyThreshold > 0 {
+		s.sloHTTPLat = s.slos.Add("http-latency", obs.SLOLatency, t, cfg.SLO.LatencyThreshold)
+	}
+	s.sampler = obs.NewSampler(obs.Default, s.workload, s.slos,
+		obs.TSDBConfig{Interval: cfg.SampleInterval})
 	// Graph-level statistics are exported as functions evaluated at
 	// scrape time; re-registering (tests build many servers) rebinds the
 	// closures to the newest server's graph.
@@ -171,6 +230,10 @@ func NewWithConfig(g *rdf.Graph, ns string, cfg Config) *Server {
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("GET /api/trace", s.handleTrace)
 	mux.HandleFunc("GET /api/workload", s.handleWorkload)
+	mux.HandleFunc("GET /api/timeseries", s.handleTimeseries)
+	mux.HandleFunc("GET /api/alerts", s.handleAlerts)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/dashboard", s.handleDashboard)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /ui", s.handleUI)
@@ -180,6 +243,9 @@ func NewWithConfig(g *rdf.Graph, ns string, cfg Config) *Server {
 	s.mux = mux
 	if cfg.SessionTTL > 0 {
 		s.startSweeper(cfg.SessionTTL)
+	}
+	if cfg.SampleInterval > 0 {
+		s.sampler.Start()
 	}
 	return s
 }
@@ -293,9 +359,16 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	if errors.As(err, &mbe) {
 		code = http.StatusRequestEntityTooLarge
 	}
+	body := map[string]string{"error": err.Error()}
+	// The middleware stamped the request id on the response headers before
+	// the handler ran; echoing it in the body lets clients quote it when
+	// reporting failures.
+	if id := w.Header().Get("X-Request-ID"); id != "" {
+		body["request_id"] = id
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(body)
 }
 
 func decode[T any](r *http.Request, into *T) error {
@@ -367,9 +440,10 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 			Feedback: s.feedback, FingerprintID: sparql.FingerprintID(shape),
 		})
 		tr.Finish()
+		tr.Root().SetAttr("request_id", requestID(r))
 		s.lastSparql = tr
 		s.lastSparqlProf = prof
-		s.slow.Observe("sparql", query, sparql.FingerprintID(shape), time.Since(start), tr)
+		s.slow.Observe("sparql", query, sparql.FingerprintID(shape), requestID(r), time.Since(start), tr)
 		rows := 0
 		if res != nil {
 			rows = len(res.Rows)
@@ -450,6 +524,13 @@ func (s *Server) recordWorkload(kind, query, shape string, dur time.Duration, ro
 			}
 		}
 		s.workload.ObserveEstimates(conv)
+	}
+	// Per-query-shape latency objectives, created lazily as shapes appear.
+	// Add is idempotent and degrades to nil past the objective cap, and a
+	// nil objective's Observe is a no-op.
+	if t := s.cfg.SLO.ShapeLatencyTarget; t > 0 && s.cfg.SLO.ShapeLatencyThreshold > 0 {
+		s.slos.Add("shape:"+sparql.FingerprintID(shape), obs.SLOLatency, t, s.cfg.SLO.ShapeLatencyThreshold).
+			Observe(dur, err != nil)
 	}
 }
 
@@ -797,7 +878,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		shape = sparql.FingerprintQuery(ans.SPARQL)
 		rows = len(ans.Rows)
 	}
-	s.slow.Observe("analytics", q.String(), sparql.FingerprintID(shape), dur, sess.LastTrace())
+	sess.LastTrace().Root().SetAttr("request_id", requestID(r))
+	s.slow.Observe("analytics", q.String(), sparql.FingerprintID(shape), requestID(r), dur, sess.LastTrace())
 	s.recordWorkload("analytics", q.String(), shape, dur, rows, err, sess.LastProfile())
 	if err != nil {
 		queryError(w, err)

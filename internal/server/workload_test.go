@@ -123,6 +123,9 @@ func TestDashboard(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
 		t.Fatalf("content type = %q", ct)
 	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("Cache-Control = %q, want no-store", cc)
+	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		t.Fatal(err)
@@ -131,6 +134,7 @@ func TestDashboard(t *testing.T) {
 	for _, want := range []string{
 		"RDF-Analytics dashboard", "Workload (RED)", "p95 latency",
 		"Plan vs. actual", "q-error", "Recent queries",
+		"<svg", `http-equiv="refresh"`, "SLO error budgets", "Alerts",
 	} {
 		if !strings.Contains(page, want) {
 			t.Errorf("dashboard missing %q", want)

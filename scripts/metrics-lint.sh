@@ -1,0 +1,111 @@
+#!/bin/sh
+# metrics-lint: naming-convention gate for the /metrics exposition. Boots
+# the server, drives a little traffic so lazily created families appear,
+# scrapes /metrics and asserts every family follows the conventions:
+#
+#   * every name matches ^rdfa_[a-z0-9_]+$  (one product prefix, snake_case)
+#   * counters end in _total
+#   * duration histograms/summaries use a _seconds base unit
+#   * gauges never end in _total (a _seconds unit suffix is fine — e.g.
+#     rdfa_sampler_tick_seconds, like Prometheus's scrape_duration_seconds)
+#
+# Needs only sh + curl + grep/awk.
+set -eu
+
+PORT="${METRICS_LINT_PORT:-18931}"
+BASE="http://127.0.0.1:$PORT"
+BIN="$(mktemp -d)/rdfanalytics"
+LOG="$(mktemp)"
+
+go build -o "$BIN" ./cmd/rdfanalytics
+
+"$BIN" -addr "127.0.0.1:$PORT" -data products-small -sample-interval 200ms >"$LOG" 2>&1 &
+PID=$!
+trap 'kill $PID 2>/dev/null; rm -f "$LOG"; rm -rf "$(dirname "$BIN")"' EXIT
+
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "metrics-lint: server did not come up; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+NS='http://example.org/products#'
+curl -sf "$BASE/sparql" --data-urlencode \
+    "query=SELECT ?s WHERE { ?s a <${NS}Laptop> } LIMIT 3" >/dev/null
+sleep 0.5 # let the sampler tick so rdfa_go_* / rdfa_slo_* gauges exist
+
+METRICS="$(curl -sf "$BASE/metrics")"
+
+FAIL=0
+
+# Every exposed family name (TYPE lines are authoritative: "# TYPE name kind").
+TYPES="$(printf '%s\n' "$METRICS" | awk '/^# TYPE /{print $3, $4}')"
+if [ -z "$TYPES" ]; then
+    echo "metrics-lint: FAIL — no # TYPE lines in /metrics" >&2
+    exit 1
+fi
+
+printf '%s\n' "$TYPES" | while read -r name kind; do
+    case "$name" in
+    rdfa_*) ;;
+    *)
+        echo "metrics-lint: FAIL — $name: missing rdfa_ prefix" >&2
+        exit 1
+        ;;
+    esac
+    if ! printf '%s\n' "$name" | grep -Eq '^rdfa_[a-z0-9_]+$'; then
+        echo "metrics-lint: FAIL — $name: not snake_case" >&2
+        exit 1
+    fi
+    case "$kind" in
+    counter)
+        case "$name" in
+        *_total) ;;
+        *)
+            echo "metrics-lint: FAIL — counter $name must end in _total" >&2
+            exit 1
+            ;;
+        esac
+        ;;
+    histogram)
+        # Duration histograms carry a _seconds unit. rdfa_planner_qerror is
+        # the documented exception: it measures a dimensionless ratio.
+        case "$name" in
+        *_seconds | rdfa_planner_qerror) ;;
+        *)
+            echo "metrics-lint: FAIL — histogram $name must end in _seconds (or be a documented unitless family)" >&2
+            exit 1
+            ;;
+        esac
+        ;;
+    gauge)
+        case "$name" in
+        *_total)
+            echo "metrics-lint: FAIL — gauge $name must not use the counter _total suffix" >&2
+            exit 1
+            ;;
+        esac
+        ;;
+    esac
+done || FAIL=1
+
+# Families the telemetry layer promises must be present after one tick.
+for name in rdfa_build_info rdfa_go_heap_alloc_bytes rdfa_go_goroutines \
+    rdfa_sampler_ticks_total rdfa_slo_good_total rdfa_slo_events_total; do
+    if ! printf '%s\n' "$METRICS" | grep -q "^$name"; then
+        echo "metrics-lint: FAIL — promised family $name missing" >&2
+        FAIL=1
+    fi
+done
+
+if [ "$FAIL" -ne 0 ]; then
+    exit 1
+fi
+
+COUNT="$(printf '%s\n' "$TYPES" | wc -l | tr -d ' ')"
+echo "metrics-lint: OK — $COUNT metric families follow the naming conventions"
