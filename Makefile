@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-json bench-planner obs-smoke metrics-lint chaos-smoke fuzz-smoke conformance clean
+.PHONY: build test check race bench bench-json bench-planner bench-herd obs-smoke metrics-lint chaos-smoke resilience-smoke fuzz-smoke conformance clean
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,7 @@ check:
 	$(MAKE) obs-smoke
 	$(MAKE) metrics-lint
 	$(MAKE) chaos-smoke
+	$(MAKE) resilience-smoke
 	$(MAKE) fuzz-smoke
 
 # conformance lints the corpus layout and runs the SPARQL-semantics harness:
@@ -49,6 +50,14 @@ metrics-lint:
 
 chaos-smoke:
 	sh scripts/chaos-smoke.sh
+
+# resilience-smoke boots live servers and drives the overload-resilience
+# layer end to end: herd collapse (identical queries share one execution),
+# queue-overflow shedding (structured 503 + Retry-After while cached
+# fingerprints keep serving), and degraded-mode stale serving under a paging
+# latency SLO (see scripts/resilience-smoke.sh).
+resilience-smoke:
+	sh scripts/resilience-smoke.sh
 
 # fuzz-smoke runs each parser fuzz target for a short burst; a discovered
 # panic fails the build and leaves its input in testdata/fuzz/.
@@ -80,6 +89,13 @@ bench-json:
 # the acceptance evidence that the second pass plans strictly better.
 bench-planner:
 	$(GO) run ./cmd/benchrunner -exp E12
+
+# bench-herd runs the hot-fingerprint herd experiment (E13): concurrent
+# clients replay a hot query set against an uncached server and against the
+# answer-cache + singleflight stack; the throughput ratio is appended to
+# BENCH_history.json — acceptance is cached >= 5x uncached.
+bench-herd:
+	$(GO) run ./cmd/benchrunner -exp E13
 
 clean:
 	rm -f BENCH_results.json spiral.svg city.svg city.json

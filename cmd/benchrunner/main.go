@@ -1,9 +1,10 @@
 // Command benchrunner regenerates every evaluation artifact of the paper
-// (the experiment index E1–E12 of DESIGN.md): translation examples, facet
+// (the experiment index E1–E13 of DESIGN.md): translation examples, facet
 // trees, the §5.1 interaction walk-throughs, the efficiency tables
 // (Tables 6.1–6.2), the OLAP correspondence (Fig 7.1–7.2), the simulated
 // user study (Figs 8.1–8.2), the evaluation-strategy ablation, the
-// spiral/3D layouts, and the planner feedback-convergence run.
+// spiral/3D layouts, the planner feedback-convergence run, and the
+// hot-fingerprint herd (answer cache + singleflight vs uncached).
 //
 // Usage:
 //
@@ -47,7 +48,7 @@ var (
 var records []bench.Record
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E12)")
+	exp := flag.String("exp", "", "experiment id (E1..E13)")
 	all := flag.Bool("all", false, "run every experiment")
 	flag.Parse()
 	// Sample runtime telemetry (heap, GC, goroutines) across the whole run;
@@ -60,8 +61,9 @@ func main() {
 	experiments := map[string]func() error{
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11, "E12": e12,
+		"E13": e13,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 	switch {
 	case *all:
 		for _, id := range order {
@@ -73,7 +75,7 @@ func main() {
 	case *exp != "":
 		fn, ok := experiments[strings.ToUpper(*exp)]
 		if !ok {
-			log.Fatalf("unknown experiment %q (want E1..E12)", *exp)
+			log.Fatalf("unknown experiment %q (want E1..E13)", *exp)
 		}
 		header(strings.ToUpper(*exp))
 		if err := fn(); err != nil {
@@ -501,5 +503,25 @@ func e12() error {
 	}
 	bench.WritePlannerTable(os.Stdout, passes)
 	records = append(records, bench.PlannerRecords("E12", passes)...)
+	return nil
+}
+
+// E13 — overload-resilient serving: a herd of concurrent clients replays a
+// small hot query set against an uncached server and against the resilience
+// stack (fingerprint answer cache + singleflight collapse). The acceptance
+// bar is cached throughput at least 5× uncached on the hot workload.
+func e13() error {
+	cfg := bench.HerdConfig{Seed: 1}
+	if *quick {
+		cfg.Laptops = 500
+		cfg.Clients = 8
+		cfg.Requests = 60
+	}
+	scenarios, err := bench.RunHerd(cfg)
+	if err != nil {
+		return err
+	}
+	bench.WriteHerdTable(os.Stdout, cfg, scenarios)
+	records = append(records, bench.HerdRecords("E13", scenarios)...)
 	return nil
 }

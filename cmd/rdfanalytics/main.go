@@ -41,6 +41,10 @@ func main() {
 	sloLatencyThreshold := flag.Duration("slo-latency-threshold", 250*time.Millisecond, "latency SLO threshold (requests faster than this count as good)")
 	sloShapeLatency := flag.Float64("slo-shape-latency", 0, "per-query-shape latency SLO target in (0,1); 0 disables")
 	sloShapeThreshold := flag.Duration("slo-shape-latency-threshold", time.Second, "per-query-shape latency SLO threshold")
+	cacheSize := flag.Int64("cache-size", 64<<20, "fingerprint answer cache size in bytes (0 disables)")
+	maxConcurrent := flag.Int("max-concurrent", 64, "max concurrently executing queries (0 = unbounded)")
+	queueDepth := flag.Int("queue-depth", 128, "admission wait-queue depth; overflow sheds with 503 + Retry-After")
+	staleWindow := flag.Duration("stale-window", 30*time.Second, "degraded-mode staleness window for serving cached answers of older graph versions (0 disables)")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *version {
@@ -72,6 +76,10 @@ func main() {
 		SessionTTL:     *sessionTTL,
 		Limits:         sparql.Limits{MaxIntermediateRows: *maxRows},
 		SampleInterval: *sampleInterval,
+		CacheBytes:     *cacheSize,
+		MaxConcurrent:  *maxConcurrent,
+		QueueDepth:     *queueDepth,
+		StaleWindow:    *staleWindow,
 		SLO: server.SLOConfig{
 			AvailabilityTarget:    *sloAvailability,
 			LatencyTarget:         *sloLatency,

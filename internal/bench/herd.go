@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/server"
+)
+
+// Hot-fingerprint herd benchmark (E13): many concurrent clients hammer a
+// small set of identical queries — the access pattern of a dashboard every
+// team member has open. The run compares an uncached server (every request
+// reaches the engine) against the resilience stack (fingerprint answer cache
+// + singleflight collapse): the cached scenario must sustain a multiple of
+// the uncached throughput on the same workload.
+
+// HerdConfig parameterizes the herd run.
+type HerdConfig struct {
+	// Laptops sizes the products KG (default 2000).
+	Laptops int
+	// Clients is the number of concurrent requesters (default 16).
+	Clients int
+	// Requests is the per-client request count (default 150).
+	Requests int
+	Seed     int64
+}
+
+func (c HerdConfig) withDefaults() HerdConfig {
+	if c.Laptops <= 0 {
+		c.Laptops = 2000
+	}
+	if c.Clients <= 0 {
+		c.Clients = 16
+	}
+	if c.Requests <= 0 {
+		c.Requests = 150
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// HerdScenario is one serving configuration's aggregate outcome.
+type HerdScenario struct {
+	Name       string
+	Triples    int
+	Requests   int
+	Errors     int
+	Wall       time.Duration
+	Throughput float64 // requests per second
+	Mean       time.Duration
+	P50        time.Duration
+	P95        time.Duration
+	// CachedShare is the fraction of responses served without touching the
+	// engine (X-Cache hit/collapsed), 0 for the uncached scenario.
+	CachedShare float64
+}
+
+// herdWorkload is the hot query set — identical texts across all clients, so
+// the cache and singleflight see repeated fingerprints.
+func herdWorkload() []string {
+	return PlannerWorkload
+}
+
+// RunHerd executes the workload against both serving configurations and
+// returns (uncached, cached) in that order.
+func RunHerd(cfg HerdConfig) ([]HerdScenario, error) {
+	cfg = cfg.withDefaults()
+	g := datagen.Products(datagen.ProductsConfig{
+		Laptops:     cfg.Laptops,
+		Companies:   16,
+		Seed:        cfg.Seed,
+		Materialize: true,
+	})
+	scenarios := []struct {
+		name string
+		sc   server.Config
+	}{
+		{"uncached", server.Config{NoCollapse: true, QueryTimeout: 30 * time.Second}},
+		{"cached", server.Config{
+			CacheBytes:    64 << 20,
+			MaxConcurrent: 64,
+			QueueDepth:    1024,
+			QueryTimeout:  30 * time.Second,
+		}},
+	}
+	var out []HerdScenario
+	for _, sc := range scenarios {
+		s := server.NewWithConfig(g, datagen.ExampleNS, sc.sc)
+		res, err := runHerdScenario(s, sc.name, cfg)
+		s.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.Triples = g.Len()
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runHerdScenario(s *server.Server, name string, cfg HerdConfig) (HerdScenario, error) {
+	queries := herdWorkload()
+	paths := make([]string, len(queries))
+	for i, q := range queries {
+		paths[i] = "/sparql?query=" + url.QueryEscape(q)
+	}
+	var (
+		mu     sync.Mutex
+		durs   []time.Duration
+		errors int
+		cached int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			myDurs := make([]time.Duration, 0, cfg.Requests)
+			myErrs, myCached := 0, 0
+			for i := 0; i < cfg.Requests; i++ {
+				p := paths[(c+i)%len(paths)]
+				req := httptest.NewRequest("GET", p, nil)
+				rec := httptest.NewRecorder()
+				t0 := time.Now()
+				s.ServeHTTP(rec, req)
+				myDurs = append(myDurs, time.Since(t0))
+				if rec.Code != http.StatusOK {
+					myErrs++
+				}
+				switch rec.Header().Get("X-Cache") {
+				case "hit", "collapsed", "stale":
+					myCached++
+				}
+			}
+			mu.Lock()
+			durs = append(durs, myDurs...)
+			errors += myErrs
+			cached += myCached
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if errors == len(durs) {
+		return HerdScenario{}, fmt.Errorf("bench herd: scenario %s: every request failed", name)
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	var total time.Duration
+	for _, d := range durs {
+		total += d
+	}
+	n := len(durs)
+	return HerdScenario{
+		Name:        name,
+		Requests:    n,
+		Errors:      errors,
+		Wall:        wall,
+		Throughput:  float64(n) / wall.Seconds(),
+		Mean:        total / time.Duration(n),
+		P50:         durs[n/2],
+		P95:         durs[(n*95)/100],
+		CachedShare: float64(cached) / float64(n),
+	}, nil
+}
+
+// HerdSpeedup returns cached/uncached throughput, 0 when a scenario is
+// missing.
+func HerdSpeedup(scenarios []HerdScenario) float64 {
+	var un, ca float64
+	for _, s := range scenarios {
+		switch s.Name {
+		case "uncached":
+			un = s.Throughput
+		case "cached":
+			ca = s.Throughput
+		}
+	}
+	if un == 0 {
+		return 0
+	}
+	return ca / un
+}
+
+// WriteHerdTable renders the scenario comparison.
+func WriteHerdTable(w io.Writer, cfg HerdConfig, scenarios []HerdScenario) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Hot-fingerprint herd (%d clients × %d requests, %d-query hot set)\n",
+		cfg.Clients, cfg.Requests, len(herdWorkload()))
+	fmt.Fprintf(w, "%-10s %10s %10s %12s %12s %12s %10s %8s\n",
+		"scenario", "requests", "errors", "throughput", "p50", "p95", "cached", "wall")
+	for _, s := range scenarios {
+		fmt.Fprintf(w, "%-10s %10d %10d %9.0f/s %12s %12s %9.1f%% %8s\n",
+			s.Name, s.Requests, s.Errors, s.Throughput,
+			s.P50.Round(10*time.Microsecond), s.P95.Round(10*time.Microsecond),
+			100*s.CachedShare, s.Wall.Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "cached/uncached throughput: %.1f×\n", HerdSpeedup(scenarios))
+}
+
+// HerdRecords flattens the scenarios into history records; the speedup and
+// cache share ride in the labels.
+func HerdRecords(experiment string, scenarios []HerdScenario) []Record {
+	speedup := HerdSpeedup(scenarios)
+	out := make([]Record, 0, len(scenarios))
+	for _, s := range scenarios {
+		out = append(out, Record{
+			Experiment: experiment,
+			Query:      s.Name,
+			Label: fmt.Sprintf("rps=%.0f cached_share=%.2f speedup_vs_uncached=%.1f errors=%d",
+				s.Throughput, s.CachedShare, speedup, s.Errors),
+			Triples: s.Triples,
+			Runs:    s.Requests,
+			NsPerOp: s.Mean.Nanoseconds(),
+			P95Ns:   s.P95.Nanoseconds(),
+		})
+	}
+	return out
+}

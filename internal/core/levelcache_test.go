@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"rdfanalytics/internal/facet"
+	"rdfanalytics/internal/hifun"
+)
+
+// TestLevelCacheEvictionAccounting shrinks the per-level answer budget and
+// runs more distinct analytics than fit: the LRU must evict under byte
+// pressure (feeding the shared rdfa_cache_evictions_total counter), stay
+// within budget, and still serve the most recent answer as a hit.
+func TestLevelCacheEvictionAccounting(t *testing.T) {
+	old := levelCacheBytes
+	levelCacheBytes = 600 // a couple of small Answer Frames at most
+	defer func() { levelCacheBytes = old }()
+
+	s := productSession(t)
+	s.ClickClass(pe("Laptop"))
+
+	ops := []hifun.AggOp{hifun.OpCount, hifun.OpSum, hifun.OpAvg, hifun.OpMin, hifun.OpMax}
+	evicted0 := answerEvicted.Value()
+	for _, op := range ops {
+		s.ClearAnalytics()
+		s.ClickAggregate(MeasureSpec{Path: facet.Path{{P: pe("price")}}}, hifun.Operation{Op: op})
+		if _, err := s.RunAnalytics(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l := s.top()
+	if l.cache == nil {
+		t.Fatal("level cache never built")
+	}
+	if d := answerEvicted.Value() - evicted0; d == 0 {
+		t.Errorf("no evictions after %d distinct answers under a %dB budget (cache holds %dB in %d entries)",
+			len(ops), levelCacheBytes, l.cache.Bytes(), l.cache.Len())
+	}
+	if l.cache.Bytes() > levelCacheBytes {
+		t.Errorf("cache bytes %d exceed budget %d", l.cache.Bytes(), levelCacheBytes)
+	}
+	if got, want := l.cache.Len(), len(ops); got >= want {
+		t.Errorf("cache holds %d entries, want fewer than the %d runs", got, want)
+	}
+
+	// The most recent answer survived and is a hit.
+	hits0 := answerHits.Value()
+	if _, err := s.RunAnalytics(); err != nil {
+		t.Fatal(err)
+	}
+	if answerHits.Value() == hits0 {
+		t.Error("most recent answer was not served from cache")
+	}
+
+	// Invalidation empties the cache (nil is a valid empty cache).
+	s.InvalidateCache()
+	if s.top().cache.Len() != 0 {
+		t.Errorf("InvalidateCache left %d entries", s.top().cache.Len())
+	}
+	misses0 := answerMisses.Value()
+	if _, err := s.RunAnalytics(); err != nil {
+		t.Fatal(err)
+	}
+	if answerMisses.Value() == misses0 {
+		t.Error("post-invalidation run did not recompute")
+	}
+}

@@ -17,6 +17,10 @@ var (
 	answerHits     = obs.Default.Counter("rdfa_core_answer_cache_total", "result", "hit")
 	answerCubes    = obs.Default.Counter("rdfa_core_answer_cache_total", "result", "cube")
 	answerMisses   = obs.Default.Counter("rdfa_core_answer_cache_total", "result", "miss")
+	// answerEvicted counts size-pressure evictions from the per-level answer
+	// LRU; it shares the rdfa_cache_evictions_total family with the server's
+	// fingerprint answer cache (label cache="answer").
+	answerEvicted = obs.Default.Counter("rdfa_cache_evictions_total", "cache", "session")
 )
 
 // observeSince records a duration on h; evaluate time.Now() at the defer

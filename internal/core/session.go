@@ -20,8 +20,42 @@ import (
 	"rdfanalytics/internal/hifun"
 	"rdfanalytics/internal/obs"
 	"rdfanalytics/internal/rdf"
+	"rdfanalytics/internal/resilience"
 	"rdfanalytics/internal/sparql"
 )
+
+// levelCacheBytes bounds each level's answer memoization: enough for
+// hundreds of typical Answer Frames, small enough that MaxSessions
+// concurrent sessions stay within a predictable memory envelope. A
+// variable (not const) so tests can shrink it to force evictions.
+var levelCacheBytes int64 = 8 << 20 // 8 MiB
+
+// ensureCache lazily builds the level's bounded answer cache.
+func (l *level) ensureCache() {
+	if l.cache == nil {
+		l.cache = resilience.NewSizedLRU[*hifun.Answer](levelCacheBytes,
+			func(string, int64) { answerEvicted.Inc() })
+	}
+}
+
+// answerBytes estimates an Answer Frame's resident size for the cache's
+// byte accounting: string payloads plus per-term/per-row overhead.
+func answerBytes(a *hifun.Answer) int64 {
+	n := int64(len(a.SPARQL)) + 128
+	for _, c := range a.GroupCols {
+		n += int64(len(c)) + 16
+	}
+	for _, c := range a.MeasureCols {
+		n += int64(len(c)) + 16
+	}
+	for _, row := range a.Rows {
+		n += 24
+		for _, t := range row {
+			n += int64(len(t.Value)+len(t.Datatype)+len(t.Lang)) + 48
+		}
+	}
+	return n
+}
 
 // GroupSpec is one grouping condition selected with the G button: a facet
 // path, optionally wrapped by a derived function (the transform button used
@@ -81,8 +115,11 @@ type level struct {
 	answer *hifun.Answer
 	// cache memoizes answers by (intention, HIFUN query): repeated runs of
 	// the same analytic state (e.g. switching chart types in the GUI) skip
-	// re-evaluation. Invalidated whenever the level's graph mutates.
-	cache map[string]*hifun.Answer
+	// re-evaluation. Bounded by byte-size accounting (levelCacheBytes) with
+	// LRU eviction — a long-lived session cannot grow it without limit —
+	// and invalidated whenever the level's graph mutates. A nil cache is
+	// valid and empty (see resilience.SizedLRU).
+	cache *resilience.SizedLRU[*hifun.Answer]
 	// log records the replayable click sequence for snapshots.
 	log actionLog
 	// cubes retains recent decomposable answers for roll-up reuse.
@@ -395,7 +432,7 @@ func (s *Session) RunAnalyticsCtx(qctx context.Context) (*hifun.Answer, error) {
 	l := s.top()
 	intentionKey := l.state().Int.String()
 	key := intentionKey + "\x00" + q.String()
-	if cached, ok := l.cache[key]; ok {
+	if cached, ok := l.cache.Get(key); ok {
 		answerHits.Inc()
 		tr.Root().SetAttr("answer_source", "cache")
 		prof.Record(time.Since(start), 1, len(cached.Rows))
@@ -408,10 +445,8 @@ func (s *Session) RunAnalyticsCtx(qctx context.Context) (*hifun.Answer, error) {
 		answerCubes.Inc()
 		tr.Root().SetAttr("answer_source", "cube_rollup")
 		prof.Record(time.Since(start), 1, len(rolled.Rows))
-		if l.cache == nil {
-			l.cache = map[string]*hifun.Answer{}
-		}
-		l.cache[key] = rolled
+		l.ensureCache()
+		l.cache.Put(key, rolled, answerBytes(rolled))
 		l.answer = rolled
 		return rolled, nil
 	}
@@ -425,10 +460,8 @@ func (s *Session) RunAnalyticsCtx(qctx context.Context) (*hifun.Answer, error) {
 		return nil, err
 	}
 	prof.Record(time.Since(start), 1, len(ans.Rows))
-	if l.cache == nil {
-		l.cache = map[string]*hifun.Answer{}
-	}
-	l.cache[key] = ans
+	l.ensureCache()
+	l.cache.Put(key, ans, answerBytes(ans))
 	l.rememberCube(intentionKey, l.analytics, ans)
 	l.answer = ans
 	return ans, nil

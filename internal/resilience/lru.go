@@ -1,0 +1,203 @@
+// Package resilience is the server-wide overload-protection layer: a
+// bounded, byte-accounted answer cache with graph-version invalidation and
+// negative caching, a singleflight group that collapses concurrent identical
+// queries into one execution, an admission controller (concurrency gate with
+// a bounded, deadline-aware wait queue and per-shape fairness), and a
+// per-fingerprint circuit breaker. Everything is stdlib-only and safe for
+// concurrent use; internal/server wires the pieces into the /sparql path and
+// internal/core reuses the LRU for per-session answer memoization.
+package resilience
+
+import (
+	"sync"
+)
+
+// lruEntry is one resident cache entry; prev/next thread the recency list
+// (head = most recent).
+type lruEntry[V any] struct {
+	key        string
+	val        V
+	size       int64
+	prev, next *lruEntry[V]
+}
+
+// SizedLRU is a concurrency-safe LRU keyed by string with byte-size
+// accounting: every entry carries an explicit size, the cache evicts from
+// the cold end whenever the total exceeds maxBytes, and an entry larger
+// than the whole budget is refused outright. A nil *SizedLRU is a valid
+// always-empty cache (Get misses, Put is a no-op), so callers can disable
+// caching by construction instead of branching.
+type SizedLRU[V any] struct {
+	mu        sync.Mutex
+	maxBytes  int64
+	bytes     int64
+	entries   map[string]*lruEntry[V]
+	head      *lruEntry[V] // most recently used
+	tail      *lruEntry[V] // least recently used
+	evictions uint64
+	onEvict   func(key string, size int64)
+}
+
+// NewSizedLRU builds a cache bounded to maxBytes. onEvict (may be nil) is
+// called, outside any hot path but under the cache lock, for every entry
+// removed to make room — not for explicit Delete or Purge.
+func NewSizedLRU[V any](maxBytes int64, onEvict func(key string, size int64)) *SizedLRU[V] {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &SizedLRU[V]{
+		maxBytes: maxBytes,
+		entries:  map[string]*lruEntry[V]{},
+		onEvict:  onEvict,
+	}
+}
+
+// Get returns the entry for key, bumping its recency.
+func (c *SizedLRU[V]) Get(key string) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return zero, false
+	}
+	c.moveToFront(e)
+	return e.val, true
+}
+
+// Put inserts or replaces the entry for key. Entries whose size exceeds the
+// whole budget are refused (and an existing entry under the key is dropped:
+// the caller declared the new value authoritative and the old one stale).
+func (c *SizedLRU[V]) Put(key string, val V, size int64) {
+	if c == nil {
+		return
+	}
+	if size < 0 {
+		size = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.removeLocked(e)
+	}
+	if size > c.maxBytes {
+		return
+	}
+	e := &lruEntry[V]{key: key, val: val, size: size}
+	c.entries[key] = e
+	c.pushFront(e)
+	c.bytes += size
+	for c.bytes > c.maxBytes && c.tail != nil {
+		victim := c.tail
+		c.removeLocked(victim)
+		c.evictions++
+		if c.onEvict != nil {
+			c.onEvict(victim.key, victim.size)
+		}
+	}
+}
+
+// Delete removes the entry for key, if present.
+func (c *SizedLRU[V]) Delete(key string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.removeLocked(e)
+	}
+}
+
+// Purge drops every entry.
+func (c *SizedLRU[V]) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*lruEntry[V]{}
+	c.head, c.tail, c.bytes = nil, nil, 0
+}
+
+// Len returns the number of resident entries.
+func (c *SizedLRU[V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the accounted size of all resident entries.
+func (c *SizedLRU[V]) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Evictions returns how many entries were evicted to make room (lifetime).
+func (c *SizedLRU[V]) Evictions() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// MaxBytes returns the configured budget (0 for a nil cache).
+func (c *SizedLRU[V]) MaxBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.maxBytes
+}
+
+// ---- intrusive recency list (callers hold c.mu) ----
+
+func (c *SizedLRU[V]) pushFront(e *lruEntry[V]) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *SizedLRU[V]) moveToFront(e *lruEntry[V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *SizedLRU[V]) unlink(e *lruEntry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *SizedLRU[V]) removeLocked(e *lruEntry[V]) {
+	c.unlink(e)
+	delete(c.entries, e.key)
+	c.bytes -= e.size
+}

@@ -1,0 +1,106 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Singleflight with reference-counted cancellation: N concurrent callers of
+// Do with the same key share one execution of fn. The leader runs fn under a
+// *detached* context (bounded only by the configured timeout), so a follower
+// — or even the leader's own client — disconnecting does not abort the work
+// the remaining waiters still need. Each waiter that gives up decrements a
+// reference count; when the last waiter abandons the call, the execution
+// context is cancelled and the engine's cooperative cancellation stops the
+// now-unwanted work.
+
+// call is one in-flight execution.
+type call struct {
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// Group collapses concurrent executions by key. The zero value is ready to
+// use; a nil *Group runs every fn directly (no collapsing).
+type Group struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// Do executes fn under key, collapsing concurrent duplicate calls: the
+// first caller (the leader) runs fn, everyone else waits for the shared
+// result. shared reports whether this caller was a *follower* — it received
+// a result computed by the leader without executing fn itself — so summing
+// shared outcomes counts exactly the collapsed executions (N concurrent
+// identical calls → 1 execution, N-1 shared).
+//
+// fn receives a context detached from any single caller's request: it is
+// cancelled when timeout expires (if > 0) or when every waiter has
+// abandoned the call, whichever comes first. A waiter whose own ctx ends
+// before the result is ready returns ctx.Err() without disturbing the
+// remaining waiters.
+func (g *Group) Do(ctx context.Context, key string, timeout time.Duration, fn func(context.Context) (any, error)) (v any, shared bool, err error) {
+	if g == nil {
+		v, err = fn(ctx)
+		return v, false, err
+	}
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = map[string]*call{}
+	}
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		return g.wait(ctx, c)
+	}
+	execCtx := context.Background()
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		execCtx, cancel = context.WithTimeout(execCtx, timeout)
+	} else {
+		execCtx, cancel = context.WithCancel(execCtx)
+	}
+	c := &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// If the leader's own request dies, it becomes an ordinary abandoning
+	// waiter: the execution keeps running as long as any follower remains.
+	stop := context.AfterFunc(ctx, func() { g.abandon(c) })
+	c.val, c.err = fn(execCtx)
+	stop()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	cancel()
+	return c.val, false, c.err
+}
+
+// wait blocks a follower until the call completes or its own ctx ends.
+func (g *Group) wait(ctx context.Context, c *call) (any, bool, error) {
+	select {
+	case <-c.done:
+		return c.val, true, c.err
+	case <-ctx.Done():
+		g.abandon(c)
+		return nil, true, ctx.Err()
+	}
+}
+
+// abandon drops one waiter's interest in c; the last abandonment cancels
+// the execution context.
+func (g *Group) abandon(c *call) {
+	g.mu.Lock()
+	c.waiters--
+	last := c.waiters <= 0
+	g.mu.Unlock()
+	if last {
+		c.cancel()
+	}
+}

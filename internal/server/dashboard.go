@@ -55,6 +55,54 @@ type dashboardData struct {
 	// SLOs and Alerts are the burn-rate evaluator's last state.
 	SLOs   []obs.ObjectiveStatus
 	Alerts obs.AlertsSnapshot
+	// Resilience is the overload-protection card row: answer-cache
+	// occupancy and outcome counters, admission gate state, and the
+	// degraded-mode flag (see resilience.go).
+	Resilience resilienceCard
+}
+
+// resilienceCard is the dashboard's view of the resilience layer.
+type resilienceCard struct {
+	CacheEnabled bool
+	Entries      int
+	KiB          int64
+	Hits         uint64
+	Stale        uint64
+	Misses       uint64
+	Collapsed    uint64
+	Evictions    uint64
+	HitPct       float64
+	Shed         uint64 // admission rejections, all reasons
+	BreakerOpens uint64
+	Inflight     int
+	Waiting      int
+	Degraded     bool
+}
+
+// resilienceSnapshot assembles the dashboard card from the live layer.
+func (s *Server) resilienceSnapshot() resilienceCard {
+	c := resilienceCard{
+		CacheEnabled: s.answers.Enabled(),
+		Entries:      s.answers.Entries(),
+		KiB:          s.answers.Bytes() >> 10,
+		Hits:         cacheHit.Value(),
+		Stale:        cacheStale.Value(),
+		Misses:       cacheMiss.Value(),
+		Collapsed:    cacheCollapsed.Value(),
+		Evictions:    s.answers.Evictions(),
+		BreakerOpens: breakerTransition("open").Value(),
+		Inflight:     s.gate.Inflight(),
+		Waiting:      s.gate.Waiting(),
+		Degraded:     s.Degraded(),
+	}
+	c.Shed = breakerRejected.Value()
+	for _, reason := range []string{"queue_full", "shape_limit", "deadline", "degraded"} {
+		c.Shed += admissionRejected(reason).Value()
+	}
+	if served := c.Hits + c.Stale + c.Collapsed + c.Misses; served > 0 {
+		c.HitPct = 100 * float64(c.Hits+c.Stale+c.Collapsed) / float64(served)
+	}
+	return c
 }
 
 func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
@@ -68,6 +116,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		Feedback:     s.feedback.Stats(),
 		SLOs:         s.slos.Statuses(),
 		Alerts:       s.alerts.Snapshot(),
+		Resilience:   s.resilienceSnapshot(),
 	}
 	db := s.sampler.DB()
 	data.ReqRate = db.RateSeries("rdfa_http_requests_total{", dashboardSparkN)
@@ -229,6 +278,17 @@ footer { margin-top: 2rem; font-size: 0.75rem; color: #666; }
 <div class="card"><b>{{ms .Snap.P95Ms}} ms</b>p95 latency</div>
 <div class="card"><b>{{ms .FeedbackPct}}%</b>feedback hit rate ({{.Feedback.Hits}}/{{add .Feedback.Hits .Feedback.Misses}}, {{.Feedback.Fingerprints}} shapes)</div>
 </div>
+
+<h2>Overload resilience</h2>
+{{with .Resilience}}<div class="cards">
+{{if .CacheEnabled}}<div class="card"><b>{{ms .HitPct}}%</b>answer-cache served ({{.Hits}} hit / {{.Stale}} stale / {{.Collapsed}} collapsed / {{.Misses}} miss)</div>
+<div class="card"><b>{{.Entries}}</b>cache entries ({{.KiB}} KiB, {{.Evictions}} evicted)</div>
+{{else}}<div class="card"><b>off</b>answer cache (-cache-size 0)</div>{{end}}
+<div class="card"><b{{if gt .Shed 0}} class="warn"{{end}}>{{.Shed}}</b>requests shed (503)</div>
+<div class="card"><b>{{.Inflight}} / {{.Waiting}}</b>executing / queued</div>
+<div class="card"><b{{if gt .BreakerOpens 0}} class="warn"{{end}}>{{.BreakerOpens}}</b>breaker opens</div>
+<div class="card"><b{{if .Degraded}} class="bad"{{end}}>{{if .Degraded}}degraded{{else}}normal{{end}}</b>serving mode</div>
+</div>{{end}}
 
 <h2>Trends (sampler history, oldest → newest)</h2>
 <table>

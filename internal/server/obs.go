@@ -135,20 +135,23 @@ type traceJSON struct {
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out traceJSON
+	s.mu.Lock()
 	sess := s.sessionFor(r)
 	if tr := sess.LastTrace(); tr != nil {
 		e := tr.Export()
 		out.Analytics = &e
 		out.AnalyticsProfile = sess.LastProfile().Export()
 	}
+	s.mu.Unlock()
+	// lastSparql is written by the lock-free /sparql path under traceMu.
+	s.traceMu.Lock()
 	if s.lastSparql != nil {
 		e := s.lastSparql.Export()
 		out.SPARQL = &e
 		out.SPARQLProfile = s.lastSparqlProf.Export()
 	}
+	s.traceMu.Unlock()
 	if out.Analytics == nil && out.SPARQL == nil {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no query traced yet; POST /api/run or /sparql first"))
 		return

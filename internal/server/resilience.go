@@ -1,0 +1,368 @@
+// The overload-resilient /sparql serving flow: answer cache → degraded-mode
+// stale serving → circuit breaker → singleflight collapse → admission gate →
+// engine. Assembled from the primitives in internal/resilience; this file
+// owns the HTTP-facing policy — what is cacheable, what each rejection looks
+// like on the wire, and which metrics each outcome feeds.
+//
+// Outcome taxonomy on the X-Cache response header: "hit" (fresh cache),
+// "stale" (degraded-mode serve of a previous graph version within the
+// staleness window), "collapsed" (shared a concurrent identical execution),
+// "miss" (executed, possibly filling the cache), "negative" (remembered
+// parse error), "bypass" (shape not cacheable: CSV accept, CONSTRUCT,
+// DESCRIBE).
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"rdfanalytics/internal/fault"
+	"rdfanalytics/internal/obs"
+	"rdfanalytics/internal/rdf"
+	"rdfanalytics/internal/resilience"
+	"rdfanalytics/internal/sparql"
+)
+
+// Metric handles for the resilience layer. The per-result/per-reason
+// variants are resolved eagerly so every family (and its label values)
+// exists on /metrics from process start — the convention metrics-lint
+// checks.
+var (
+	cacheHit       = obs.Default.Counter("rdfa_cache_requests_total", "result", "hit")
+	cacheStale     = obs.Default.Counter("rdfa_cache_requests_total", "result", "stale")
+	cacheMiss      = obs.Default.Counter("rdfa_cache_requests_total", "result", "miss")
+	cacheNegative  = obs.Default.Counter("rdfa_cache_requests_total", "result", "negative")
+	cacheBypass    = obs.Default.Counter("rdfa_cache_requests_total", "result", "bypass")
+	cacheCollapsed = obs.Default.Counter("rdfa_cache_collapsed_total")
+	cacheFills     = obs.Default.Counter("rdfa_cache_fills_total")
+
+	cacheEvictAnswer  = obs.Default.Counter("rdfa_cache_evictions_total", "cache", "answer")
+	_                 = obs.Default.Counter("rdfa_cache_evictions_total", "cache", "session")
+	admissionAdmitted = obs.Default.Counter("rdfa_admission_admitted_total")
+	admissionWait     = obs.Default.Histogram("rdfa_admission_wait_seconds", nil)
+	breakerRejected   = obs.Default.Counter("rdfa_breaker_rejected_total")
+)
+
+// admissionRejected resolves the rejection counter for one shed reason.
+func admissionRejected(reason string) *obs.Counter {
+	return obs.Default.Counter("rdfa_admission_rejected_total", "reason", reason)
+}
+
+// breakerTransition resolves the transition counter for one target state.
+func breakerTransition(to string) *obs.Counter {
+	return obs.Default.Counter("rdfa_breaker_transitions_total", "to", to)
+}
+
+// Eager registration of the label values the flow can emit.
+var _ = []*obs.Counter{
+	admissionRejected(resilience.ReasonQueueFull),
+	admissionRejected(resilience.ReasonShapeLimit),
+	admissionRejected(resilience.ReasonDeadline),
+	admissionRejected(resilience.ReasonDegraded),
+	breakerTransition(resilience.StateOpen),
+	breakerTransition(resilience.StateHalfOpen),
+	breakerTransition(resilience.StateClosed),
+}
+
+// defaultDegradedShedCost is the per-shape EWMA execution cost above which
+// uncached shapes are shed while degraded, when Config.DegradedShedCost is
+// zero.
+const defaultDegradedShedCost = 250 * time.Millisecond
+
+// Degraded reports whether the server is in graceful-degradation mode:
+// graceful shutdown has begun, or a page-severity SLO alert is firing. While
+// degraded the serving flow prefers slightly-stale cache hits, refuses to
+// queue new work, and sheds uncached shapes whose learned cost exceeds
+// DegradedShedCost.
+func (s *Server) Degraded() bool {
+	return s.draining.Load() || s.alerts.MaxSeverity() == obs.SeverityPage
+}
+
+func (s *Server) shedCostSeconds() float64 {
+	if s.cfg.DegradedShedCost > 0 {
+		return s.cfg.DegradedShedCost.Seconds()
+	}
+	return defaultDegradedShedCost.Seconds()
+}
+
+// serveQuery is the SELECT/ASK read path. raw is the query text exactly as
+// received — it is part of the cache key, so queries that share a structural
+// fingerprint but differ in any constant (value, datatype, language tag,
+// timezone) can never share an entry.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, ctx context.Context, q *sparql.Query, raw string) {
+	start := time.Now()
+	shape := sparql.Fingerprint(q)
+	fpID := sparql.FingerprintID(shape)
+	if q.Form == sparql.FormSelect && strings.Contains(r.Header.Get("Accept"), "text/csv") {
+		// CSV rendering is not cached (the cache stores one rendering per
+		// query); execute directly under the admission gate.
+		cacheBypass.Inc()
+		w.Header().Set("X-Cache", "bypass")
+		s.execSelectCSV(w, r, ctx, q, raw, shape, fpID)
+		return
+	}
+
+	key := resilience.CacheKey(fpID, raw)
+	if ans, ok := s.answers.Lookup(key, s.graph.Version()); ok {
+		cacheHit.Inc()
+		s.serveCachedAnswer(w, ans, "hit", raw, shape, start)
+		return
+	}
+	degraded := s.Degraded()
+	if degraded {
+		if ans, ok := s.answers.LookupStale(key, time.Now(), s.cfg.StaleWindow); ok {
+			cacheStale.Inc()
+			s.serveCachedAnswer(w, ans, "stale", raw, shape, start)
+			return
+		}
+	}
+	if aerr := s.breakers.Allow(fpID, time.Now()); aerr != nil {
+		breakerRejected.Inc()
+		admitReject(w, aerr)
+		return
+	}
+	if degraded {
+		// Shed known-expensive uncached shapes first: their learned EWMA
+		// cost is exactly the work a degraded server cannot afford.
+		if ewma, ok := s.breakers.EWMASeconds(fpID); ok && ewma > s.shedCostSeconds() {
+			aerr := &resilience.AdmitError{
+				Reason:     resilience.ReasonDegraded,
+				Msg:        "server degraded: shedding expensive uncached query shape",
+				RetryAfter: 5 * time.Second,
+			}
+			admissionRejected(aerr.Reason).Inc()
+			admitReject(w, aerr)
+			return
+		}
+	}
+
+	v, collapsed, err := s.flight.Do(ctx, key, s.cfg.QueryTimeout, func(execCtx context.Context) (any, error) {
+		return s.executeQuery(execCtx, q, raw, shape, fpID, key, requestID(r))
+	})
+	if err != nil {
+		var aerr *resilience.AdmitError
+		if errors.As(err, &aerr) {
+			admitReject(w, aerr)
+			return
+		}
+		queryError(w, err)
+		return
+	}
+	ans := v.(*resilience.Answer)
+	if collapsed {
+		cacheCollapsed.Inc()
+		s.serveCachedAnswer(w, ans, "collapsed", raw, shape, start)
+		return
+	}
+	cacheMiss.Inc()
+	w.Header().Set("X-Cache", "miss")
+	w.Header().Set("Content-Type", ans.ContentType)
+	w.Write(ans.Body)
+}
+
+// executeQuery is the singleflight leader body: admission, fault site,
+// engine execution, observability recording, rendering, and the
+// version-checked cache fill. execCtx is detached from any single caller's
+// request (see resilience.Group), bounded by the query timeout.
+func (s *Server) executeQuery(execCtx context.Context, q *sparql.Query, raw, shape, fpID, key, reqID string) (any, error) {
+	waitStart := time.Now()
+	release, aerr := s.gate.Acquire(execCtx, fpID, s.Degraded())
+	if aerr != nil {
+		admissionRejected(aerr.Reason).Inc()
+		return nil, aerr
+	}
+	admissionAdmitted.Inc()
+	admissionWait.Observe(time.Since(waitStart).Seconds())
+	defer release()
+
+	version := s.graph.Version()
+	start := time.Now()
+	// The chaos site sits inside the measured window so injected latency is
+	// indistinguishable from a genuinely slow execution downstream (slow-query
+	// log, workload profile, breaker cost EWMA).
+	if err := fault.InjectCtx(execCtx, "server.sparql.exec"); err != nil {
+		return nil, err
+	}
+	var body bytes.Buffer
+	var rows int
+	var execErr error
+	switch q.Form {
+	case sparql.FormSelect:
+		tr := obs.NewTrace("sparql")
+		prof := sparql.NewProfile("sparql")
+		res, err := sparql.ExecSelectCtx(execCtx, s.graph, q, sparql.Options{
+			Trace: tr, Limits: s.cfg.Limits, Profile: prof,
+			Feedback: s.feedback, FingerprintID: fpID,
+		})
+		execErr = err
+		dur := time.Since(start)
+		tr.Finish()
+		tr.Root().SetAttr("request_id", reqID)
+		s.traceMu.Lock()
+		s.lastSparql = tr
+		s.lastSparqlProf = prof
+		s.traceMu.Unlock()
+		s.slow.Observe("sparql", raw, fpID, reqID, dur, tr)
+		if res != nil {
+			rows = len(res.Rows)
+		}
+		s.recordWorkload("sparql", raw, shape, dur, rows, err, prof)
+		if err == nil {
+			res.Sort()
+			res.WriteJSON(&body)
+		}
+	case sparql.FormAsk:
+		ok, err := sparql.AskCtx(execCtx, s.graph, raw)
+		execErr = err
+		if err == nil {
+			json.NewEncoder(&body).Encode(map[string]any{"head": map[string]any{}, "boolean": ok})
+		}
+	}
+	reason := sparql.AbortReason(execErr)
+	s.breakers.Observe(fpID, time.Since(start), reason == "timeout" || reason == "budget", time.Now())
+	if execErr != nil {
+		return nil, execErr
+	}
+	ans := &resilience.Answer{
+		Body:        bytes.Clone(body.Bytes()),
+		ContentType: "application/sparql-results+json",
+		Status:      http.StatusOK,
+		Rows:        rows,
+		Shape:       shape,
+		Version:     version,
+		When:        time.Now(),
+	}
+	// Fill only if the graph version is unchanged: a mutation mid-execution
+	// means the result reflects neither version cleanly.
+	if s.answers.Enabled() && s.graph.Version() == version {
+		s.answers.Store(key, ans)
+		cacheFills.Inc()
+	}
+	return ans, nil
+}
+
+// serveCachedAnswer replays a cached/shared answer. The request went through
+// the regular middleware, so X-Request-ID and the per-endpoint latency/SLO
+// recording are already in place; here we additionally fold the serve into
+// the workload profiler so cached traffic stays visible in RED metrics and
+// per-shape SLOs.
+func (s *Server) serveCachedAnswer(w http.ResponseWriter, ans *resilience.Answer, result, raw, shape string, start time.Time) {
+	w.Header().Set("X-Cache", result)
+	w.Header().Set("Content-Type", ans.ContentType)
+	if ans.Status != 0 && ans.Status != http.StatusOK {
+		w.WriteHeader(ans.Status)
+	}
+	w.Write(ans.Body)
+	s.recordWorkload("sparql", raw, shape, time.Since(start), ans.Rows, nil, nil)
+}
+
+// execSelectCSV is the uncached CSV rendering of a SELECT, still behind the
+// admission gate and circuit breaker.
+func (s *Server) execSelectCSV(w http.ResponseWriter, r *http.Request, ctx context.Context, q *sparql.Query, raw, shape, fpID string) {
+	if aerr := s.breakers.Allow(fpID, time.Now()); aerr != nil {
+		breakerRejected.Inc()
+		admitReject(w, aerr)
+		return
+	}
+	release, aerr := s.gate.Acquire(ctx, fpID, s.Degraded())
+	if aerr != nil {
+		admissionRejected(aerr.Reason).Inc()
+		admitReject(w, aerr)
+		return
+	}
+	admissionAdmitted.Inc()
+	defer release()
+	start := time.Now()
+	tr := obs.NewTrace("sparql")
+	prof := sparql.NewProfile("sparql")
+	res, err := sparql.ExecSelectCtx(ctx, s.graph, q, sparql.Options{
+		Trace: tr, Limits: s.cfg.Limits, Profile: prof,
+		Feedback: s.feedback, FingerprintID: fpID,
+	})
+	dur := time.Since(start)
+	tr.Finish()
+	tr.Root().SetAttr("request_id", requestID(r))
+	s.traceMu.Lock()
+	s.lastSparql = tr
+	s.lastSparqlProf = prof
+	s.traceMu.Unlock()
+	s.slow.Observe("sparql", raw, fpID, requestID(r), dur, tr)
+	rows := 0
+	if res != nil {
+		rows = len(res.Rows)
+	}
+	s.recordWorkload("sparql", raw, shape, dur, rows, err, prof)
+	reason := sparql.AbortReason(err)
+	s.breakers.Observe(fpID, dur, reason == "timeout" || reason == "budget", time.Now())
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	res.Sort()
+	w.Header().Set("Content-Type", "text/csv")
+	res.WriteCSV(w)
+}
+
+// serveGraphQuery is the CONSTRUCT/DESCRIBE path: uncached (triple payloads
+// are unbounded and rarely repeated), but admission-gated and
+// breaker-protected like every other engine execution.
+func (s *Server) serveGraphQuery(w http.ResponseWriter, r *http.Request, ctx context.Context, q *sparql.Query, raw string) {
+	shape := sparql.Fingerprint(q)
+	fpID := sparql.FingerprintID(shape)
+	cacheBypass.Inc()
+	w.Header().Set("X-Cache", "bypass")
+	if aerr := s.breakers.Allow(fpID, time.Now()); aerr != nil {
+		breakerRejected.Inc()
+		admitReject(w, aerr)
+		return
+	}
+	release, aerr := s.gate.Acquire(ctx, fpID, s.Degraded())
+	if aerr != nil {
+		admissionRejected(aerr.Reason).Inc()
+		admitReject(w, aerr)
+		return
+	}
+	admissionAdmitted.Inc()
+	defer release()
+	start := time.Now()
+	var out *rdf.Graph
+	var err error
+	if q.Form == sparql.FormConstruct {
+		out, err = sparql.ConstructCtx(ctx, s.graph, raw)
+	} else {
+		out, err = sparql.DescribeCtx(ctx, s.graph, raw)
+	}
+	reason := sparql.AbortReason(err)
+	s.breakers.Observe(fpID, time.Since(start), reason == "timeout" || reason == "budget", time.Now())
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/n-triples")
+	rdf.WriteNTriples(w, out)
+}
+
+// admitReject writes the structured 503 for a shed request: machine-readable
+// reason, the request id, and a Retry-After back-off hint.
+func admitReject(w http.ResponseWriter, aerr *resilience.AdmitError) {
+	if aerr.RetryAfter > 0 {
+		secs := int(aerr.RetryAfter.Round(time.Second).Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	body := map[string]string{"error": aerr.Msg, "reason": aerr.Reason}
+	if id := w.Header().Get("X-Request-ID"); id != "" {
+		body["request_id"] = id
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	writeJSONBody(w, body)
+}

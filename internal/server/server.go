@@ -24,6 +24,7 @@ import (
 	"rdfanalytics/internal/hifun"
 	"rdfanalytics/internal/obs"
 	"rdfanalytics/internal/rdf"
+	"rdfanalytics/internal/resilience"
 	"rdfanalytics/internal/sparql"
 	"rdfanalytics/internal/viz"
 )
@@ -41,6 +42,11 @@ type Server struct {
 	clock    uint64 // logical tick for LRU eviction; advanced under mu
 	mux      *http.ServeMux
 	cfg      Config
+	// traceMu guards lastSparql/lastSparqlProf: the /sparql read path runs
+	// without s.mu (graph reads are internally locked, so queries execute
+	// concurrently — a prerequisite for singleflight collapse), and only
+	// these two fields need cross-request coordination there.
+	traceMu sync.Mutex
 	// lastSparql is the trace of the most recent /sparql SELECT, for
 	// GET /api/trace (the interaction sessions keep their own).
 	lastSparql *obs.Trace
@@ -48,6 +54,14 @@ type Server struct {
 	// alongside the trace.
 	lastSparqlProf *sparql.Profile
 	slow           *obs.SlowQueryLog
+	// answers/flight/gate/breakers are the overload-resilience layer: the
+	// fingerprint answer cache, the singleflight group collapsing identical
+	// concurrent queries, the admission controller, and the per-fingerprint
+	// circuit breaker (see internal/resilience and resilience.go here).
+	answers  *resilience.AnswerCache
+	flight   *resilience.Group
+	gate     *resilience.Admission
+	breakers *resilience.Breakers
 	// workload aggregates every completed query by structural fingerprint,
 	// feeding GET /api/workload and /debug/dashboard.
 	workload *obs.Workload
@@ -120,6 +134,36 @@ type Config struct {
 	// SLO configures the declarative objectives the burn-rate evaluator
 	// watches. The zero value disables all of them.
 	SLO SLOConfig
+	// CacheBytes bounds the fingerprint answer cache of the overload-
+	// resilience layer (rendered /sparql responses, keyed by fingerprint ×
+	// query text, invalidated by graph version). 0 disables caching.
+	CacheBytes int64
+	// NegativeTTL bounds how long a remembered parse error is served from
+	// the negative cache; 0 takes resilience.DefaultNegativeTTL.
+	NegativeTTL time.Duration
+	// MaxConcurrent caps concurrently executing /sparql queries via the
+	// admission controller; 0 disables the gate (unbounded concurrency).
+	MaxConcurrent int
+	// QueueDepth bounds the admission wait queue; beyond it requests are
+	// shed with 503 + Retry-After. Only meaningful with MaxConcurrent > 0.
+	QueueDepth int
+	// StaleWindow bounds degraded-mode stale serving: while degraded,
+	// cache entries from older graph versions are served if filled within
+	// this window. 0 disables stale serving.
+	StaleWindow time.Duration
+	// NoCollapse disables the singleflight group that collapses concurrent
+	// identical queries into one execution.
+	NoCollapse bool
+	// DegradedShedCost is the per-shape EWMA cost above which uncached
+	// query shapes are shed while degraded; 0 takes 250ms.
+	DegradedShedCost time.Duration
+	// BreakerThreshold/BreakerCooldown tune the per-fingerprint circuit
+	// breaker (consecutive budget/timeout aborts to open; reject window
+	// before the half-open probe). Zero values take the resilience-package
+	// defaults. The breaker is active whenever the resilience layer is
+	// (CacheBytes > 0, MaxConcurrent > 0, or BreakerThreshold set).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 // SLOConfig declares the service-level objectives. A target of 0 disables
@@ -186,6 +230,37 @@ func NewWithConfig(g *rdf.Graph, ns string, cfg Config) *Server {
 	}
 	s.sampler = obs.NewSampler(obs.Default, s.workload, s.slos,
 		obs.TSDBConfig{Interval: cfg.SampleInterval})
+	// Overload-resilience layer (see resilience.go): each piece degrades to
+	// a nil no-op when its knob is off, so the zero Config keeps today's
+	// direct-execution behavior.
+	s.answers = resilience.NewAnswerCache(cfg.CacheBytes, cfg.NegativeTTL,
+		func(string, int64) { cacheEvictAnswer.Inc() })
+	if !cfg.NoCollapse {
+		s.flight = &resilience.Group{}
+	}
+	s.gate = resilience.NewAdmission(cfg.MaxConcurrent, cfg.QueueDepth)
+	if cfg.CacheBytes > 0 || cfg.MaxConcurrent > 0 || cfg.BreakerThreshold > 0 {
+		s.breakers = resilience.NewBreakers(cfg.BreakerThreshold, cfg.BreakerCooldown,
+			func(to string) { breakerTransition(to).Inc() })
+	}
+	obs.Default.GaugeFunc("rdfa_cache_bytes", func() float64 {
+		return float64(s.answers.Bytes())
+	})
+	obs.Default.GaugeFunc("rdfa_cache_entries", func() float64 {
+		return float64(s.answers.Entries())
+	})
+	obs.Default.GaugeFunc("rdfa_admission_inflight", func() float64 {
+		return float64(s.gate.Inflight())
+	})
+	obs.Default.GaugeFunc("rdfa_admission_waiting", func() float64 {
+		return float64(s.gate.Waiting())
+	})
+	obs.Default.GaugeFunc("rdfa_server_degraded", func() float64 {
+		if s.Degraded() {
+			return 1
+		}
+		return 0
+	})
 	// Graph-level statistics are exported as functions evaluated at
 	// scrape time; re-registering (tests build many servers) rebinds the
 	// closures to the newest server's graph.
@@ -420,71 +495,30 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("missing query parameter"))
 		return
 	}
+	// The read path deliberately does NOT hold s.mu: graph reads are
+	// internally locked (rdf.Graph is an RWMutex), and the slow-query log,
+	// workload profiler, feedback store and SLO set all carry their own
+	// locks. Running queries concurrently is what lets the singleflight
+	// group collapse a thundering herd into one execution (resilience.go).
+	if st, _, msg, ok := s.answers.LookupNegative(query, time.Now()); ok {
+		cacheNegative.Inc()
+		w.Header().Set("X-Cache", "negative")
+		httpError(w, st, errors.New(msg))
+		return
+	}
 	q, err := sparql.Parse(query)
 	if err != nil {
+		s.answers.StoreNegative(query, http.StatusBadRequest, "parse_error", err.Error(), time.Now())
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch q.Form {
-	case sparql.FormSelect:
-		start := time.Now()
-		tr := obs.NewTrace("sparql")
-		prof := sparql.NewProfile("sparql")
-		shape := sparql.Fingerprint(q)
-		res, err := sparql.ExecSelectCtx(ctx, s.graph, q, sparql.Options{
-			Trace: tr, Limits: s.cfg.Limits, Profile: prof,
-			Feedback: s.feedback, FingerprintID: sparql.FingerprintID(shape),
-		})
-		tr.Finish()
-		tr.Root().SetAttr("request_id", requestID(r))
-		s.lastSparql = tr
-		s.lastSparqlProf = prof
-		s.slow.Observe("sparql", query, sparql.FingerprintID(shape), requestID(r), time.Since(start), tr)
-		rows := 0
-		if res != nil {
-			rows = len(res.Rows)
-		}
-		s.recordWorkload("sparql", query, shape, time.Since(start), rows, err, prof)
-		if err != nil {
-			queryError(w, err)
-			return
-		}
-		res.Sort()
-		if strings.Contains(r.Header.Get("Accept"), "text/csv") {
-			w.Header().Set("Content-Type", "text/csv")
-			res.WriteCSV(w)
-			return
-		}
-		w.Header().Set("Content-Type", "application/sparql-results+json")
-		res.WriteJSON(w)
-	case sparql.FormAsk:
-		ok, err := sparql.AskCtx(ctx, s.graph, query)
-		if err != nil {
-			queryError(w, err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/sparql-results+json")
-		json.NewEncoder(w).Encode(map[string]any{"head": map[string]any{}, "boolean": ok})
-	case sparql.FormConstruct:
-		out, err := sparql.ConstructCtx(ctx, s.graph, query)
-		if err != nil {
-			queryError(w, err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/n-triples")
-		rdf.WriteNTriples(w, out)
-	case sparql.FormDescribe:
-		out, err := sparql.DescribeCtx(ctx, s.graph, query)
-		if err != nil {
-			queryError(w, err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/n-triples")
-		rdf.WriteNTriples(w, out)
+	case sparql.FormSelect, sparql.FormAsk:
+		s.serveQuery(w, r, ctx, q, query)
+	case sparql.FormConstruct, sparql.FormDescribe:
+		s.serveGraphQuery(w, r, ctx, q, query)
 	}
 }
 

@@ -94,9 +94,17 @@ printf '%s\n' "$TYPES" | while read -r name kind; do
     esac
 done || FAIL=1
 
-# Families the telemetry layer promises must be present after one tick.
+# Families the telemetry layer promises must be present after one tick, and
+# the resilience families the serving flow registers eagerly at boot.
 for name in rdfa_build_info rdfa_go_heap_alloc_bytes rdfa_go_goroutines \
-    rdfa_sampler_ticks_total rdfa_slo_good_total rdfa_slo_events_total; do
+    rdfa_sampler_ticks_total rdfa_slo_good_total rdfa_slo_events_total \
+    rdfa_cache_requests_total rdfa_cache_collapsed_total \
+    rdfa_cache_fills_total rdfa_cache_evictions_total rdfa_cache_bytes \
+    rdfa_cache_entries rdfa_admission_admitted_total \
+    rdfa_admission_rejected_total rdfa_admission_wait_seconds \
+    rdfa_admission_inflight rdfa_admission_waiting \
+    rdfa_breaker_rejected_total rdfa_breaker_transitions_total \
+    rdfa_server_degraded; do
     if ! printf '%s\n' "$METRICS" | grep -q "^$name"; then
         echo "metrics-lint: FAIL — promised family $name missing" >&2
         FAIL=1

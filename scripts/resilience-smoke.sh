@@ -1,0 +1,178 @@
+#!/bin/sh
+# resilience-smoke: end-to-end check of the overload-resilience layer against
+# live servers. Three scenarios:
+#   1. herd — concurrent identical queries against a cold cache with a 400ms
+#      execution delay armed: all succeed, the engine run is shared
+#      (rdfa_cache_collapsed_total moves), and the next request is a cache hit.
+#   2. overflow — one execution slot + one queue position occupied by slow
+#      distinct shapes: the next arrival is shed with a structured 503 +
+#      Retry-After while the cached fingerprint keeps serving hits.
+#   3. degraded — a paging latency SLO flips degraded mode (readyz 503,
+#      rdfa_server_degraded=1) and a cache entry made stale by a graph update
+#      is still served within the staleness window (X-Cache: stale).
+# Needs only sh + curl + grep.
+set -eu
+
+PORT="${RESILIENCE_SMOKE_PORT:-18932}"
+BASE="http://127.0.0.1:$PORT"
+BIN="$(mktemp -d)/rdfanalytics"
+LOG="$(mktemp)"
+NS='http://example.org/products#'
+
+go build -o "$BIN" ./cmd/rdfanalytics
+
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -f "$LOG"
+    rm -rf "$(dirname "$BIN")"
+}
+trap cleanup EXIT
+
+wait_up() {
+    i=0
+    until curl -sf "$BASE/api/stats" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "resilience-smoke: server did not come up; log:" >&2
+            cat "$LOG" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+metric() {
+    curl -sf "$BASE/metrics" | grep "^$1" | awk '{s+=$2} END {printf "%d", s}'
+}
+
+# ---- boot 1: tight gate, slow engine --------------------------------------
+# SLOs are disabled so the injected slowness cannot flip degraded mode — the
+# herd and overflow scenarios exercise the normal-mode paths.
+RDFA_FAULT='server.sparql.exec=delay:400ms' \
+    "$BIN" -addr "127.0.0.1:$PORT" -data products-small \
+    -max-concurrent 1 -queue-depth 1 -query-timeout 10s \
+    -slo-availability 0 -slo-latency 0 >"$LOG" 2>&1 &
+PID=$!
+wait_up
+
+QHOT="SELECT ?s WHERE { ?s a <${NS}Laptop> }"
+
+# 1. Herd: 12 concurrent identical queries, cold cache. The 400ms delay keeps
+# the leader busy while the rest arrive; they must collapse onto it (the gate
+# has one slot — without collapse most of the herd would be shed).
+i=0
+HERD_PIDS=""
+while [ "$i" -lt 12 ]; do
+    curl -s -o "/tmp/res_herd.$$.$i" -w '%{http_code}\n' \
+        --get --data-urlencode "query=$QHOT" "$BASE/sparql" >>"/tmp/res_herd_codes.$$" &
+    HERD_PIDS="$HERD_PIDS $!"
+    i=$((i + 1))
+done
+wait $HERD_PIDS
+if grep -qv '^200$' "/tmp/res_herd_codes.$$"; then
+    echo "resilience-smoke: FAIL — herd saw non-200 responses: $(sort -u "/tmp/res_herd_codes.$$" | tr '\n' ' ')" >&2
+    exit 1
+fi
+i=1
+while [ "$i" -lt 12 ]; do
+    if ! cmp -s "/tmp/res_herd.$$.0" "/tmp/res_herd.$$.$i"; then
+        echo "resilience-smoke: FAIL — herd responses not byte-identical" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+done
+rm -f /tmp/res_herd.$$.* "/tmp/res_herd_codes.$$"
+COLLAPSED=$(metric 'rdfa_cache_collapsed_total')
+FILLS=$(metric 'rdfa_cache_fills_total')
+if [ "$COLLAPSED" -lt 1 ] || [ "$FILLS" -lt 1 ]; then
+    echo "resilience-smoke: FAIL — herd did not collapse (collapsed=$COLLAPSED fills=$FILLS)" >&2
+    exit 1
+fi
+XCACHE=$(curl -s -D - -o /dev/null --get --data-urlencode "query=$QHOT" "$BASE/sparql" \
+    | tr -d '\r' | grep -i '^X-Cache:' | awk '{print $2}')
+if [ "$XCACHE" != "hit" ]; then
+    echo "resilience-smoke: FAIL — post-herd request X-Cache=$XCACHE, want hit" >&2
+    exit 1
+fi
+
+# 2. Overflow: occupy the slot and the queue position with slow distinct
+# shapes, then assert the third shape is shed 503 + Retry-After while the
+# cached fingerprint still serves.
+curl -s -o /dev/null --get --data-urlencode "query=SELECT ?s ?m WHERE { ?s <${NS}manufacturer> ?m }" "$BASE/sparql" &
+SLOW1=$!
+sleep 0.15
+curl -s -o /dev/null --get --data-urlencode "query=SELECT ?s ?p WHERE { ?s <${NS}price> ?p }" "$BASE/sparql" &
+SLOW2=$!
+sleep 0.15
+HDRS=$(curl -s -D - -o "/tmp/res_shed.$$" --get \
+    --data-urlencode "query=SELECT ?s ?d WHERE { ?s <${NS}releaseDate> ?d }" "$BASE/sparql" | tr -d '\r')
+CODE=$(printf '%s\n' "$HDRS" | head -1 | awk '{print $2}')
+RETRY=$(printf '%s\n' "$HDRS" | grep -i '^Retry-After:' | awk '{print $2}')
+SHED_BODY="$(cat "/tmp/res_shed.$$"; rm -f "/tmp/res_shed.$$")"
+if [ "$CODE" != 503 ] || [ -z "$RETRY" ]; then
+    echo "resilience-smoke: FAIL — overflow answered $CODE (Retry-After='$RETRY'), want 503 + hint: $SHED_BODY" >&2
+    exit 1
+fi
+if ! printf '%s' "$SHED_BODY" | grep -q '"reason"'; then
+    echo "resilience-smoke: FAIL — shed body not structured: $SHED_BODY" >&2
+    exit 1
+fi
+XCACHE=$(curl -s -D - -o /dev/null --get --data-urlencode "query=$QHOT" "$BASE/sparql" \
+    | tr -d '\r' | grep -i '^X-Cache:' | awk '{print $2}')
+if [ "$XCACHE" != "hit" ]; then
+    echo "resilience-smoke: FAIL — cached fingerprint not served during overflow (X-Cache=$XCACHE)" >&2
+    exit 1
+fi
+REJECTED=$(metric 'rdfa_admission_rejected_total')
+if [ "$REJECTED" -lt 1 ]; then
+    echo "resilience-smoke: FAIL — rdfa_admission_rejected_total=$REJECTED, want > 0" >&2
+    exit 1
+fi
+wait "$SLOW1" "$SLOW2" 2>/dev/null || true
+kill "$PID" 2>/dev/null && wait "$PID" 2>/dev/null || true
+PID=""
+
+# ---- boot 2: fast sampler + tight latency SLO for the degraded scenario ----
+RDFA_FAULT='server.handler.slow=delay:300ms' \
+    "$BIN" -addr "127.0.0.1:$PORT" -data products-small \
+    -sample-interval 1s -slo-latency 0.95 -slo-latency-threshold 50ms \
+    -stale-window 10m >"$LOG" 2>&1 &
+PID=$!
+wait_up
+
+# Prime the hot entry, then invalidate it with a graph update: the entry is
+# now one version stale and only degraded mode may serve it.
+curl -sf -o /dev/null --get --data-urlencode "query=$QHOT" "$BASE/sparql"
+curl -sf -o /dev/null --data-urlencode \
+    "update=PREFIX ex: <$NS> INSERT DATA { ex:resilienceSmoke a ex:Laptop . }" "$BASE/sparql"
+
+# Burn the latency SLO: every request rides the armed 300ms handler delay
+# against a 50ms threshold until the page alert flips readyz.
+DEGRADED=""
+i=0
+while [ "$i" -lt 30 ]; do
+    curl -s -o /dev/null -H 'X-Fault: slow' "$BASE/api/state"
+    CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")
+    if [ "$CODE" = 503 ]; then
+        DEGRADED=1
+        break
+    fi
+    i=$((i + 1))
+done
+if [ -z "$DEGRADED" ]; then
+    echo "resilience-smoke: FAIL — paging SLO never degraded /readyz" >&2
+    exit 1
+fi
+if [ "$(metric 'rdfa_server_degraded')" -lt 1 ]; then
+    echo "resilience-smoke: FAIL — rdfa_server_degraded gauge not set while paging" >&2
+    exit 1
+fi
+XCACHE=$(curl -s -D - -o /dev/null --get --data-urlencode "query=$QHOT" "$BASE/sparql" \
+    | tr -d '\r' | grep -i '^X-Cache:' | awk '{print $2}')
+if [ "$XCACHE" != "stale" ]; then
+    echo "resilience-smoke: FAIL — degraded serve X-Cache=$XCACHE, want stale" >&2
+    exit 1
+fi
+
+echo "resilience-smoke: OK — herd collapse, overflow shedding and degraded stale-serving all healthy"
