@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-json bench-planner bench-herd obs-smoke metrics-lint chaos-smoke resilience-smoke fuzz-smoke conformance clean
+.PHONY: build test check race bench bench-json bench-planner bench-herd bench-store obs-smoke metrics-lint chaos-smoke resilience-smoke durability-smoke fuzz-smoke conformance clean
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,7 @@ check:
 	$(MAKE) metrics-lint
 	$(MAKE) chaos-smoke
 	$(MAKE) resilience-smoke
+	$(MAKE) durability-smoke
 	$(MAKE) fuzz-smoke
 
 # conformance lints the corpus layout and runs the SPARQL-semantics harness:
@@ -58,6 +59,13 @@ chaos-smoke:
 # latency SLO (see scripts/resilience-smoke.sh).
 resilience-smoke:
 	sh scripts/resilience-smoke.sh
+
+# durability-smoke boots the server with -data-dir, applies acknowledged
+# updates, kills it with SIGKILL (twice — once against the WAL tail, once
+# past a checkpoint) and asserts the reboot serves byte-identical answers
+# (see scripts/durability-smoke.sh).
+durability-smoke:
+	sh scripts/durability-smoke.sh
 
 # fuzz-smoke runs each parser fuzz target for a short burst; a discovered
 # panic fails the build and leaves its input in testdata/fuzz/.
@@ -96,6 +104,13 @@ bench-planner:
 # BENCH_history.json — acceptance is cached >= 5x uncached.
 bench-herd:
 	$(GO) run ./cmd/benchrunner -exp E13
+
+# bench-store runs the durable-store restart experiment (E14): cold-start by
+# Turtle re-parse + materialize versus segment + WAL-replay restore of the
+# same graph; both means land in BENCH_history.json — acceptance is restore
+# >= 5x faster.
+bench-store:
+	$(GO) run ./cmd/benchrunner -exp E14
 
 clean:
 	rm -f BENCH_results.json spiral.svg city.svg city.json

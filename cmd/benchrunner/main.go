@@ -1,5 +1,5 @@
 // Command benchrunner regenerates every evaluation artifact of the paper
-// (the experiment index E1–E13 of DESIGN.md): translation examples, facet
+// (the experiment index E1–E14 of DESIGN.md): translation examples, facet
 // trees, the §5.1 interaction walk-throughs, the efficiency tables
 // (Tables 6.1–6.2), the OLAP correspondence (Fig 7.1–7.2), the simulated
 // user study (Figs 8.1–8.2), the evaluation-strategy ablation, the
@@ -48,7 +48,7 @@ var (
 var records []bench.Record
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E13)")
+	exp := flag.String("exp", "", "experiment id (E1..E14)")
 	all := flag.Bool("all", false, "run every experiment")
 	flag.Parse()
 	// Sample runtime telemetry (heap, GC, goroutines) across the whole run;
@@ -61,9 +61,9 @@ func main() {
 	experiments := map[string]func() error{
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11, "E12": e12,
-		"E13": e13,
+		"E13": e13, "E14": e14,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 	switch {
 	case *all:
 		for _, id := range order {
@@ -75,7 +75,7 @@ func main() {
 	case *exp != "":
 		fn, ok := experiments[strings.ToUpper(*exp)]
 		if !ok {
-			log.Fatalf("unknown experiment %q (want E1..E13)", *exp)
+			log.Fatalf("unknown experiment %q (want E1..E14)", *exp)
 		}
 		header(strings.ToUpper(*exp))
 		if err := fn(); err != nil {
@@ -523,5 +523,24 @@ func e13() error {
 	}
 	bench.WriteHerdTable(os.Stdout, cfg, scenarios)
 	records = append(records, bench.HerdRecords("E13", scenarios)...)
+	return nil
+}
+
+// E14 — durable-store restart: cold start from Turtle (parse + materialize)
+// vs restore from checkpoint segment + WAL tail replay. The acceptance bar
+// is restore at least 5× faster than the re-parse.
+func e14() error {
+	cfg := bench.StoreConfig{Seed: 1}
+	if *quick {
+		cfg.Laptops = 500
+		cfg.Updates = 100
+		cfg.Runs = 3
+	}
+	res, err := bench.RunStoreRestart(cfg)
+	if err != nil {
+		return err
+	}
+	bench.WriteStoreTable(os.Stdout, res)
+	records = append(records, bench.StoreRecords("E14", res)...)
 	return nil
 }

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	rdfanalytics [-addr :8080] [-data products|invoices|stats|file.ttl] [-scale N]
+//	             [-data-dir DIR] [-wal-sync off|batch|always] [-checkpoint-interval 5m]
+//
+// With -data-dir the graph is durable: the first boot parses the dataset
+// and checkpoints it into DIR; later boots restore from the segment + WAL
+// (no re-parse) and every acknowledged update survives kill -9.
 package main
 
 import (
@@ -20,8 +25,10 @@ import (
 
 	"rdfanalytics/internal/datagen"
 	"rdfanalytics/internal/obs"
+	"rdfanalytics/internal/rdf"
 	"rdfanalytics/internal/server"
 	"rdfanalytics/internal/sparql"
+	"rdfanalytics/internal/store"
 )
 
 func main() {
@@ -45,15 +52,54 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 64, "max concurrently executing queries (0 = unbounded)")
 	queueDepth := flag.Int("queue-depth", 128, "admission wait-queue depth; overflow sheds with 503 + Retry-After")
 	staleWindow := flag.Duration("stale-window", 30*time.Second, "degraded-mode staleness window for serving cached answers of older graph versions (0 disables)")
+	dataDir := flag.String("data-dir", "", "durable storage directory (WAL + segment files); empty runs in-memory only")
+	walSync := flag.String("wal-sync", "batch", "WAL durability: off (no fsync), batch (fsync per update ack), always (fsync per record)")
+	checkpointInterval := flag.Duration("checkpoint-interval", 5*time.Minute, "background WAL compaction period when -data-dir is set (0 disables)")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Printf("rdfanalytics %s (%s)\n", obs.Version(), runtime.Version())
 		os.Exit(0)
 	}
-	g, ns, err := datagen.Load(*data, *scale)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		g   *rdf.Graph
+		ns  string
+		dst *store.Store
+	)
+	if *dataDir != "" {
+		mode, err := store.ParseSyncMode(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dst, err = store.Open(store.Options{Dir: *dataDir, Sync: mode, CheckpointEvery: *checkpointInterval})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dst.Close()
+		if dst.Empty() {
+			// First boot: parse the dataset once, then checkpoint it so
+			// every later start replays from the segment instead.
+			loaded, loadedNS, err := datagen.Load(*data, *scale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := dst.Bootstrap(loaded); err != nil {
+				log.Fatal(err)
+			}
+			g, ns = dst.Graph(), loadedNS
+			fmt.Printf("rdf-analytics: bootstrapped %s from dataset %q (wal-sync=%s)\n", *dataDir, *data, mode)
+		} else {
+			g, ns = dst.Graph(), datagen.GuessNamespace(dst.Graph())
+			sst := dst.Stats()
+			fmt.Printf("rdf-analytics: restored %s: epoch %d, %d segment triples, %d WAL records replayed in %s (wal-sync=%s)\n",
+				*dataDir, sst.Epoch, sst.SegmentTriples, sst.ReplayRecords, sst.ReplayTime.Round(time.Millisecond), mode)
+		}
+	} else {
+		var err error
+		g, ns, err = datagen.Load(*data, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	st := g.Stats()
 	fmt.Printf("rdf-analytics: dataset %q loaded: %d triples, %d subjects, %d predicates, %d classes\n",
@@ -87,6 +133,7 @@ func main() {
 			ShapeLatencyTarget:    *sloShapeLatency,
 			ShapeLatencyThreshold: *sloShapeThreshold,
 		},
+		Store: dst,
 	})
 	defer srv.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rdfanalytics/internal/datagen"
+	"rdfanalytics/internal/rdf"
+	"rdfanalytics/internal/store"
+)
+
+// E14 — durable-store restart: cold-start latency of re-parsing the
+// dataset from Turtle (parse + materialize, what every boot paid before the
+// store existed) versus restoring from a checkpoint segment plus WAL tail
+// replay. Both paths end at the same graph; the acceptance bar is
+// segment+WAL restore at least 5× faster than the Turtle re-parse.
+
+// StoreConfig sizes the restart experiment.
+type StoreConfig struct {
+	// Laptops sizes the products KG (default 2000).
+	Laptops int
+	// Updates is the number of post-checkpoint mutations left in the WAL
+	// tail, so the restore path includes real replay work (default 500).
+	Updates int
+	// Runs is the number of timed repetitions per path (default 5).
+	Runs int
+	// Seed fixes the generated dataset.
+	Seed int64
+}
+
+func (c StoreConfig) withDefaults() StoreConfig {
+	if c.Laptops <= 0 {
+		c.Laptops = 2000
+	}
+	if c.Updates <= 0 {
+		c.Updates = 500
+	}
+	if c.Runs <= 0 {
+		c.Runs = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// StoreResult is the outcome of one restart comparison.
+type StoreResult struct {
+	Config      StoreConfig
+	Triples     int
+	TurtleBytes int64
+	// TurtleMean / RestoreMean are the per-run means of the two cold-start
+	// paths; ReplayRecords is the WAL tail length the restore replayed.
+	TurtleMean    time.Duration
+	RestoreMean   time.Duration
+	ReplayRecords int
+	Speedup       float64
+}
+
+// RunStoreRestart builds the dataset, persists it (checkpoint + a WAL tail
+// of post-checkpoint updates), exports the equivalent Turtle, then times
+// both cold-start paths and verifies they reach the same graph.
+func RunStoreRestart(cfg StoreConfig) (*StoreResult, error) {
+	cfg = cfg.withDefaults()
+	workDir, err := os.MkdirTemp("", "rdfa-bench-store-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(workDir)
+	dataDir := filepath.Join(workDir, "data")
+
+	g := datagen.Products(datagen.ProductsConfig{
+		Laptops: cfg.Laptops, Companies: 16, Seed: cfg.Seed, Materialize: true,
+	})
+	st, err := store.Open(store.Options{Dir: dataDir, Sync: store.SyncOff})
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Bootstrap(g); err != nil {
+		return nil, err
+	}
+	// Leave a realistic WAL tail: updates journaled after the checkpoint.
+	ns := datagen.ExampleNS
+	for i := 0; i < cfg.Updates; i++ {
+		g.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("%slaptop%d", ns, i%cfg.Laptops)),
+			P: rdf.NewIRI(ns + "auditTag"),
+			O: rdf.NewInteger(int64(i)),
+		})
+	}
+	if err := st.Sync(); err != nil {
+		return nil, err
+	}
+	replay := st.Stats().TailRecords
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+
+	// Export the final graph as Turtle: the re-parse path must produce the
+	// same triples the store restores, or the comparison is apples-to-pears.
+	ttlPath := filepath.Join(workDir, "dataset.nt")
+	f, err := os.Create(ttlPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := rdf.WriteNTriples(f, g); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(ttlPath)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &StoreResult{Config: cfg, Triples: g.Len(), TurtleBytes: fi.Size(), ReplayRecords: replay}
+
+	// Path A: Turtle re-parse + materialize (the snapshot was taken post-
+	// materialization, so inference adds nothing new — but a cold boot
+	// still has to run it to know that).
+	var turtleTotal time.Duration
+	for i := 0; i < cfg.Runs; i++ {
+		start := time.Now()
+		tf, err := os.Open(ttlPath)
+		if err != nil {
+			return nil, err
+		}
+		tg, err := rdf.LoadTurtle(tf)
+		tf.Close()
+		if err != nil {
+			return nil, err
+		}
+		rdf.Materialize(tg)
+		turtleTotal += time.Since(start)
+		if tg.Len() != g.Len() {
+			return nil, fmt.Errorf("bench: turtle cold start reached %d triples, want %d", tg.Len(), g.Len())
+		}
+	}
+	res.TurtleMean = turtleTotal / time.Duration(cfg.Runs)
+
+	// Path B: segment + WAL replay.
+	var restoreTotal time.Duration
+	for i := 0; i < cfg.Runs; i++ {
+		start := time.Now()
+		rst, err := store.Open(store.Options{Dir: dataDir, Sync: store.SyncOff})
+		if err != nil {
+			return nil, err
+		}
+		restoreTotal += time.Since(start)
+		if rst.Graph().Len() != g.Len() {
+			rst.Close()
+			return nil, fmt.Errorf("bench: restore reached %d triples, want %d", rst.Graph().Len(), g.Len())
+		}
+		if err := rst.Close(); err != nil {
+			return nil, err
+		}
+	}
+	res.RestoreMean = restoreTotal / time.Duration(cfg.Runs)
+	if res.RestoreMean > 0 {
+		res.Speedup = float64(res.TurtleMean) / float64(res.RestoreMean)
+	}
+	return res, nil
+}
+
+// WriteStoreTable renders the E14 comparison.
+func WriteStoreTable(w io.Writer, res *StoreResult) {
+	fmt.Fprintf(w, "dataset: %d triples (%d KiB as N-Triples), WAL tail %d records\n\n",
+		res.Triples, res.TurtleBytes/1024, res.ReplayRecords)
+	fmt.Fprintf(w, "%-24s %14s\n", "cold-start path", "mean")
+	fmt.Fprintf(w, "%-24s %14s\n", "turtle parse+materialize", res.TurtleMean.Round(time.Microsecond))
+	fmt.Fprintf(w, "%-24s %14s\n", "segment+WAL restore", res.RestoreMean.Round(time.Microsecond))
+	fmt.Fprintf(w, "\nspeedup: %.1fx (acceptance bar: ≥5x)\n", res.Speedup)
+}
+
+// StoreRecords flattens the comparison into the BENCH_results.json schema.
+func StoreRecords(experiment string, res *StoreResult) []Record {
+	scale := fmt.Sprintf("laptops=%d,updates=%d", res.Config.Laptops, res.Config.Updates)
+	return []Record{
+		{
+			Experiment: experiment, Label: "turtle-parse-materialize", Scale: scale,
+			Triples: res.Triples, Runs: res.Config.Runs, NsPerOp: res.TurtleMean.Nanoseconds(),
+		},
+		{
+			Experiment: experiment, Label: "segment-wal-restore", Scale: scale,
+			Triples: res.Triples, Runs: res.Config.Runs, NsPerOp: res.RestoreMean.Nanoseconds(),
+		},
+	}
+}

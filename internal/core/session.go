@@ -147,7 +147,16 @@ type Session struct {
 	// plans with — and reports actuals back to — the same store, so
 	// repeated analytic shapes converge on true cardinalities.
 	feedback *sparql.FeedbackStore
+	// durability, when non-nil, is the group-commit barrier of the durable
+	// store backing the session's graph: mutating operations call it before
+	// reporting success, so an acknowledged mutation is on disk.
+	durability func() error
 }
+
+// SetDurability installs the store sync barrier called after mutating
+// operations (e.g. ApplyTransform). Pass nil when the session's graph is
+// purely in-memory.
+func (s *Session) SetDurability(sync func() error) { s.durability = sync }
 
 // SetLimits installs the resource budgets applied to the session's analytic
 // queries. Pass the zero value to restore engine defaults.
@@ -550,5 +559,13 @@ func (s *Session) CloseLevel() error {
 func (s *Session) ApplyTransform(spec hifun.FeatureSpec) (int, error) {
 	l := s.top()
 	s.InvalidateCache()
-	return hifun.ApplyFeature(l.model.G, l.state().Ext.Items(), spec)
+	n, err := hifun.ApplyFeature(l.model.G, l.state().Ext.Items(), spec)
+	if err == nil && s.durability != nil {
+		// Group commit: the materialized triples were journaled as they
+		// were added; make them durable before acknowledging the count.
+		if serr := s.durability(); serr != nil {
+			return n, fmt.Errorf("core: transform applied but not durable: %w", serr)
+		}
+	}
+	return n, err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -289,6 +290,30 @@ func TestApplyTransform(t *testing.T) {
 		if n, _ := row[1].Int(); n != want[row[0].Value] {
 			t.Errorf("nFounders=%s count=%d\n%s", row[0].Value, n, ans)
 		}
+	}
+}
+
+func TestApplyTransformDurability(t *testing.T) {
+	g := datagen.SmallProducts()
+	rdf.Materialize(g)
+	s := NewSession(g, datagen.ExampleNS)
+	s.ClickClass(pe("Company"))
+	synced := 0
+	s.SetDurability(func() error { synced++; return nil })
+	if _, err := s.ApplyTransform(hifun.FeatureSpec{
+		Op: hifun.FCOCount, P: pe("founder"), Feature: pe("nFounders"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if synced != 1 {
+		t.Fatalf("durability barrier called %d times, want 1", synced)
+	}
+	// A failing sync must be surfaced to the caller.
+	s.SetDurability(func() error { return errors.New("disk gone") })
+	if _, err := s.ApplyTransform(hifun.FeatureSpec{
+		Op: hifun.FCOCount, P: pe("founder"), Feature: pe("nFounders2"),
+	}); err == nil {
+		t.Fatal("sync failure not surfaced by ApplyTransform")
 	}
 }
 

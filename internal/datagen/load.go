@@ -58,7 +58,7 @@ func Load(spec string, scale int) (*rdf.Graph, string, error) {
 			return nil, "", err
 		}
 		rdf.Materialize(g)
-		ns := guessNamespace(g)
+		ns := GuessNamespace(g)
 		return g, ns, nil
 	}
 	if strings.HasSuffix(spec, ".rdfb") {
@@ -72,14 +72,14 @@ func Load(spec string, scale int) (*rdf.Graph, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		return g, guessNamespace(g), nil
+		return g, GuessNamespace(g), nil
 	}
 	return nil, "", fmt.Errorf("unknown dataset %q (want products[-small], invoices[-small], stats, or a .ttl/.nt/.rdfb file)", spec)
 }
 
-// guessNamespace picks the most frequent predicate namespace as the default
-// attribute namespace for loaded files.
-func guessNamespace(g *rdf.Graph) string {
+// GuessNamespace picks the most frequent predicate namespace as the default
+// attribute namespace for loaded (or durably restored) graphs.
+func GuessNamespace(g *rdf.Graph) string {
 	counts := map[string]int{}
 	for _, p := range g.Predicates() {
 		v := p.Value

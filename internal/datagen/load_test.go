@@ -111,7 +111,7 @@ my:A rdfs:subClassOf my:B .
 my:x my:p my:y .
 my:x my:q my:z .
 `)
-	if ns := guessNamespace(g); ns != "http://my.org/v#" {
+	if ns := GuessNamespace(g); ns != "http://my.org/v#" {
 		t.Errorf("guessed %q", ns)
 	}
 }

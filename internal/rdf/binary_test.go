@@ -2,6 +2,8 @@ package rdf
 
 import (
 	"bytes"
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -31,6 +33,261 @@ line""" .
 	}
 	if back.TermCount() != g.TermCount() {
 		t.Errorf("dictionary size changed: %d vs %d", back.TermCount(), g.TermCount())
+	}
+}
+
+// TestBinaryDeterministic pins the canonical-bytes contract: two snapshots
+// of the same graph are byte-identical, and so are snapshots of two graphs
+// with the same content built through different insertion histories.
+func TestBinaryDeterministic(t *testing.T) {
+	src := `@prefix ex: <http://e/> .
+ex:a a ex:Thing ; ex:label "x" ; ex:n 1, 2, 3 .
+ex:b ex:knows ex:a ; ex:label "y"@en .
+`
+	g := MustLoadTurtle(src)
+	var one, two bytes.Buffer
+	if err := g.WriteBinary(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteBinary(&two); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatal("two WriteBinary calls over the same graph differ")
+	}
+	// Same triples inserted in reverse order: same dictionary IDs are not
+	// guaranteed, but a save/load/save cycle must converge to stable bytes.
+	back, err := ReadBinary(bytes.NewReader(one.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var three bytes.Buffer
+	if err := back.WriteBinary(&three); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), three.Bytes()) {
+		t.Fatal("save/load/save is not byte-stable")
+	}
+}
+
+// TestBinaryIDStable pins the ID-preservation contract: every dictionary ID
+// survives a round trip, including terms no triple references (here: the
+// terms of a triple that was added and then removed).
+func TestBinaryIDStable(t *testing.T) {
+	g := NewGraph()
+	a, knows, b := NewIRI("http://e/a"), NewIRI("http://e/knows"), NewIRI("http://e/b")
+	orphan := NewIRI("http://e/orphan")
+	g.Add(Triple{S: a, P: knows, O: b})
+	g.Add(Triple{S: a, P: knows, O: orphan})
+	g.Remove(Triple{S: a, P: knows, O: orphan}) // orphan stays in the dictionary
+	g.Add(Triple{S: b, P: knows, O: a})
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TermCount() != g.TermCount() {
+		t.Fatalf("TermCount = %d, want %d (orphan terms must survive)", back.TermCount(), g.TermCount())
+	}
+	for _, term := range []Term{a, knows, b, orphan} {
+		want, ok1 := g.TermID(term)
+		got, ok2 := back.TermID(term)
+		if !ok1 || !ok2 || want != got {
+			t.Errorf("term %v: ID %d (ok=%v) round-tripped to %d (ok=%v)", term, want, ok1, got, ok2)
+		}
+	}
+	for _, tr := range g.Triples() {
+		if !back.Has(tr) {
+			t.Errorf("lost %v", tr)
+		}
+	}
+	if back.Len() != g.Len() {
+		t.Errorf("Len = %d, want %d", back.Len(), g.Len())
+	}
+}
+
+// TestBinaryRoundTripProperty drives randomized graphs through the full
+// contract: Write→Read preserves every dictionary ID, term and triple, and
+// Write twice yields identical bytes.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	terms := func(n int) []Term {
+		out := make([]Term, 0, n)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				out = append(out, NewIRI(fmt.Sprintf("http://e/r%d", rng.Intn(40))))
+			case 1:
+				out = append(out, NewBlank(fmt.Sprintf("b%d", rng.Intn(10))))
+			case 2:
+				out = append(out, NewLangString(fmt.Sprintf("s%d", rng.Intn(20)), "en"))
+			default:
+				out = append(out, NewInteger(int64(rng.Intn(100))))
+			}
+		}
+		return out
+	}
+	for trial := 0; trial < 25; trial++ {
+		g := NewGraph()
+		pool := terms(30)
+		for i := 0; i < 120; i++ {
+			s, p, o := pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]
+			if !s.IsResource() || !p.IsIRI() {
+				continue
+			}
+			tr := Triple{S: s, P: p, O: o}
+			if rng.Intn(5) == 0 {
+				g.Remove(tr)
+			} else {
+				g.Add(tr)
+			}
+		}
+		var one, two bytes.Buffer
+		if err := g.WriteBinary(&one); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.WriteBinary(&two); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(one.Bytes(), two.Bytes()) {
+			t.Fatalf("trial %d: non-deterministic bytes", trial)
+		}
+		back, err := ReadBinary(&one)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if back.Len() != g.Len() || back.TermCount() != g.TermCount() {
+			t.Fatalf("trial %d: size drift: %d/%d triples, %d/%d terms",
+				trial, back.Len(), g.Len(), back.TermCount(), g.TermCount())
+		}
+		for id := ID(1); int(id) <= g.TermCount(); id++ {
+			if g.TermOf(id) != back.TermOf(id) {
+				t.Fatalf("trial %d: ID %d maps to %v, was %v", trial, id, back.TermOf(id), g.TermOf(id))
+			}
+		}
+		for _, tr := range g.Triples() {
+			if !back.Has(tr) {
+				t.Fatalf("trial %d: lost %v", trial, tr)
+			}
+		}
+	}
+}
+
+// TestBinaryRejectsTrailingGarbage: any byte after the triple section means
+// corruption and must fail loudly rather than be silently ignored.
+func TestBinaryRejectsTrailingGarbage(t *testing.T) {
+	g := MustLoadTurtle(`<http://e/s> <http://e/p> <http://e/o> .`)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0x00)
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("snapshot with trailing byte accepted")
+	}
+}
+
+// TestBinaryReadsVersion1 keeps the version-1 read path alive: same layout,
+// unsorted triples, decoded with the ID-stable dictionary-first path.
+func TestBinaryReadsVersion1(t *testing.T) {
+	g := MustLoadTurtle(`@prefix ex: <http://e/> .
+ex:a ex:p ex:b . ex:b ex:p ex:a . ex:a ex:q "v" .`)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 1 // rewrite the version byte; v1 imposed no triple order
+	back, err := ReadBinary(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != g.Len() || back.TermCount() != g.TermCount() {
+		t.Fatalf("v1 read: %d triples / %d terms, want %d / %d",
+			back.Len(), back.TermCount(), g.Len(), g.TermCount())
+	}
+	for id := ID(1); int(id) <= g.TermCount(); id++ {
+		if g.TermOf(id) != back.TermOf(id) {
+			t.Fatalf("v1 read reassigned ID %d", id)
+		}
+	}
+}
+
+// TestBinaryRejectsUnsortedV2: a version-2 snapshot whose triples are not in
+// canonical order was not produced by WriteBinary and must be rejected.
+func TestBinaryRejectsUnsortedV2(t *testing.T) {
+	g := MustLoadTurtle(`@prefix ex: <http://e/> .
+ex:a ex:p ex:b . ex:b ex:p ex:a .`)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The two triples occupy the last 6 varint bytes (all IDs < 128); swap
+	// them to break the ordering.
+	n := len(raw)
+	swapped := append([]byte{}, raw[:n-6]...)
+	swapped = append(swapped, raw[n-3:]...)
+	swapped = append(swapped, raw[n-6:n-3]...)
+	if _, err := ReadBinary(bytes.NewReader(swapped)); err == nil {
+		t.Fatal("out-of-order v2 triples accepted")
+	}
+}
+
+// TestBinaryRejectsDuplicateDictTerm: a dictionary section listing the same
+// term twice cannot be ID-stable and must be rejected.
+func TestBinaryRejectsDuplicateDictTerm(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("RDFA")
+	buf.WriteByte(binaryVersion)
+	buf.WriteByte(2) // term count
+	for i := 0; i < 2; i++ {
+		buf.WriteByte(0) // kind IRI
+		buf.WriteByte(3)
+		buf.WriteString("a:b")
+		buf.WriteByte(0) // datatype
+		buf.WriteByte(0) // lang
+	}
+	buf.WriteByte(0) // triple count
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("duplicate dictionary term accepted")
+	}
+}
+
+func TestTermBinaryCodec(t *testing.T) {
+	cases := []Term{
+		NewIRI("http://e/x"),
+		NewBlank("b1"),
+		NewString("plain"),
+		NewLangString("héllo", "en-GB"),
+		NewTyped("42", XSDInteger),
+		{},
+	}
+	var buf []byte
+	for _, c := range cases {
+		buf = AppendTermBinary(buf, c)
+	}
+	for _, c := range cases {
+		got, n, err := DecodeTermBinary(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c {
+			t.Fatalf("decoded %v, want %v", got, c)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d bytes left over", len(buf))
+	}
+	if _, _, err := DecodeTermBinary([]byte{0, 5, 'a'}); err == nil {
+		t.Fatal("short term encoding accepted")
+	}
+	if _, _, err := DecodeTermBinary(nil); err == nil {
+		t.Fatal("empty term encoding accepted")
 	}
 }
 

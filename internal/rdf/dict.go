@@ -18,6 +18,23 @@ func NewDict() *Dict {
 	return &Dict{toID: make(map[Term]ID)}
 }
 
+// Grow pre-sizes the dictionary for n upcoming Intern calls, so bulk
+// loaders (the snapshot reader) pay one allocation instead of O(log n)
+// rehashes.
+func (d *Dict) Grow(n int) {
+	if n <= len(d.toTerm) {
+		return
+	}
+	toID := make(map[Term]ID, n)
+	for t, id := range d.toID {
+		toID[t] = id
+	}
+	d.toID = toID
+	toTerm := make([]Term, len(d.toTerm), n)
+	copy(toTerm, d.toTerm)
+	d.toTerm = toTerm
+}
+
 // Intern returns the ID for t, assigning a fresh one if t is new.
 func (d *Dict) Intern(t Term) ID {
 	if id, ok := d.toID[t]; ok {

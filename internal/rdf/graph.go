@@ -2,6 +2,7 @@ package rdf
 
 import (
 	"context"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,11 @@ type Graph struct {
 	// version moves on every mutation; derived caches (cards, callers of
 	// Version) validate against it instead of subscribing to writes.
 	version uint64
+	// journal, when installed, receives every effective mutation (an Add of
+	// a new triple, a Remove of a present one) before it is applied — the
+	// write-ahead hook of the durable store (internal/store). It runs with
+	// the graph write lock held and must not call back into the graph.
+	journal func(op JournalOp, t Triple, version uint64)
 	cards   cardCache
 	// scans counts index scan operations (Match / MatchIDs calls) for the
 	// metrics endpoint; one relaxed atomic add per scan, negligible next to
@@ -92,6 +98,22 @@ func (g *Graph) addLocked(t Triple) bool {
 	if _, dup := g.triples[key]; dup {
 		return false
 	}
+	if g.journal != nil {
+		g.journal(JournalAdd, t, g.version+1)
+	}
+	return g.addIDLocked(s, p, o)
+}
+
+// addIDLocked inserts a triple whose terms are already interned, by ID.
+// The snapshot reader uses it to rebuild a graph without re-interning (which
+// would reassign dictionary IDs); addLocked funnels through it so the index
+// bookkeeping lives in one place. It does not journal — ID-level inserts
+// only happen while restoring from media that IS the journal.
+func (g *Graph) addIDLocked(s, p, o ID) bool {
+	key := tripleKey{s, p, o}
+	if _, dup := g.triples[key]; dup {
+		return false
+	}
 	g.triples[key] = struct{}{}
 	addIndex(g.spo, s, p, o)
 	addIndex(g.pos, p, o, s)
@@ -99,6 +121,147 @@ func (g *Graph) addLocked(t Triple) bool {
 	g.psCount[p]++
 	g.version++
 	return true
+}
+
+// loadSorted replaces the (empty) graph's triple set and indexes with keys
+// that arrive in strictly ascending (s, p, o) order — the canonical snapshot
+// order. The ordering contract is what makes bulk building fast: keys cannot
+// repeat (no duplicate probes), every index can be built from contiguous runs
+// with exactly-sized maps and slices (no incremental rehashing or slice
+// regrowth), and the two permuted orders are obtained by one sort each over a
+// flat, pointer-free array. The caller (the snapshot reader) owns the graph
+// exclusively; no locking here.
+func (g *Graph) loadSorted(keys []tripleKey) {
+	n := len(keys)
+	g.triples = make(map[tripleKey]struct{}, n)
+	for _, k := range keys {
+		g.triples[k] = struct{}{}
+	}
+	g.spo = buildRunIndex(keys)
+	// The two permuted orders need a sort each. When every ID fits in 21
+	// bits (up to ~2M terms — effectively always), the three components pack
+	// into one uint64 whose numeric order IS the permuted key order, and
+	// slices.Sort's integer fast path beats a comparator sort on 12-byte
+	// structs by a wide margin. Larger dictionaries take the comparator path.
+	if ID(g.dict.Len()) <= packedIDMask {
+		packed := make([]uint64, n)
+		for i, k := range keys {
+			packed[i] = uint64(k.p)<<42 | uint64(k.o)<<21 | uint64(k.s) // (p, o, s)
+		}
+		slices.Sort(packed)
+		g.pos = buildRunIndexPacked(packed)
+		for i, k := range keys {
+			packed[i] = uint64(k.o)<<42 | uint64(k.s)<<21 | uint64(k.p) // (o, s, p)
+		}
+		slices.Sort(packed)
+		g.osp = buildRunIndexPacked(packed)
+	} else {
+		perm := make([]tripleKey, n)
+		for i, k := range keys {
+			perm[i] = tripleKey{s: k.p, p: k.o, o: k.s} // (p, o, s)
+		}
+		slices.SortFunc(perm, tripleKey.compare)
+		g.pos = buildRunIndex(perm)
+		for i, k := range keys {
+			perm[i] = tripleKey{s: k.o, p: k.s, o: k.p} // (o, s, p)
+		}
+		slices.SortFunc(perm, tripleKey.compare)
+		g.osp = buildRunIndex(perm)
+	}
+	g.psCount = make(map[ID]int, len(g.pos))
+	for p, inner := range g.pos {
+		count := 0
+		for _, subjects := range inner {
+			count += len(subjects)
+		}
+		g.psCount[p] = count
+	}
+	g.version += uint64(n)
+}
+
+// packedIDMask is the largest ID that fits a 21-bit packed component.
+const packedIDMask = 1<<21 - 1
+
+// buildRunIndex builds a two-level index from keys sorted ascending in the
+// index's own component order (fields of each key already permuted to
+// (outer, inner, value)). Runs give exact sizes up front: each outer map,
+// inner map, and value slice is allocated at final size.
+func buildRunIndex(sorted []tripleKey) map[ID]map[ID][]ID {
+	n := len(sorted)
+	outer := 0
+	for i := 0; i < n; i++ {
+		if i == 0 || sorted[i].s != sorted[i-1].s {
+			outer++
+		}
+	}
+	idx := make(map[ID]map[ID][]ID, outer)
+	for i := 0; i < n; {
+		a := sorted[i].s
+		end, innerCount := i, 0
+		for end < n && sorted[end].s == a {
+			if end == i || sorted[end].p != sorted[end-1].p {
+				innerCount++
+			}
+			end++
+		}
+		inner := make(map[ID][]ID, innerCount)
+		for j := i; j < end; {
+			b := sorted[j].p
+			k := j
+			for k < end && sorted[k].p == b {
+				k++
+			}
+			vals := make([]ID, k-j)
+			for x := j; x < k; x++ {
+				vals[x-j] = sorted[x].o
+			}
+			inner[b] = vals
+			j = k
+		}
+		idx[a] = inner
+		i = end
+	}
+	return idx
+}
+
+// buildRunIndexPacked is buildRunIndex over 21-bit-packed keys
+// (outer<<42 | inner<<21 | value), sorted ascending.
+func buildRunIndexPacked(sorted []uint64) map[ID]map[ID][]ID {
+	n := len(sorted)
+	outer := 0
+	for i := 0; i < n; i++ {
+		if i == 0 || sorted[i]>>42 != sorted[i-1]>>42 {
+			outer++
+		}
+	}
+	idx := make(map[ID]map[ID][]ID, outer)
+	for i := 0; i < n; {
+		a := sorted[i] >> 42
+		end, innerCount := i, 0
+		for end < n && sorted[end]>>42 == a {
+			if end == i || sorted[end]>>21&packedIDMask != sorted[end-1]>>21&packedIDMask {
+				innerCount++
+			}
+			end++
+		}
+		inner := make(map[ID][]ID, innerCount)
+		for j := i; j < end; {
+			b := sorted[j] >> 21 & packedIDMask
+			k := j
+			for k < end && sorted[k]>>21&packedIDMask == b {
+				k++
+			}
+			vals := make([]ID, k-j)
+			for x := j; x < k; x++ {
+				vals[x-j] = ID(sorted[x] & packedIDMask)
+			}
+			inner[ID(b)] = vals
+			j = k
+		}
+		idx[ID(a)] = inner
+		i = end
+	}
+	return idx
 }
 
 func addIndex(idx map[ID]map[ID][]ID, a, b, c ID) {
@@ -123,6 +286,9 @@ func (g *Graph) Remove(t Triple) bool {
 	key := tripleKey{s, p, o}
 	if _, present := g.triples[key]; !present {
 		return false
+	}
+	if g.journal != nil {
+		g.journal(JournalRemove, t, g.version+1)
 	}
 	delete(g.triples, key)
 	removeIndex(g.spo, s, p, o)
@@ -154,6 +320,44 @@ func removeIndex(idx map[ID]map[ID][]ID, a, b, c ID) {
 	} else {
 		inner[b] = list
 	}
+}
+
+// JournalOp discriminates the two graph mutations for the write-ahead
+// journal hook (see SetJournal).
+type JournalOp uint8
+
+const (
+	// JournalAdd records the insertion of a new triple.
+	JournalAdd JournalOp = 1
+	// JournalRemove records the deletion of a present triple.
+	JournalRemove JournalOp = 2
+)
+
+// SetJournal installs fn as the graph's write-ahead mutation journal: every
+// effective Add and Remove calls fn — with the materialized triple and the
+// version the mutation will establish — BEFORE touching the indexes, so a
+// durable log captures the change ahead of the in-memory state. No-op
+// mutations (duplicate adds, removes of absent triples) are not journaled.
+//
+// fn runs with the graph's write lock held: it must be fast, must not call
+// back into the graph, and is responsible for its own synchronization with
+// readers of whatever log it maintains. Pass nil to uninstall.
+func (g *Graph) SetJournal(fn func(op JournalOp, t Triple, version uint64)) {
+	g.mu.Lock()
+	g.journal = fn
+	g.mu.Unlock()
+}
+
+// SetVersion forces the mutation counter to v. The durable store uses it
+// after restoring a snapshot so version tokens stay monotonic across
+// restarts (a freshly rebuilt graph would otherwise restart counting at its
+// triple count, and write-ahead-log records stamped by the previous process
+// could alias older epochs). Derived caches validate against the version, so
+// moving it simply invalidates them.
+func (g *Graph) SetVersion(v uint64) {
+	g.mu.Lock()
+	g.version = v
+	g.mu.Unlock()
 }
 
 // Has reports whether the graph contains the exact triple.

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"rdfanalytics/internal/obs"
+	"rdfanalytics/internal/store"
+)
+
+// Durable-store surface of the server: the manual checkpoint trigger and
+// the rdfa_store_* metric family. Both exist only when Config.Store is set.
+
+// handleCheckpoint compacts the WAL into a fresh segment on demand
+// (operators call it before planned restarts to make the next replay
+// near-empty). Answers the resulting store stats.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Store
+	if st == nil {
+		httpError(w, http.StatusConflict, errors.New("server is running without a durable store (-data-dir)"))
+		return
+	}
+	start := time.Now()
+	if err := st.Checkpoint(); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	stats := st.Stats()
+	writeJSON(w, map[string]any{
+		"epoch":           stats.Epoch,
+		"segmentTriples":  stats.SegmentTriples,
+		"tailRecords":     stats.TailRecords,
+		"durationSeconds": time.Since(start).Seconds(),
+	})
+}
+
+// registerStoreMetrics exports the durable-store gauges and counters on the
+// default registry, following the repo conventions (counters end in
+// _total, durations are _seconds).
+func registerStoreMetrics(st *store.Store) {
+	reg := obs.Default
+	reg.CounterFunc("rdfa_store_wal_records_total", func() float64 {
+		return float64(st.Stats().WALRecordsTotal)
+	})
+	reg.CounterFunc("rdfa_store_wal_bytes_total", func() float64 {
+		return float64(st.Stats().WALBytesTotal)
+	})
+	reg.CounterFunc("rdfa_store_checkpoints_total", func() float64 {
+		return float64(st.Stats().Checkpoints)
+	})
+	reg.GaugeFunc("rdfa_store_segments", func() float64 {
+		return float64(st.Stats().Segments)
+	})
+	reg.GaugeFunc("rdfa_store_segment_triples", func() float64 {
+		return float64(st.Stats().SegmentTriples)
+	})
+	reg.GaugeFunc("rdfa_store_tail_records", func() float64 {
+		return float64(st.Stats().TailRecords)
+	})
+	reg.GaugeFunc("rdfa_store_epoch", func() float64 {
+		return float64(st.Stats().Epoch)
+	})
+	reg.GaugeFunc("rdfa_store_last_checkpoint_seconds", func() float64 {
+		return st.Stats().LastCheckpoint.Seconds()
+	})
+	reg.GaugeFunc("rdfa_store_replay_seconds", func() float64 {
+		return st.Stats().ReplayTime.Seconds()
+	})
+	reg.GaugeFunc("rdfa_store_replay_records", func() float64 {
+		return float64(st.Stats().ReplayRecords)
+	})
+	reg.GaugeFunc("rdfa_store_replay_discarded_bytes", func() float64 {
+		return float64(st.Stats().ReplayDiscarded)
+	})
+}

@@ -26,6 +26,7 @@ import (
 	"rdfanalytics/internal/rdf"
 	"rdfanalytics/internal/resilience"
 	"rdfanalytics/internal/sparql"
+	"rdfanalytics/internal/store"
 	"rdfanalytics/internal/viz"
 )
 
@@ -164,6 +165,11 @@ type Config struct {
 	// (CacheBytes > 0, MaxConcurrent > 0, or BreakerThreshold set).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// Store, when non-nil, is the durable store backing the served graph:
+	// updates are acknowledged only after the store's group-commit sync,
+	// POST /api/checkpoint triggers compaction, and rdfa_store_* metrics
+	// are exported.
+	Store *store.Store
 }
 
 // SLOConfig declares the service-level objectives. A target of 0 disables
@@ -279,6 +285,9 @@ func NewWithConfig(g *rdf.Graph, ns string, cfg Config) *Server {
 	obs.Default.CounterFunc("rdfa_rdf_index_scans_total", func() float64 {
 		return float64(g.IndexScans())
 	})
+	if cfg.Store != nil {
+		registerStoreMetrics(cfg.Store)
+	}
 	obs.Default.GaugeFunc("rdfa_http_active_sessions", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -307,6 +316,7 @@ func NewWithConfig(g *rdf.Graph, ns string, cfg Config) *Server {
 	mux.HandleFunc("GET /api/workload", s.handleWorkload)
 	mux.HandleFunc("GET /api/timeseries", s.handleTimeseries)
 	mux.HandleFunc("GET /api/alerts", s.handleAlerts)
+	mux.HandleFunc("POST /api/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/dashboard", s.handleDashboard)
@@ -354,6 +364,9 @@ func (s *Server) sessionFor(r *http.Request) *core.Session {
 	sess := core.NewSession(s.graph, s.ns)
 	sess.SetLimits(s.cfg.Limits)
 	sess.SetFeedback(s.feedback)
+	if s.cfg.Store != nil {
+		sess.SetDurability(s.cfg.Store.Sync)
+	}
 	s.sessions[id] = &sessEntry{sess: sess, lastUsed: s.clock, lastAt: time.Now()}
 	sessionsCreated.Inc()
 	return sess
@@ -589,6 +602,15 @@ func (s *Server) execUpdate(w http.ResponseWriter, r *http.Request, src string) 
 	if res.Inserted > 0 || res.Deleted > 0 {
 		for _, e := range s.sessions {
 			e.sess.InvalidateCache()
+		}
+	}
+	// Group commit: the mutations were journaled as they applied; fsync the
+	// WAL before acknowledging so an acked update survives kill -9.
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Sync(); err != nil {
+			httpError(w, http.StatusInternalServerError,
+				fmt.Errorf("update applied but not durable: %w", err))
+			return
 		}
 	}
 	writeJSON(w, map[string]int{"inserted": res.Inserted, "deleted": res.Deleted})

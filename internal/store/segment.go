@@ -1,0 +1,309 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"rdfanalytics/internal/rdf"
+)
+
+// Segment file layout:
+//
+//	magic "RDFS" | version u8 | epoch u64 BE
+//	snapLen u64 BE | snapshot bytes        (the v2 binary graph snapshot)
+//	tripleCount u64 BE
+//	SPO section | POS section | OSP section
+//	crc32 u32 BE                           (over everything before it)
+//
+// Each key section is tripleCount fixed-width 12-byte keys — three
+// big-endian u32 dictionary IDs in the section's component order — sorted
+// ascending, so point and range lookups are binary searches over a flat
+// byte array and a future replica can mmap the file and scan it without
+// decoding the snapshot at all. The snapshot is length-prefixed so the
+// reader can hand ReadBinary an exactly-bounded stream (ReadBinary rejects
+// trailing bytes, which here would be the key sections).
+const (
+	segmentMagic   = "RDFS"
+	segmentVersion = 1
+	keyWidth       = 12
+	// maxSegmentSnap bounds the embedded snapshot size read back from the
+	// header; larger means corruption.
+	maxSegmentSnap = 1 << 40
+)
+
+// A Segment is an immutable on-disk image of the graph at one epoch, held
+// in memory as the raw snapshot bytes plus the three sorted key arrays
+// (for ID-order range scans). The decoded graph form is materialized
+// lazily on first Image() call, so restart (which only needs the live
+// graph) pays for one snapshot decode, not two.
+type Segment struct {
+	Epoch uint64
+	Path  string
+	// snap is the embedded snapshot, kept for the lazy image decode.
+	snap []byte
+	// image is the decoded snapshot, built on demand. It is never mutated
+	// after decode; MVCC snapshots read it concurrently without locking
+	// beyond the graph's own.
+	imageOnce sync.Once
+	image     *rdf.Graph
+	// spo, pos, osp are the raw key sections: len = 12*tripleCount each.
+	spo, pos, osp []byte
+}
+
+// Image returns the decoded segment graph, decoding it on first use.
+// Callers must treat it as read-only. The decode cannot fail for a segment
+// that passed loadSegment's checksum (the same bytes decoded then), so a
+// (theoretical) failure panics rather than silently serving nothing.
+func (s *Segment) Image() *rdf.Graph {
+	s.imageOnce.Do(func() {
+		if s.image != nil {
+			return
+		}
+		g, err := rdf.ReadBinary(bytes.NewReader(s.snap))
+		if err != nil {
+			panic(fmt.Sprintf("store: checksummed segment %s failed to decode: %v", s.Path, err))
+		}
+		s.image = g
+	})
+	return s.image
+}
+
+// Triples returns the number of triples in the segment.
+func (s *Segment) Triples() int { return len(s.spo) / keyWidth }
+
+// A KeyOrder names one of the three key sections.
+type KeyOrder int
+
+const (
+	SPO KeyOrder = iota
+	POS
+	OSP
+)
+
+func (s *Segment) section(order KeyOrder) []byte {
+	switch order {
+	case POS:
+		return s.pos
+	case OSP:
+		return s.osp
+	default:
+		return s.spo
+	}
+}
+
+// Scan visits keys of the chosen section in sorted order, starting at the
+// first key ≥ (a, b, c) in the section's component order, until fn returns
+// false. Pass zeros to scan from the start. Components are reported in the
+// section's own order (e.g. POS reports p, o, s).
+func (s *Segment) Scan(order KeyOrder, a, b, c uint32, fn func(a, b, c uint32) bool) {
+	sec := s.section(order)
+	n := len(sec) / keyWidth
+	var probe [keyWidth]byte
+	binary.BigEndian.PutUint32(probe[0:], a)
+	binary.BigEndian.PutUint32(probe[4:], b)
+	binary.BigEndian.PutUint32(probe[8:], c)
+	// Keys are big-endian, so byte order equals numeric order and the lower
+	// bound is a bytes.Compare binary search.
+	i := sort.Search(n, func(i int) bool {
+		return bytes.Compare(sec[i*keyWidth:(i+1)*keyWidth], probe[:]) >= 0
+	})
+	for ; i < n; i++ {
+		k := sec[i*keyWidth:]
+		if !fn(binary.BigEndian.Uint32(k), binary.BigEndian.Uint32(k[4:]), binary.BigEndian.Uint32(k[8:])) {
+			return
+		}
+	}
+}
+
+func segmentPath(dir string, epoch uint64) string {
+	return fmt.Sprintf("%s/segment-%016x.seg", dir, epoch)
+}
+
+// writeSegment builds and atomically installs the segment file for the
+// given snapshot bytes: write to a temp file, fsync, rename into place,
+// fsync the directory. It returns the loaded segment.
+func writeSegment(dir string, epoch uint64, snap []byte) (*Segment, error) {
+	image, err := rdf.ReadBinary(bytes.NewReader(snap))
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot rejected while building segment: %w", err)
+	}
+	spo, pos, osp := buildKeySections(image)
+
+	tmp, err := os.CreateTemp(dir, "segment-*.tmp")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(tmp.Name())
+	sum := crc32.NewIEEE()
+	w := io.MultiWriter(tmp, sum)
+	var hdr [13]byte
+	copy(hdr[:], segmentMagic)
+	hdr[4] = segmentVersion
+	binary.BigEndian.PutUint64(hdr[5:], epoch)
+	var n8 [8]byte
+	writeErr := func() error {
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint64(n8[:], uint64(len(snap)))
+		if _, err := w.Write(n8[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(snap); err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint64(n8[:], uint64(len(spo)/keyWidth))
+		if _, err := w.Write(n8[:]); err != nil {
+			return err
+		}
+		for _, sec := range [][]byte{spo, pos, osp} {
+			if _, err := w.Write(sec); err != nil {
+				return err
+			}
+		}
+		var trailer [4]byte
+		binary.BigEndian.PutUint32(trailer[:], sum.Sum32())
+		_, err := tmp.Write(trailer[:])
+		return err
+	}()
+	if writeErr != nil {
+		tmp.Close()
+		return nil, writeErr
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, err
+	}
+	path := segmentPath(dir, epoch)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		return nil, err
+	}
+	return &Segment{Epoch: epoch, Path: path, snap: snap, image: image, spo: spo, pos: pos, osp: osp}, nil
+}
+
+// buildKeySections materializes the three sorted key arrays from the
+// decoded image. The snapshot already stores triples in (s,p,o) order, so
+// SPO comes out sorted for free; POS and OSP are permuted copies re-sorted
+// by their component order.
+func buildKeySections(image *rdf.Graph) (spo, pos, osp []byte) {
+	n := image.Len()
+	spo = make([]byte, 0, n*keyWidth)
+	pos = make([]byte, 0, n*keyWidth)
+	osp = make([]byte, 0, n*keyWidth)
+	image.MatchIDs(0, 0, 0, func(s, p, o rdf.ID) bool {
+		spo = appendKey(spo, uint32(s), uint32(p), uint32(o))
+		pos = appendKey(pos, uint32(p), uint32(o), uint32(s))
+		osp = appendKey(osp, uint32(o), uint32(s), uint32(p))
+		return true
+	})
+	sortKeys(spo)
+	sortKeys(pos)
+	sortKeys(osp)
+	return spo, pos, osp
+}
+
+func appendKey(dst []byte, a, b, c uint32) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, a)
+	dst = binary.BigEndian.AppendUint32(dst, b)
+	return binary.BigEndian.AppendUint32(dst, c)
+}
+
+// sortKeys sorts a flat key section in place; big-endian keys sort
+// bytewise.
+func sortKeys(sec []byte) {
+	n := len(sec) / keyWidth
+	sort.Sort(&keySlice{sec, n})
+}
+
+type keySlice struct {
+	b []byte
+	n int
+}
+
+func (k *keySlice) Len() int { return k.n }
+func (k *keySlice) Less(i, j int) bool {
+	return bytes.Compare(k.b[i*keyWidth:(i+1)*keyWidth], k.b[j*keyWidth:(j+1)*keyWidth]) < 0
+}
+func (k *keySlice) Swap(i, j int) {
+	var tmp [keyWidth]byte
+	copy(tmp[:], k.b[i*keyWidth:])
+	copy(k.b[i*keyWidth:(i+1)*keyWidth], k.b[j*keyWidth:])
+	copy(k.b[j*keyWidth:(j+1)*keyWidth], tmp[:])
+}
+
+// loadSegment reads and verifies a segment file. It returns the segment and
+// the raw snapshot bytes (the caller re-decodes them to materialize the
+// mutable live graph — the image inside the Segment stays immutable).
+func loadSegment(path string) (*Segment, []byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(raw) < 13+8+8+4 {
+		return nil, nil, fmt.Errorf("store: %s: segment too short (%d bytes)", path, len(raw))
+	}
+	body, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(trailer) {
+		return nil, nil, fmt.Errorf("store: %s: segment checksum mismatch", path)
+	}
+	if string(body[:4]) != segmentMagic {
+		return nil, nil, fmt.Errorf("store: %s is not a segment file (magic %q)", path, body[:4])
+	}
+	if body[4] != segmentVersion {
+		return nil, nil, fmt.Errorf("store: %s: unsupported segment version %d", path, body[4])
+	}
+	epoch := binary.BigEndian.Uint64(body[5:])
+	snapLen := binary.BigEndian.Uint64(body[13:])
+	rest := body[21:]
+	if snapLen > maxSegmentSnap || snapLen > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("store: %s: implausible snapshot length %d", path, snapLen)
+	}
+	snap := rest[:snapLen]
+	rest = rest[snapLen:]
+	if len(rest) < 8 {
+		return nil, nil, fmt.Errorf("store: %s: truncated key index", path)
+	}
+	tripleCount := binary.BigEndian.Uint64(rest[:8])
+	rest = rest[8:]
+	want := tripleCount * 3 * keyWidth
+	if uint64(len(rest)) != want {
+		return nil, nil, fmt.Errorf("store: %s: key sections are %d bytes, want %d", path, len(rest), want)
+	}
+	secLen := tripleCount * keyWidth
+	// The snapshot is NOT decoded here: the CRC already vouches for the
+	// bytes, Open decodes them once for the live graph (surfacing any
+	// decode error at open time), and the MVCC image decodes lazily on
+	// first Snapshot use.
+	return &Segment{
+		Epoch: epoch,
+		Path:  path,
+		snap:  snap,
+		spo:   rest[:secLen],
+		pos:   rest[secLen : 2*secLen],
+		osp:   rest[2*secLen:],
+	}, snap, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,155 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"rdfanalytics/internal/rdf"
+)
+
+func buildSnap(t *testing.T, g *rdf.Graph) ([]byte, uint64) {
+	t.Helper()
+	var buf bytes.Buffer
+	epoch, err := g.SnapshotBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), epoch
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	g := rdf.MustLoadTurtle(`@prefix ex: <http://e/> .
+ex:a ex:p ex:b ; ex:q "v" .
+ex:b ex:p ex:c .
+ex:c ex:p ex:a .`)
+	snap, epoch := buildSnap(t, g)
+	dir := t.TempDir()
+	seg, err := writeSegment(dir, epoch, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Epoch != epoch || seg.Triples() != g.Len() {
+		t.Fatalf("built segment epoch %d / %d triples, want %d / %d", seg.Epoch, seg.Triples(), epoch, g.Len())
+	}
+	loaded, raw, err := loadSegment(seg.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, snap) {
+		t.Fatal("embedded snapshot bytes differ")
+	}
+	if loaded.Epoch != epoch || loaded.Triples() != g.Len() {
+		t.Fatalf("loaded segment epoch %d / %d triples", loaded.Epoch, loaded.Triples())
+	}
+	for _, tr := range g.Triples() {
+		if !loaded.Image().Has(tr) {
+			t.Errorf("segment image lost %v", tr)
+		}
+	}
+}
+
+// TestSegmentScan checks all three key sections: sorted order, full
+// coverage, and lower-bound positioning.
+func TestSegmentScan(t *testing.T) {
+	g := rdf.NewGraph()
+	for i := 0; i < 20; i++ {
+		g.Add(rdf.Triple{
+			S: rdf.NewIRI("http://e/s" + string(rune('a'+i%5))),
+			P: rdf.NewIRI("http://e/p" + string(rune('a'+i%3))),
+			O: rdf.NewInteger(int64(i)),
+		})
+	}
+	snap, epoch := buildSnap(t, g)
+	seg, err := writeSegment(t.TempDir(), epoch, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range []KeyOrder{SPO, POS, OSP} {
+		var prev [3]uint32
+		n := 0
+		first := true
+		seg.Scan(order, 0, 0, 0, func(a, b, c uint32) bool {
+			k := [3]uint32{a, b, c}
+			if !first && !lessKey(prev, k) {
+				t.Fatalf("order %d: keys not strictly ascending: %v then %v", order, prev, k)
+			}
+			prev, first = k, false
+			n++
+			return true
+		})
+		if n != g.Len() {
+			t.Fatalf("order %d: scanned %d keys, want %d", order, n, g.Len())
+		}
+	}
+	// Lower bound: scanning from the 10th SPO key yields exactly the rest.
+	var keys [][3]uint32
+	seg.Scan(SPO, 0, 0, 0, func(a, b, c uint32) bool {
+		keys = append(keys, [3]uint32{a, b, c})
+		return true
+	})
+	mid := keys[10]
+	rest := 0
+	seg.Scan(SPO, mid[0], mid[1], mid[2], func(a, b, c uint32) bool {
+		rest++
+		return true
+	})
+	if rest != len(keys)-10 {
+		t.Fatalf("lower-bound scan returned %d keys, want %d", rest, len(keys)-10)
+	}
+	// Early stop.
+	n := 0
+	seg.Scan(SPO, 0, 0, 0, func(a, b, c uint32) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early-stopped scan visited %d keys", n)
+	}
+}
+
+func lessKey(a, b [3]uint32) bool {
+	for i := 0; i < 3; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// TestSegmentRejectsCorruption flips every 97th byte in turn: the CRC (or a
+// structural check) must catch each one.
+func TestSegmentRejectsCorruption(t *testing.T) {
+	g := rdf.MustLoadTurtle(`<http://e/s> <http://e/p> <http://e/o> .`)
+	snap, epoch := buildSnap(t, g)
+	dir := t.TempDir()
+	seg, err := writeSegment(dir, epoch, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(seg.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(raw); off += 7 {
+		bad := append([]byte{}, raw...)
+		bad[off] ^= 0xFF
+		path := dir + "/corrupt.seg"
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := loadSegment(path); err == nil {
+			t.Fatalf("corruption at offset %d went undetected", off)
+		}
+	}
+	// Truncations must be rejected too.
+	for _, cut := range []int{0, 5, 12, len(raw) / 2, len(raw) - 1} {
+		path := dir + "/trunc.seg"
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := loadSegment(path); err == nil {
+			t.Fatalf("truncation at %d went undetected", cut)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"rdfanalytics/internal/rdf"
+)
+
+// A Snapshot is an immutable point-in-time view of the store: the current
+// segment's image plus the tail records folded into an add/remove overlay.
+// Taking one copies only the (small) tail, so readers never block writers —
+// the live graph keeps mutating while any number of snapshots serve reads
+// at their own epoch. The Epoch is the graph version the view corresponds
+// to, the same token the answer and cardinality caches key on.
+type Snapshot struct {
+	Epoch uint64
+	seg   *Segment // nil before the first checkpoint
+	adds  []rdf.Triple
+	dels  map[rdf.Triple]struct{}
+	has   map[rdf.Triple]struct{} // adds, for O(1) Has
+}
+
+// Snapshot captures the store's current state. The segment image is shared
+// (immutable), the tail overlay is folded at call time.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.Lock()
+	seg := s.seg
+	tail := make([]record, len(s.tail))
+	copy(tail, s.tail)
+	s.mu.Unlock()
+
+	sn := &Snapshot{
+		seg:  seg,
+		dels: make(map[rdf.Triple]struct{}),
+		has:  make(map[rdf.Triple]struct{}),
+	}
+	if seg != nil {
+		sn.Epoch = seg.Epoch
+	}
+	// Fold the tail in order: a later record for the same triple wins.
+	for _, rec := range tail {
+		if rec.version > sn.Epoch {
+			sn.Epoch = rec.version
+		}
+		if rec.op == rdf.JournalAdd {
+			if _, ok := sn.has[rec.t]; !ok {
+				delete(sn.dels, rec.t)
+				sn.has[rec.t] = struct{}{}
+				sn.adds = append(sn.adds, rec.t)
+			}
+		} else {
+			if _, ok := sn.has[rec.t]; ok {
+				delete(sn.has, rec.t)
+				// adds slice is rebuilt lazily in Match; mark absent
+				sn.adds = removeTriple(sn.adds, rec.t)
+			}
+			sn.dels[rec.t] = struct{}{}
+		}
+	}
+	return sn
+}
+
+func removeTriple(ts []rdf.Triple, t rdf.Triple) []rdf.Triple {
+	for i := range ts {
+		if ts[i] == t {
+			return append(ts[:i], ts[i+1:]...)
+		}
+	}
+	return ts
+}
+
+// Has reports whether the triple is visible in this snapshot.
+func (sn *Snapshot) Has(t rdf.Triple) bool {
+	if _, ok := sn.has[t]; ok {
+		return true
+	}
+	if _, ok := sn.dels[t]; ok {
+		return false
+	}
+	return sn.seg != nil && sn.seg.Image().Has(t)
+}
+
+// Len returns the number of triples visible in this snapshot.
+func (sn *Snapshot) Len() int {
+	n := len(sn.has)
+	if sn.seg != nil {
+		n += sn.seg.Image().Len()
+		// Deletions and re-adds of segment triples adjust the count.
+		for t := range sn.dels {
+			if sn.seg.Image().Has(t) {
+				n--
+			}
+		}
+		for t := range sn.has {
+			if sn.seg.Image().Has(t) {
+				n--
+			}
+		}
+	}
+	return n
+}
+
+// Match calls fn for every visible triple matching the pattern (rdf.Any is
+// a wildcard), segment triples first, then tail additions. Iteration stops
+// when fn returns false.
+func (sn *Snapshot) Match(s, p, o rdf.Term, fn func(rdf.Triple) bool) {
+	stopped := false
+	if sn.seg != nil {
+		sn.seg.Image().Match(s, p, o, func(t rdf.Triple) bool {
+			if _, del := sn.dels[t]; del {
+				return true
+			}
+			if _, readd := sn.has[t]; readd {
+				return true // reported from the adds pass instead
+			}
+			if !fn(t) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	}
+	if stopped {
+		return
+	}
+	for _, t := range sn.adds {
+		if !matches(t, s, p, o) {
+			continue
+		}
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+func matches(t rdf.Triple, s, p, o rdf.Term) bool {
+	return (s == rdf.Any || t.S == s) && (p == rdf.Any || t.P == p) && (o == rdf.Any || t.O == o)
+}

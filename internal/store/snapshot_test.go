@@ -1,0 +1,181 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rdfanalytics/internal/rdf"
+)
+
+func collect(sn *Snapshot, s, p, o rdf.Term) map[rdf.Triple]bool {
+	out := make(map[rdf.Triple]bool)
+	sn.Match(s, p, o, func(t rdf.Triple) bool {
+		out[t] = true
+		return true
+	})
+	return out
+}
+
+// TestSnapshotIsolation: a snapshot keeps serving its epoch's state while
+// the live graph mutates underneath it.
+func TestSnapshotIsolation(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	g := s.Graph()
+	a := rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")}
+	b := rdf.Triple{S: iri("b"), P: iri("p"), O: iri("c")}
+	g.Add(a)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	g.Add(b)
+	sn := s.Snapshot()
+	epoch := sn.Epoch
+
+	// Mutate after the snapshot: remove both, add a third.
+	c := rdf.Triple{S: iri("c"), P: iri("p"), O: iri("d")}
+	g.Remove(a)
+	g.Remove(b)
+	g.Add(c)
+
+	if !sn.Has(a) || !sn.Has(b) || sn.Has(c) {
+		t.Fatalf("snapshot sees post-epoch state: Has(a)=%v Has(b)=%v Has(c)=%v", sn.Has(a), sn.Has(b), sn.Has(c))
+	}
+	if sn.Epoch != epoch {
+		t.Fatal("snapshot epoch changed")
+	}
+	if sn.Len() != 2 {
+		t.Fatalf("snapshot Len = %d, want 2", sn.Len())
+	}
+	got := collect(sn, rdf.Any, rdf.Any, rdf.Any)
+	if len(got) != 2 || !got[a] || !got[b] {
+		t.Fatalf("snapshot Match returned %v", got)
+	}
+	// A fresh snapshot sees the new state.
+	sn2 := s.Snapshot()
+	if sn2.Has(a) || sn2.Has(b) || !sn2.Has(c) {
+		t.Fatal("fresh snapshot does not see current state")
+	}
+	if sn2.Epoch <= epoch {
+		t.Fatalf("fresh snapshot epoch %d not newer than %d", sn2.Epoch, epoch)
+	}
+	s.Close()
+}
+
+// TestSnapshotOverlaySemantics: deletes of segment triples, re-adds after
+// delete, and adds shadowed by later deletes all resolve by record order.
+func TestSnapshotOverlaySemantics(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	g := s.Graph()
+	kept := rdf.Triple{S: iri("kept"), P: iri("p"), O: iri("x")}
+	readded := rdf.Triple{S: iri("readded"), P: iri("p"), O: iri("x")}
+	dropped := rdf.Triple{S: iri("dropped"), P: iri("p"), O: iri("x")}
+	g.Add(kept)
+	g.Add(readded)
+	g.Add(dropped)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	flicker := rdf.Triple{S: iri("flicker"), P: iri("p"), O: iri("x")}
+	g.Remove(readded)
+	g.Add(readded) // delete then re-add of a segment triple
+	g.Remove(dropped)
+	g.Add(flicker)
+	g.Remove(flicker) // add then delete, tail-only
+
+	sn := s.Snapshot()
+	want := map[rdf.Triple]bool{kept: true, readded: true}
+	if got := collect(sn, rdf.Any, rdf.Any, rdf.Any); len(got) != len(want) || !got[kept] || !got[readded] {
+		t.Fatalf("Match = %v, want %v", got, want)
+	}
+	if sn.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", sn.Len())
+	}
+	for tr, present := range map[rdf.Triple]bool{kept: true, readded: true, dropped: false, flicker: false} {
+		if sn.Has(tr) != present {
+			t.Errorf("Has(%v) = %v, want %v", tr, sn.Has(tr), present)
+		}
+	}
+	// Pattern-restricted match against the overlay.
+	got := collect(sn, iri("readded"), rdf.Any, rdf.Any)
+	if len(got) != 1 || !got[readded] {
+		t.Fatalf("pattern match = %v", got)
+	}
+	s.Close()
+}
+
+// TestSnapshotBeforeFirstCheckpoint: with no segment yet, snapshots are
+// pure tail overlays.
+func TestSnapshotBeforeFirstCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	a := rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")}
+	s.Graph().Add(a)
+	sn := s.Snapshot()
+	if !sn.Has(a) || sn.Len() != 1 {
+		t.Fatalf("segmentless snapshot: Has=%v Len=%d", sn.Has(a), sn.Len())
+	}
+	if got := collect(sn, rdf.Any, iri("p"), rdf.Any); len(got) != 1 || !got[a] {
+		t.Fatalf("segmentless Match = %v", got)
+	}
+	s.Close()
+}
+
+// TestSnapshotConcurrentReaders hammers snapshots from readers while a
+// writer mutates and checkpoints — meant for -race. The workload only adds,
+// so each reader's successive snapshots must never lose triples and epochs
+// must never run backwards.
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	g := s.Graph()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last, lastEpoch := 0, uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sn := s.Snapshot()
+				n := 0
+				sn.Match(rdf.Any, iri("p"), rdf.Any, func(rdf.Triple) bool {
+					n++
+					return true
+				})
+				if n < last || sn.Epoch < lastEpoch {
+					select {
+					case errs <- fmt.Errorf("snapshot went backwards: %d→%d triples, epoch %d→%d", last, n, lastEpoch, sn.Epoch):
+					default:
+					}
+					return
+				}
+				last, lastEpoch = n, sn.Epoch
+			}
+		}()
+	}
+	for i := 0; i < 300; i++ {
+		g.Add(rdf.Triple{S: iri("s"), P: iri("p"), O: rdf.NewInteger(int64(i))})
+		if i%50 == 0 {
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	s.Close()
+}

@@ -1,0 +1,397 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rdfanalytics/internal/rdf"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory; created if absent.
+	Dir string
+	// Sync is the WAL durability mode (default SyncBatch).
+	Sync SyncMode
+	// CheckpointEvery, when positive, starts a background goroutine that
+	// compacts the WAL into a fresh segment at that interval (skipping
+	// intervals with no new records).
+	CheckpointEvery time.Duration
+}
+
+// Store binds an rdf.Graph to a data directory: every effective mutation of
+// the graph is journaled to the WAL before it hits the in-memory indexes,
+// checkpoints fold the log into immutable segment files, and Open rebuilds
+// the exact pre-crash graph from segment + log. Lock ordering is strictly
+// graph.mu → Store.mu (the journal hook runs under the graph write lock and
+// takes s.mu; nothing holding s.mu ever calls a locking graph method).
+type Store struct {
+	dir  string
+	mode SyncMode
+
+	g *rdf.Graph
+
+	mu  sync.Mutex
+	seg *Segment // nil until the first checkpoint
+	wal *wal
+	// tail holds the records journaled since the current segment's epoch —
+	// exactly the WAL's surviving contents. MVCC snapshots fold it over the
+	// segment image; checkpoints carry the still-newer suffix forward.
+	tail []record
+
+	// counters for Stats; guarded by mu.
+	walRecordsTotal int64
+	walBytesTotal   int64
+	checkpoints     int64
+	lastCheckpoint  time.Duration
+	replayTime      time.Duration
+	replayRecords   int
+	replayDiscarded int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open loads (or initializes) the store in opts.Dir: the newest intact
+// segment is decoded, every WAL with records newer than its epoch is
+// replayed on top (torn tails truncated, stale records skipped), and the
+// graph's journal hook is attached so all further mutations are logged.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: no data directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: opts.Dir, mode: opts.Sync}
+	start := time.Now()
+
+	segPaths, walPaths, err := listFiles(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	// Newest loadable segment wins; a corrupt newer one (crash mid-install
+	// is excluded by the tmp+rename protocol, but disks rot) falls back to
+	// the previous.
+	var snap []byte
+	for i := len(segPaths) - 1; i >= 0; i-- {
+		seg, raw, err := loadSegment(segPaths[i])
+		if err == nil {
+			s.seg = seg
+			snap = raw
+			break
+		}
+	}
+	var epoch uint64
+	if s.seg != nil {
+		epoch = s.seg.Epoch
+		// Materialize the live graph by decoding the snapshot a second
+		// time: the segment's own image must stay immutable for MVCC
+		// readers, and decoding preserves every dictionary ID.
+		g, err := rdf.ReadBinary(bytes.NewReader(snap))
+		if err != nil {
+			return nil, err
+		}
+		s.g = g
+	} else {
+		s.g = rdf.NewGraph()
+	}
+	s.g.SetVersion(epoch)
+
+	// Replay WALs in epoch order, applying only records strictly newer than
+	// everything applied so far. Journaled versions are unique and strictly
+	// increasing (one per effective mutation), so this filter makes replay
+	// idempotent across every crash shape: records at or below the segment
+	// epoch are inside the segment, and a crash mid-checkpoint — which
+	// leaves the old WAL plus a fresh WAL holding copies of its newest
+	// records — replays each mutation exactly once, in order.
+	maxVersion := epoch
+	for _, path := range walPaths {
+		_, recs, discarded, err := replayWAL(path)
+		if err != nil {
+			return nil, err
+		}
+		s.replayDiscarded += discarded
+		for _, rec := range recs {
+			if rec.version <= maxVersion {
+				continue
+			}
+			applyRecord(s.g, rec)
+			maxVersion = rec.version
+			s.tail = append(s.tail, rec)
+			s.replayRecords++
+		}
+	}
+	// Restore a monotonic version counter: replayed mutations bumped the
+	// graph's own counter from the epoch, but a skipped no-op (idempotent
+	// suffix) would leave it behind the journaled high-water mark.
+	if s.g.Version() < maxVersion {
+		s.g.SetVersion(maxVersion)
+	}
+
+	// Pick the WAL to continue on. A single log (the normal case) is
+	// appended to in place. Multiple logs mean a crash interrupted a
+	// checkpoint's WAL swap: no single file holds the whole tail, so the
+	// tail is consolidated into a fresh log (tmp + rename, so the old logs
+	// stay authoritative until the new one is durable) before the old ones
+	// are removed.
+	switch {
+	case len(walPaths) == 1:
+		w, err := openWALForAppend(walPaths[0], opts.Sync)
+		if err != nil {
+			return nil, err
+		}
+		s.wal = w
+	case len(walPaths) > 1:
+		w, err := consolidateWALs(opts.Dir, epoch, opts.Sync, s.tail, walPaths)
+		if err != nil {
+			return nil, err
+		}
+		s.wal = w
+	default:
+		w, err := createWAL(opts.Dir, epoch, opts.Sync)
+		if err != nil {
+			return nil, err
+		}
+		s.wal = w
+	}
+	s.replayTime = time.Since(start)
+
+	s.g.SetJournal(s.journal)
+	if opts.CheckpointEvery > 0 {
+		s.stop = make(chan struct{})
+		s.done = make(chan struct{})
+		go s.checkpointLoop(opts.CheckpointEvery)
+	}
+	return s, nil
+}
+
+func applyRecord(g *rdf.Graph, rec record) {
+	if rec.op == rdf.JournalAdd {
+		g.Add(rec.t)
+	} else {
+		g.Remove(rec.t)
+	}
+}
+
+func listFiles(dir string) (segs, wals []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "segment-") && strings.HasSuffix(name, ".seg"):
+			segs = append(segs, filepath.Join(dir, name))
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			wals = append(wals, filepath.Join(dir, name))
+		case strings.HasSuffix(name, ".tmp"):
+			// leftover from a crash mid-checkpoint; never installed
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+	// Hex-padded epochs make lexicographic order epoch order.
+	sort.Strings(segs)
+	sort.Strings(wals)
+	return segs, wals, nil
+}
+
+// Graph returns the live graph the store journals for.
+func (s *Store) Graph() *rdf.Graph { return s.g }
+
+// Empty reports whether the store holds no data at all — a fresh directory
+// awaiting Bootstrap.
+func (s *Store) Empty() bool {
+	// Lock order is graph.mu → Store.mu, so read the graph before taking
+	// s.mu rather than under it.
+	empty := s.g.Len() == 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seg == nil && len(s.tail) == 0 && empty
+}
+
+// journal is the rdf.Graph write-ahead hook. It runs under the graph write
+// lock, before the mutation is applied, and must not call back into the
+// graph.
+func (s *Store) journal(op rdf.JournalOp, t rdf.Triple, version uint64) {
+	rec := record{version: version, op: op, t: t}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before := s.wal.bytes
+	if err := s.wal.append(rec); err != nil {
+		// The error is sticky in the WAL; Sync (the ack barrier) will
+		// surface it, so the update can't be acknowledged as durable.
+		return
+	}
+	s.tail = append(s.tail, rec)
+	s.walRecordsTotal++
+	// Cumulative across WAL swaps, so the exported counter is monotonic.
+	s.walBytesTotal += s.wal.bytes - before
+}
+
+// Sync is the group-commit barrier: it flushes and (unless SyncOff) fsyncs
+// the WAL. Callers acknowledge updates only after Sync returns nil.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.sync()
+}
+
+// Bootstrap adopts an already-populated graph (e.g. freshly parsed Turtle)
+// as the store's graph, writes the first checkpoint, and attaches the
+// journal. Only valid on an Empty store.
+func (s *Store) Bootstrap(g *rdf.Graph) error {
+	if !s.Empty() {
+		return fmt.Errorf("store: Bootstrap on a non-empty store")
+	}
+	s.g.SetJournal(nil)
+	s.g = g
+	if err := s.Checkpoint(); err != nil {
+		return err
+	}
+	s.g.SetJournal(s.journal)
+	return nil
+}
+
+// Checkpoint compacts the store: snapshot the live graph (atomically with
+// its version, under the graph read lock only), build and install a segment
+// file at that epoch, then swap in a fresh WAL carrying just the records
+// newer than the epoch. Readers and writers keep running throughout; only
+// the final swap holds s.mu.
+func (s *Store) Checkpoint() error {
+	start := time.Now()
+	var buf bytes.Buffer
+	epoch, err := s.g.SnapshotBinary(&buf)
+	if err != nil {
+		return err
+	}
+	seg, err := writeSegment(s.dir, epoch, buf.Bytes())
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Records newer than the epoch arrived after the snapshot was cut;
+	// they survive into the fresh WAL. Everything else is inside the
+	// segment now.
+	var survivors []record
+	for _, rec := range s.tail {
+		if rec.version > epoch {
+			survivors = append(survivors, rec)
+		}
+	}
+	// Durability ordering: the old WAL is synced before the new one
+	// replaces it, so no acknowledged record is ever only in volatile
+	// buffers while its file is being retired.
+	if err := s.wal.sync(); err != nil {
+		return err
+	}
+	nw, err := createWAL(s.dir, epoch, s.mode)
+	if err != nil {
+		return err
+	}
+	for _, rec := range survivors {
+		if err := nw.append(rec); err != nil {
+			nw.close()
+			os.Remove(nw.path)
+			return err
+		}
+	}
+	if err := nw.sync(); err != nil {
+		nw.close()
+		os.Remove(nw.path)
+		return err
+	}
+	old := s.wal
+	oldSeg := s.seg
+	s.wal = nw
+	s.seg = seg
+	s.tail = survivors
+	old.close()
+	if old.path != nw.path {
+		os.Remove(old.path)
+	}
+	if oldSeg != nil && oldSeg.Path != seg.Path {
+		os.Remove(oldSeg.Path)
+	}
+	s.checkpoints++
+	s.lastCheckpoint = time.Since(start)
+	return nil
+}
+
+func (s *Store) checkpointLoop(every time.Duration) {
+	defer close(s.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			dirty := len(s.tail) > 0 || s.seg == nil
+			s.mu.Unlock()
+			if dirty {
+				s.Checkpoint() // best-effort; next tick retries
+			}
+		}
+	}
+}
+
+// Close stops the background checkpointer, syncs and closes the WAL. The
+// graph stays usable in memory but is no longer journaled.
+func (s *Store) Close() error {
+	if s.stop != nil {
+		close(s.stop)
+		<-s.done
+		s.stop = nil
+	}
+	s.g.SetJournal(nil)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.close()
+}
+
+// Stats is a point-in-time view of the store for metrics export.
+type Stats struct {
+	Epoch           uint64
+	Segments        int
+	SegmentTriples  int
+	TailRecords     int
+	WALRecordsTotal int64
+	WALBytesTotal   int64
+	Checkpoints     int64
+	LastCheckpoint  time.Duration
+	ReplayTime      time.Duration
+	ReplayRecords   int
+	ReplayDiscarded int64
+}
+
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		TailRecords:     len(s.tail),
+		WALRecordsTotal: s.walRecordsTotal,
+		WALBytesTotal:   s.walBytesTotal,
+		Checkpoints:     s.checkpoints,
+		LastCheckpoint:  s.lastCheckpoint,
+		ReplayTime:      s.replayTime,
+		ReplayRecords:   s.replayRecords,
+		ReplayDiscarded: s.replayDiscarded,
+	}
+	if s.seg != nil {
+		st.Epoch = s.seg.Epoch
+		st.Segments = 1
+		st.SegmentTriples = s.seg.Triples()
+	}
+	return st
+}

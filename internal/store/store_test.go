@@ -1,0 +1,341 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfanalytics/internal/rdf"
+)
+
+func openTest(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(Options{Dir: dir, Sync: SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://e/" + s) }
+
+func snapshotBytes(t *testing.T, g *rdf.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStoreReopenRestoresGraph is the core durability contract: everything
+// synced before a crash (simulated by abandoning the store without Close)
+// is present after reopen, byte-identically — same triples, same
+// dictionary IDs.
+func TestStoreReopenRestoresGraph(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	g := s.Graph()
+	g.Add(rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")})
+	g.Add(rdf.Triple{S: iri("b"), P: iri("p"), O: iri("c")})
+	g.Add(rdf.Triple{S: iri("a"), P: iri("q"), O: rdf.NewString("v")})
+	g.Remove(rdf.Triple{S: iri("b"), P: iri("p"), O: iri("c")})
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotBytes(t, g)
+	wantVersion := g.Version()
+	// No Close: the process "crashes" here.
+	s2 := openTest(t, dir)
+	if got := snapshotBytes(t, s2.Graph()); !bytes.Equal(got, want) {
+		t.Fatal("reopened graph differs from pre-crash graph")
+	}
+	if v := s2.Graph().Version(); v != wantVersion {
+		t.Fatalf("version = %d after reopen, want %d", v, wantVersion)
+	}
+	s2.Close()
+}
+
+// TestStoreCheckpointAndTail: state = segment + WAL tail; reopen folds both.
+func TestStoreCheckpointAndTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	g := s.Graph()
+	for i := 0; i < 50; i++ {
+		g.Add(rdf.Triple{S: iri("s"), P: iri("p"), O: rdf.NewInteger(int64(i))})
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint mutations land in the fresh WAL only.
+	g.Add(rdf.Triple{S: iri("s"), P: iri("p"), O: rdf.NewInteger(100)})
+	g.Remove(rdf.Triple{S: iri("s"), P: iri("p"), O: rdf.NewInteger(0)})
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotBytes(t, g)
+	st := s.Stats()
+	if st.Segments != 1 || st.SegmentTriples != 50 || st.TailRecords != 2 {
+		t.Fatalf("stats = %+v, want 1 segment of 50 triples and 2 tail records", st)
+	}
+
+	s2 := openTest(t, dir)
+	if got := snapshotBytes(t, s2.Graph()); !bytes.Equal(got, want) {
+		t.Fatal("segment+tail reopen differs from pre-crash graph")
+	}
+	st2 := s2.Stats()
+	if st2.ReplayRecords != 2 {
+		t.Fatalf("replayed %d records, want 2", st2.ReplayRecords)
+	}
+	s2.Close()
+}
+
+// TestStoreTornTailDiscarded: a partial final record (unsynced buffered
+// write cut short by the crash) is discarded; every synced update survives.
+func TestStoreTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	g := s.Graph()
+	g.Add(rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")})
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotBytes(t, g)
+	walFile := s.wal.path
+	s.wal.w.Flush()
+	// Simulate a torn write: append half a frame of garbage to the log.
+	f, err := os.OpenFile(walFile, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 40, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openTest(t, dir)
+	if got := snapshotBytes(t, s2.Graph()); !bytes.Equal(got, want) {
+		t.Fatal("torn tail corrupted recovered state")
+	}
+	if s2.Stats().ReplayDiscarded == 0 {
+		t.Fatal("expected discarded bytes to be reported")
+	}
+	// The store must keep accepting writes on the truncated log.
+	s2.Graph().Add(rdf.Triple{S: iri("x"), P: iri("p"), O: iri("y")})
+	if err := s2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := openTest(t, dir)
+	if !s3.Graph().Has(rdf.Triple{S: iri("x"), P: iri("p"), O: iri("y")}) {
+		t.Fatal("post-recovery write lost")
+	}
+	s3.Close()
+}
+
+// TestStoreCrashMidCheckpoint reconstructs the worst crash window: a
+// checkpoint cut its snapshot at epoch E, mutations (an add and its remove)
+// landed in the old WAL after the cut, the new segment is installed, and
+// the fresh WAL got only a prefix of the surviving records — just the add —
+// before the crash. Reopen must apply each mutation exactly once, in order:
+// replaying the new WAL's duplicate add after the old WAL's remove would
+// resurrect the deleted triple.
+func TestStoreCrashMidCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	g := s.Graph()
+	base := rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")}
+	mid := rdf.Triple{S: iri("a"), P: iri("p"), O: iri("c")}
+	tmp := rdf.Triple{S: iri("tmp"), P: iri("p"), O: iri("z")}
+	g.Add(base) // v1
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	g.Add(mid)    // v2 — will be inside the crashed checkpoint's segment
+	g.Add(tmp)    // v3 — journaled after the snapshot cut
+	g.Remove(tmp) // v4
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotBytes(t, g)
+	// The real store is now segment-1 + wal-1 {v2, v3, v4}. Overlay the
+	// crashed checkpoint's artifacts: segment-2 (the graph as of v2) and a
+	// partial wal-2 holding only the add of tmp (v3).
+	img := rdf.NewGraph()
+	img.Add(base)
+	img.Add(mid)
+	var buf bytes.Buffer
+	epoch, err := img.SnapshotBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Fatalf("crafted snapshot epoch = %d, want 2", epoch)
+	}
+	if _, err := writeSegment(dir, epoch, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	nw, err := createWAL(dir, epoch, SyncBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.append(record{version: 3, op: rdf.JournalAdd, t: tmp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir)
+	if s2.Graph().Has(tmp) {
+		t.Fatal("removed triple resurrected by duplicate replay of its add")
+	}
+	if got := snapshotBytes(t, s2.Graph()); !bytes.Equal(got, want) {
+		t.Fatal("crash mid-checkpoint recovered to a different graph")
+	}
+	if v := s2.Graph().Version(); v != 4 {
+		t.Fatalf("version = %d after recovery, want 4", v)
+	}
+	// Consolidation must leave exactly one WAL holding the full tail, so a
+	// third open (after the old logs are gone) still has every record.
+	_, wals, err := listFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wals) != 1 {
+		t.Fatalf("%d WAL files after consolidation, want 1", len(wals))
+	}
+	s2.Close()
+	s3 := openTest(t, dir)
+	if got := snapshotBytes(t, s3.Graph()); !bytes.Equal(got, want) {
+		t.Fatal("consolidated WAL lost records")
+	}
+	s3.Close()
+}
+
+// TestStoreReplayIsIdempotent re-opens the same directory repeatedly with
+// no writes in between: state and version must be fixed points.
+func TestStoreReplayIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	g := s.Graph()
+	g.Add(rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")})
+	g.Add(rdf.Triple{S: iri("b"), P: iri("p"), O: iri("c")})
+	g.Remove(rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")})
+	s.Sync()
+	want := snapshotBytes(t, g)
+	wantVersion := g.Version()
+	for i := 0; i < 3; i++ {
+		s2 := openTest(t, dir)
+		if got := snapshotBytes(t, s2.Graph()); !bytes.Equal(got, want) {
+			t.Fatalf("reopen %d changed the graph", i)
+		}
+		if v := s2.Graph().Version(); v != wantVersion {
+			t.Fatalf("reopen %d: version %d, want %d", i, v, wantVersion)
+		}
+		s2.Close()
+	}
+}
+
+// TestStoreBootstrap: first boot adopts a pre-loaded graph, checkpoints it,
+// and journals everything after.
+func TestStoreBootstrap(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	if !s.Empty() {
+		t.Fatal("fresh store not Empty")
+	}
+	g := rdf.MustLoadTurtle(`@prefix ex: <http://e/> .
+ex:a ex:p ex:b . ex:b ex:p ex:c .`)
+	if err := s.Bootstrap(g); err != nil {
+		t.Fatal(err)
+	}
+	if s.Empty() {
+		t.Fatal("bootstrapped store still Empty")
+	}
+	g.Add(rdf.Triple{S: iri("c"), P: iri("p"), O: iri("d")})
+	s.Sync()
+	want := snapshotBytes(t, g)
+	s.Close()
+	s2 := openTest(t, dir)
+	if got := snapshotBytes(t, s2.Graph()); !bytes.Equal(got, want) {
+		t.Fatal("bootstrap + update lost across reopen")
+	}
+	if err := s2.Bootstrap(rdf.NewGraph()); err == nil {
+		t.Fatal("Bootstrap accepted on a non-empty store")
+	}
+	s2.Close()
+}
+
+// TestStoreBackgroundCheckpoint: the checkpoint loop compacts the WAL
+// without any explicit trigger.
+func TestStoreBackgroundCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Sync: SyncBatch, CheckpointEvery: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Graph().Add(rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")})
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Segments == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background checkpoint never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := s.Stats(); st.TailRecords != 0 {
+		t.Fatalf("tail not folded by checkpoint: %+v", st)
+	}
+	s.Close()
+}
+
+// TestStoreSyncAlwaysAndOff exercises the other two WAL modes end to end.
+func TestStoreSyncAlwaysAndOff(t *testing.T) {
+	for _, mode := range []SyncMode{SyncAlways, SyncOff} {
+		dir := t.TempDir()
+		s, err := Open(Options{Dir: dir, Sync: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Graph().Add(rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")})
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		s2 := openTest(t, dir)
+		if !s2.Graph().Has(rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")}) {
+			t.Fatalf("mode %v lost a synced write across clean close", mode)
+		}
+		s2.Close()
+	}
+}
+
+func TestStoreDataFilesNamed(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	s.Graph().Add(rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg, wal int
+	for _, e := range entries {
+		switch {
+		case strings.HasPrefix(e.Name(), "segment-") && strings.HasSuffix(e.Name(), ".seg"):
+			seg++
+		case strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".log"):
+			wal++
+		default:
+			t.Errorf("unexpected file %q in data dir", e.Name())
+		}
+	}
+	if seg != 1 || wal != 1 {
+		t.Fatalf("data dir has %d segments and %d WALs, want 1 and 1", seg, wal)
+	}
+}
