@@ -21,7 +21,7 @@ type call struct {
 	val     any
 	err     error
 	waiters int
-	cancel  context.CancelFunc
+	cancel  context.CancelCauseFunc
 }
 
 // Group collapses concurrent executions by key. The zero value is ready to
@@ -42,7 +42,12 @@ type Group struct {
 // cancelled when timeout expires (if > 0) or when every waiter has
 // abandoned the call, whichever comes first. A waiter whose own ctx ends
 // before the result is ready returns ctx.Err() without disturbing the
-// remaining waiters.
+// remaining waiters. When the last abandoning waiter left because its own
+// deadline expired, that reason is propagated as the execution context's
+// cancellation cause — context.Cause(execCtx) then reports
+// DeadlineExceeded — so callers can tell an effective timeout from a
+// client disconnect even when the abandonment cancel beats the execution
+// context's own identical timer (a scheduling race otherwise).
 func (g *Group) Do(ctx context.Context, key string, timeout time.Duration, fn func(context.Context) (any, error)) (v any, shared bool, err error) {
 	if g == nil {
 		v, err = fn(ctx)
@@ -57,12 +62,11 @@ func (g *Group) Do(ctx context.Context, key string, timeout time.Duration, fn fu
 		g.mu.Unlock()
 		return g.wait(ctx, c)
 	}
-	execCtx := context.Background()
-	var cancel context.CancelFunc
+	base, cancel := context.WithCancelCause(context.Background())
+	execCtx := context.Context(base)
+	stopTimer := func() {}
 	if timeout > 0 {
-		execCtx, cancel = context.WithTimeout(execCtx, timeout)
-	} else {
-		execCtx, cancel = context.WithCancel(execCtx)
+		execCtx, stopTimer = context.WithTimeout(base, timeout)
 	}
 	c := &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	g.calls[key] = c
@@ -70,7 +74,7 @@ func (g *Group) Do(ctx context.Context, key string, timeout time.Duration, fn fu
 
 	// If the leader's own request dies, it becomes an ordinary abandoning
 	// waiter: the execution keeps running as long as any follower remains.
-	stop := context.AfterFunc(ctx, func() { g.abandon(c) })
+	stop := context.AfterFunc(ctx, func() { g.abandon(c, context.Cause(ctx)) })
 	c.val, c.err = fn(execCtx)
 	stop()
 
@@ -78,7 +82,8 @@ func (g *Group) Do(ctx context.Context, key string, timeout time.Duration, fn fu
 	delete(g.calls, key)
 	g.mu.Unlock()
 	close(c.done)
-	cancel()
+	stopTimer()
+	cancel(nil)
 	return c.val, false, c.err
 }
 
@@ -88,19 +93,19 @@ func (g *Group) wait(ctx context.Context, c *call) (any, bool, error) {
 	case <-c.done:
 		return c.val, true, c.err
 	case <-ctx.Done():
-		g.abandon(c)
+		g.abandon(c, context.Cause(ctx))
 		return nil, true, ctx.Err()
 	}
 }
 
 // abandon drops one waiter's interest in c; the last abandonment cancels
-// the execution context.
-func (g *Group) abandon(c *call) {
+// the execution context with the abandoning waiter's own cause.
+func (g *Group) abandon(c *call, cause error) {
 	g.mu.Lock()
 	c.waiters--
 	last := c.waiters <= 0
 	g.mu.Unlock()
 	if last {
-		c.cancel()
+		c.cancel(cause)
 	}
 }

@@ -49,6 +49,20 @@ func registerStoreMetrics(st *store.Store) {
 	reg.CounterFunc("rdfa_store_checkpoints_total", func() float64 {
 		return float64(st.Stats().Checkpoints)
 	})
+	reg.CounterFunc("rdfa_store_checkpoint_errors_total", func() float64 {
+		return float64(st.Stats().CheckpointErrors)
+	})
+	reg.CounterFunc("rdfa_store_journal_dropped_total", func() float64 {
+		return float64(st.Stats().JournalDropped)
+	})
+	// 1 while the live graph holds mutations the WAL failed to journal
+	// (cleared by the next successful checkpoint).
+	reg.GaugeFunc("rdfa_store_diverged", func() float64 {
+		if st.Stats().Diverged {
+			return 1
+		}
+		return 0
+	})
 	reg.GaugeFunc("rdfa_store_segments", func() float64 {
 		return float64(st.Stats().Segments)
 	})

@@ -59,6 +59,24 @@ func breakerTransition(to string) *obs.Counter {
 	return obs.Default.Counter("rdfa_breaker_transitions_total", "to", to)
 }
 
+// abortedForBreaker reports whether an execution error belongs to the
+// failure class that trips the circuit breaker (timeout/budget). A bare
+// cancellation is resolved through the context's cancellation cause: when
+// the last waiter abandons a singleflight call because its own deadline
+// expired, the leader's context is cancelled with that cause moments
+// before its identical timer would have fired, and the engine reports
+// "cancelled" for what is effectively a timeout — which signal the
+// evaluator saw first is scheduling luck, not a meaningful distinction.
+func abortedForBreaker(ctx context.Context, err error) bool {
+	switch sparql.AbortReason(err) {
+	case "timeout", "budget":
+		return true
+	case "cancelled":
+		return errors.Is(context.Cause(ctx), context.DeadlineExceeded)
+	}
+	return false
+}
+
 // Eager registration of the label values the flow can emit.
 var _ = []*obs.Counter{
 	admissionRejected(resilience.ReasonQueueFull),
@@ -224,8 +242,7 @@ func (s *Server) executeQuery(execCtx context.Context, q *sparql.Query, raw, sha
 			json.NewEncoder(&body).Encode(map[string]any{"head": map[string]any{}, "boolean": ok})
 		}
 	}
-	reason := sparql.AbortReason(execErr)
-	s.breakers.Observe(fpID, time.Since(start), reason == "timeout" || reason == "budget", time.Now())
+	s.breakers.Observe(fpID, time.Since(start), abortedForBreaker(execCtx, execErr), time.Now())
 	if execErr != nil {
 		return nil, execErr
 	}
@@ -298,8 +315,7 @@ func (s *Server) execSelectCSV(w http.ResponseWriter, r *http.Request, ctx conte
 		rows = len(res.Rows)
 	}
 	s.recordWorkload("sparql", raw, shape, dur, rows, err, prof)
-	reason := sparql.AbortReason(err)
-	s.breakers.Observe(fpID, dur, reason == "timeout" || reason == "budget", time.Now())
+	s.breakers.Observe(fpID, dur, abortedForBreaker(ctx, err), time.Now())
 	if err != nil {
 		queryError(w, err)
 		return
@@ -338,8 +354,7 @@ func (s *Server) serveGraphQuery(w http.ResponseWriter, r *http.Request, ctx con
 	} else {
 		out, err = sparql.DescribeCtx(ctx, s.graph, raw)
 	}
-	reason := sparql.AbortReason(err)
-	s.breakers.Observe(fpID, time.Since(start), reason == "timeout" || reason == "budget", time.Now())
+	s.breakers.Observe(fpID, time.Since(start), abortedForBreaker(ctx, err), time.Now())
 	if err != nil {
 		queryError(w, err)
 		return

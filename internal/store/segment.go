@@ -9,7 +9,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"sync"
 
 	"rdfanalytics/internal/rdf"
 )
@@ -39,41 +38,25 @@ const (
 )
 
 // A Segment is an immutable on-disk image of the graph at one epoch, held
-// in memory as the raw snapshot bytes plus the three sorted key arrays
-// (for ID-order range scans). The decoded graph form is materialized
-// lazily on first Image() call, so restart (which only needs the live
-// graph) pays for one snapshot decode, not two.
+// in memory as the decoded graph plus the three sorted key arrays (for
+// ID-order range scans). The image is decoded eagerly when the segment is
+// built or loaded, so a snapshot the current ReadBinary rejects surfaces
+// as a load error — where Open's recovery logic can handle it — instead of
+// failing at first read.
 type Segment struct {
 	Epoch uint64
 	Path  string
-	// snap is the embedded snapshot, kept for the lazy image decode.
-	snap []byte
-	// image is the decoded snapshot, built on demand. It is never mutated
-	// after decode; MVCC snapshots read it concurrently without locking
-	// beyond the graph's own.
-	imageOnce sync.Once
-	image     *rdf.Graph
+	// image is the decoded snapshot. It is never mutated after decode;
+	// MVCC snapshots read it concurrently without locking beyond the
+	// graph's own.
+	image *rdf.Graph
 	// spo, pos, osp are the raw key sections: len = 12*tripleCount each.
 	spo, pos, osp []byte
 }
 
-// Image returns the decoded segment graph, decoding it on first use.
-// Callers must treat it as read-only. The decode cannot fail for a segment
-// that passed loadSegment's checksum (the same bytes decoded then), so a
-// (theoretical) failure panics rather than silently serving nothing.
-func (s *Segment) Image() *rdf.Graph {
-	s.imageOnce.Do(func() {
-		if s.image != nil {
-			return
-		}
-		g, err := rdf.ReadBinary(bytes.NewReader(s.snap))
-		if err != nil {
-			panic(fmt.Sprintf("store: checksummed segment %s failed to decode: %v", s.Path, err))
-		}
-		s.image = g
-	})
-	return s.image
-}
+// Image returns the decoded segment graph. Callers must treat it as
+// read-only.
+func (s *Segment) Image() *rdf.Graph { return s.image }
 
 // Triples returns the number of triples in the segment.
 func (s *Segment) Triples() int { return len(s.spo) / keyWidth }
@@ -191,7 +174,7 @@ func writeSegment(dir string, epoch uint64, snap []byte) (*Segment, error) {
 	if err := syncDir(dir); err != nil {
 		return nil, err
 	}
-	return &Segment{Epoch: epoch, Path: path, snap: snap, image: image, spo: spo, pos: pos, osp: osp}, nil
+	return &Segment{Epoch: epoch, Path: path, image: image, spo: spo, pos: pos, osp: osp}, nil
 }
 
 // buildKeySections materializes the three sorted key arrays from the
@@ -283,14 +266,18 @@ func loadSegment(path string) (*Segment, []byte, error) {
 		return nil, nil, fmt.Errorf("store: %s: key sections are %d bytes, want %d", path, len(rest), want)
 	}
 	secLen := tripleCount * keyWidth
-	// The snapshot is NOT decoded here: the CRC already vouches for the
-	// bytes, Open decodes them once for the live graph (surfacing any
-	// decode error at open time), and the MVCC image decodes lazily on
-	// first Snapshot use.
+	// Decode the snapshot now, even though the CRC already vouches for the
+	// bytes: a snapshot that a changed/stricter ReadBinary rejects while the
+	// segment container still validates must fail here, where the caller
+	// can refuse the segment, not at first Image() use in the read path.
+	image, err := rdf.ReadBinary(bytes.NewReader(snap))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %s: segment snapshot rejected: %w", path, err)
+	}
 	return &Segment{
 		Epoch: epoch,
 		Path:  path,
-		snap:  snap,
+		image: image,
 		spo:   rest[:secLen],
 		pos:   rest[secLen : 2*secLen],
 		osp:   rest[2*secLen:],

@@ -19,7 +19,10 @@ type Snapshot struct {
 }
 
 // Snapshot captures the store's current state. The segment image is shared
-// (immutable), the tail overlay is folded at call time.
+// (immutable), the tail overlay is folded at call time. While
+// Stats().Diverged is true (the WAL dropped a mutation the graph applied),
+// the view lags the live graph until the next successful checkpoint;
+// callers needing exactness then should read the live graph instead.
 func (s *Store) Snapshot() *Snapshot {
 	s.mu.Lock()
 	seg := s.seg

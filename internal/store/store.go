@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -37,6 +38,14 @@ type Store struct {
 
 	g *rdf.Graph
 
+	// cpMu serializes Checkpoint end to end: it is reachable concurrently
+	// from the HTTP trigger and the background loop, and two overlapping
+	// runs could otherwise complete out of epoch order — installing the
+	// older segment last and deleting the newer one, which loses every
+	// record between the two epochs. Always acquired before mu, never
+	// while holding it.
+	cpMu sync.Mutex
+
 	mu  sync.Mutex
 	seg *Segment // nil until the first checkpoint
 	wal *wal
@@ -46,13 +55,22 @@ type Store struct {
 	tail []record
 
 	// counters for Stats; guarded by mu.
-	walRecordsTotal int64
-	walBytesTotal   int64
-	checkpoints     int64
-	lastCheckpoint  time.Duration
-	replayTime      time.Duration
-	replayRecords   int
-	replayDiscarded int64
+	walRecordsTotal  int64
+	walBytesTotal    int64
+	checkpoints      int64
+	checkpointErrors int64
+	lastCheckpoint   time.Duration
+	replayTime       time.Duration
+	replayRecords    int
+	replayDiscarded  int64
+	// journalDropped counts mutations the WAL failed to journal while they
+	// still applied in memory (the hook cannot abort the graph mutation).
+	// While any such drop since the last checkpoint cut is outstanding,
+	// diverged is true: the tail — and so Snapshot() views — lags the live
+	// graph until a successful checkpoint folds the full graph into a
+	// segment and reconverges the on-disk state.
+	journalDropped int64
+	diverged       bool
 
 	stop chan struct{}
 	done chan struct{}
@@ -76,17 +94,26 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Newest loadable segment wins; a corrupt newer one (crash mid-install
-	// is excluded by the tmp+rename protocol, but disks rot) falls back to
-	// the previous.
+	// Newest loadable segment wins, but never silently: a file under its
+	// final segment name was fully synced once (tmp+rename+dirsync), so a
+	// load failure means on-disk corruption. Skipped segments are logged,
+	// and falling back past one is only accepted when the surviving WALs
+	// reach back to the chosen epoch (checked after replay below) — the
+	// WALs created after the corrupt checkpoint only hold records above its
+	// epoch, so without that coverage every record in between is gone and
+	// Open must refuse rather than boot a silently partial graph.
 	var snap []byte
+	var skipped []string
 	for i := len(segPaths) - 1; i >= 0; i-- {
 		seg, raw, err := loadSegment(segPaths[i])
-		if err == nil {
-			s.seg = seg
-			snap = raw
-			break
+		if err != nil {
+			slog.Error("store: segment failed to load", "path", segPaths[i], "error", err)
+			skipped = append(skipped, filepath.Base(segPaths[i]))
+			continue
 		}
+		s.seg = seg
+		snap = raw
+		break
 	}
 	var epoch uint64
 	if s.seg != nil {
@@ -112,10 +139,14 @@ func Open(opts Options) (*Store, error) {
 	// leaves the old WAL plus a fresh WAL holding copies of its newest
 	// records — replays each mutation exactly once, in order.
 	maxVersion := epoch
+	covered := false // does some WAL reach back to the chosen epoch?
 	for _, path := range walPaths {
-		_, recs, discarded, err := replayWAL(path)
+		base, recs, discarded, err := replayWAL(path)
 		if err != nil {
 			return nil, err
+		}
+		if base <= epoch {
+			covered = true
 		}
 		s.replayDiscarded += discarded
 		for _, rec := range recs {
@@ -127,6 +158,17 @@ func Open(opts Options) (*Store, error) {
 			s.tail = append(s.tail, rec)
 			s.replayRecords++
 		}
+	}
+	if len(skipped) > 0 {
+		// A segment newer than the one loaded could not be read. A WAL
+		// based at (or below) the loaded epoch holds every record since it,
+		// so replay just rebuilt the full state; without one there is an
+		// unrecoverable gap between the loaded epoch and the corrupt
+		// segment's, and refusing beats serving a partial graph.
+		if !covered {
+			return nil, fmt.Errorf("store: segment(s) %v failed to load and no WAL reaches back to epoch %d — records in the gap are unrecoverable (restore the segment file, or delete it to accept the loss)", skipped, epoch)
+		}
+		slog.Warn("store: recovered past unloadable segment(s) via older segment and WAL replay", "skipped", skipped, "epoch", epoch, "replayed", s.replayRecords)
 	}
 	// Restore a monotonic version counter: replayed mutations bumped the
 	// graph's own counter from the epoch, but a skipped no-op (idempotent
@@ -227,7 +269,20 @@ func (s *Store) journal(op rdf.JournalOp, t rdf.Triple, version uint64) {
 	before := s.wal.bytes
 	if err := s.wal.append(rec); err != nil {
 		// The error is sticky in the WAL; Sync (the ack barrier) will
-		// surface it, so the update can't be acknowledged as durable.
+		// surface it, so the update can't be acknowledged as durable. But
+		// the in-memory mutation still applies (this hook cannot abort
+		// it), so from here until a successful checkpoint the live graph
+		// holds records the tail is missing: Snapshot() views lag it, and
+		// only the next segment — a full image of the live graph — makes
+		// the dropped mutation durable and reconverges state. Record that
+		// divergence so operators see it (Stats.Diverged, the
+		// rdfa_store_journal_dropped_total counter) instead of a silent
+		// gap.
+		if !s.diverged {
+			slog.Error("store: WAL append failed; live graph diverges from the journal until the next checkpoint", "error", err)
+		}
+		s.diverged = true
+		s.journalDropped++
 		return
 	}
 	s.tail = append(s.tail, rec)
@@ -264,13 +319,48 @@ func (s *Store) Bootstrap(g *rdf.Graph) error {
 // its version, under the graph read lock only), build and install a segment
 // file at that epoch, then swap in a fresh WAL carrying just the records
 // newer than the epoch. Readers and writers keep running throughout; only
-// the final swap holds s.mu.
+// the final swap holds s.mu. Checkpoints are serialized by cpMu — the HTTP
+// trigger and the background loop may race, and overlapping runs could
+// otherwise install segments out of epoch order, losing every record
+// between the two epochs.
 func (s *Store) Checkpoint() error {
+	s.cpMu.Lock()
+	defer s.cpMu.Unlock()
+	if err := s.checkpoint(); err != nil {
+		s.mu.Lock()
+		s.checkpointErrors++
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+func (s *Store) checkpoint() error {
 	start := time.Now()
+	s.mu.Lock()
+	var curEpoch uint64
+	hadSeg := s.seg != nil
+	if hadSeg {
+		curEpoch = s.seg.Epoch
+	}
+	// Drops counted before the snapshot cut belong to versions <= the cut
+	// epoch, so the new segment contains them; if no further drop happens
+	// before the swap, the store is reconverged.
+	droppedAtCut := s.journalDropped
+	s.mu.Unlock()
+
 	var buf bytes.Buffer
 	epoch, err := s.g.SnapshotBinary(&buf)
 	if err != nil {
 		return err
+	}
+	// Nothing effective happened since the current segment was cut: skip.
+	// Re-running at the same epoch would gain no compaction and would
+	// O_TRUNC the live WAL file (same epoch → same path) under the old
+	// handle. curEpoch cannot change concurrently — only checkpoints
+	// install segments, and cpMu serializes them.
+	if hadSeg && epoch <= curEpoch {
+		return nil
 	}
 	seg, err := writeSegment(s.dir, epoch, buf.Bytes())
 	if err != nil {
@@ -279,6 +369,14 @@ func (s *Store) Checkpoint() error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// cpMu makes an epoch regression impossible; refuse the install anyway
+	// rather than ever swap a newer segment out for an older one.
+	if s.seg != nil && seg.Epoch <= s.seg.Epoch {
+		if seg.Path != s.seg.Path {
+			os.Remove(seg.Path)
+		}
+		return fmt.Errorf("store: refusing to install segment at epoch %d over current epoch %d", seg.Epoch, s.seg.Epoch)
+	}
 	// Records newer than the epoch arrived after the snapshot was cut;
 	// they survive into the fresh WAL. Everything else is inside the
 	// segment now.
@@ -288,11 +386,15 @@ func (s *Store) Checkpoint() error {
 			survivors = append(survivors, rec)
 		}
 	}
-	// Durability ordering: the old WAL is synced before the new one
-	// replaces it, so no acknowledged record is ever only in volatile
-	// buffers while its file is being retired.
+	// Durability ordering: the old WAL is synced before being retired, so
+	// no acknowledged record is ever only in volatile buffers while its
+	// file is replaced. A WAL already broken by a sticky I/O error can't
+	// sync — but everything it holds at or below the epoch is inside the
+	// just-built segment and the survivors are re-appended from memory, so
+	// completing the swap is exactly what restores durability; abandoning
+	// it would pin the store to the broken log forever.
 	if err := s.wal.sync(); err != nil {
-		return err
+		slog.Warn("store: retiring a WAL that failed to sync; the new segment supersedes its records", "error", err)
 	}
 	nw, err := createWAL(s.dir, epoch, s.mode)
 	if err != nil {
@@ -322,6 +424,11 @@ func (s *Store) Checkpoint() error {
 	if oldSeg != nil && oldSeg.Path != seg.Path {
 		os.Remove(oldSeg.Path)
 	}
+	if s.journalDropped == droppedAtCut {
+		// Every dropped record predates the cut and is inside the new
+		// segment; tail, WAL and graph agree again.
+		s.diverged = false
+	}
 	s.checkpoints++
 	s.lastCheckpoint = time.Since(start)
 	return nil
@@ -337,10 +444,19 @@ func (s *Store) checkpointLoop(every time.Duration) {
 			return
 		case <-t.C:
 			s.mu.Lock()
-			dirty := len(s.tail) > 0 || s.seg == nil
+			// diverged counts as dirty: the tail is empty of the dropped
+			// records, and only a checkpoint makes them durable again.
+			dirty := len(s.tail) > 0 || s.seg == nil || s.diverged
 			s.mu.Unlock()
 			if dirty {
-				s.Checkpoint() // best-effort; next tick retries
+				if err := s.Checkpoint(); err != nil {
+					// Surfaced, not swallowed: a persistently failing
+					// checkpoint (disk full, …) otherwise grows the WAL
+					// without bound with no operator signal. The error
+					// also increments Stats.CheckpointErrors
+					// (rdfa_store_checkpoint_errors_total).
+					slog.Error("store: background checkpoint failed; retrying next interval", "error", err)
+				}
 			}
 		}
 	}
@@ -362,31 +478,40 @@ func (s *Store) Close() error {
 
 // Stats is a point-in-time view of the store for metrics export.
 type Stats struct {
-	Epoch           uint64
-	Segments        int
-	SegmentTriples  int
-	TailRecords     int
-	WALRecordsTotal int64
-	WALBytesTotal   int64
-	Checkpoints     int64
-	LastCheckpoint  time.Duration
-	ReplayTime      time.Duration
-	ReplayRecords   int
-	ReplayDiscarded int64
+	Epoch            uint64
+	Segments         int
+	SegmentTriples   int
+	TailRecords      int
+	WALRecordsTotal  int64
+	WALBytesTotal    int64
+	Checkpoints      int64
+	CheckpointErrors int64
+	LastCheckpoint   time.Duration
+	ReplayTime       time.Duration
+	ReplayRecords    int
+	ReplayDiscarded  int64
+	// JournalDropped counts mutations the WAL failed to journal; Diverged
+	// is true while any of them is not yet covered by a checkpoint, i.e.
+	// the live graph is ahead of tail-backed Snapshot() views.
+	JournalDropped int64
+	Diverged       bool
 }
 
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		TailRecords:     len(s.tail),
-		WALRecordsTotal: s.walRecordsTotal,
-		WALBytesTotal:   s.walBytesTotal,
-		Checkpoints:     s.checkpoints,
-		LastCheckpoint:  s.lastCheckpoint,
-		ReplayTime:      s.replayTime,
-		ReplayRecords:   s.replayRecords,
-		ReplayDiscarded: s.replayDiscarded,
+		TailRecords:      len(s.tail),
+		WALRecordsTotal:  s.walRecordsTotal,
+		WALBytesTotal:    s.walBytesTotal,
+		Checkpoints:      s.checkpoints,
+		CheckpointErrors: s.checkpointErrors,
+		LastCheckpoint:   s.lastCheckpoint,
+		ReplayTime:       s.replayTime,
+		ReplayRecords:    s.replayRecords,
+		ReplayDiscarded:  s.replayDiscarded,
+		JournalDropped:   s.journalDropped,
+		Diverged:         s.diverged,
 	}
 	if s.seg != nil {
 		st.Epoch = s.seg.Epoch

@@ -2,8 +2,12 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -338,4 +342,274 @@ func TestStoreDataFilesNamed(t *testing.T) {
 	if seg != 1 || wal != 1 {
 		t.Fatalf("data dir has %d segments and %d WALs, want 1 and 1", seg, wal)
 	}
+}
+
+// TestStoreConcurrentCheckpoints hammers Checkpoint from several goroutines
+// while a writer keeps mutating. Serialization (cpMu) must keep installed
+// epochs monotonic and lose nothing: the reopened graph is byte-identical
+// to the final live graph, and the data dir holds exactly one segment and
+// one WAL.
+func TestStoreConcurrentCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	g := s.Graph()
+
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Alternate add/remove over a bounded key space so the graph —
+			// and with it each checkpoint's snapshot — stays small; every
+			// mutation is still effective and journaled.
+			tr := rdf.Triple{S: iri("s"), P: iri("p"), O: rdf.NewInteger(int64(i % 64))}
+			if g.Has(tr) {
+				g.Remove(tr)
+			} else {
+				g.Add(tr)
+			}
+			if i%16 == 0 {
+				if err := s.Sync(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	var cps sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cps.Add(1)
+		go func() {
+			defer cps.Done()
+			var last uint64
+			for i := 0; i < 8; i++ {
+				if err := s.Checkpoint(); err != nil {
+					t.Error(err)
+					return
+				}
+				if e := s.Stats().Epoch; e < last {
+					t.Errorf("epoch regressed %d -> %d", last, e)
+					return
+				} else {
+					last = e
+				}
+			}
+		}()
+	}
+	// The writer runs until every checkpointer is done, so checkpoints
+	// genuinely overlap live mutations.
+	cps.Wait()
+	close(stop)
+	writer.Wait()
+
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotBytes(t, g)
+	s2 := openTest(t, dir)
+	if got := snapshotBytes(t, s2.Graph()); !bytes.Equal(got, want) {
+		t.Fatal("concurrent checkpoints lost acknowledged records")
+	}
+	s2.Close()
+	segs, wals, err := listFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || len(wals) != 1 {
+		t.Fatalf("data dir has %d segments and %d WALs, want 1 and 1", len(segs), len(wals))
+	}
+}
+
+// TestStoreCheckpointNoopWhenClean: a second checkpoint with nothing new
+// must not rewrite anything — in particular it must not truncate the live
+// WAL (same epoch means same wal-<epoch>.log path) under the open handle.
+func TestStoreCheckpointNoopWhenClean(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	g := s.Graph()
+	g.Add(rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Stats().Checkpoints; n != 1 {
+		t.Fatalf("clean re-checkpoint ran anyway: %d checkpoints, want 1", n)
+	}
+	// The store must still accept and persist writes afterwards.
+	g.Add(rdf.Triple{S: iri("c"), P: iri("p"), O: iri("d")})
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotBytes(t, g)
+	s.Close()
+	s2 := openTest(t, dir)
+	if got := snapshotBytes(t, s2.Graph()); !bytes.Equal(got, want) {
+		t.Fatal("write after no-op checkpoint lost")
+	}
+	s2.Close()
+}
+
+// TestStoreOpenRefusesUncoveredCorruptSegment: when the only segment is
+// corrupt and no WAL reaches back to the previous epoch, the records in
+// the gap are unrecoverable — Open must refuse instead of silently booting
+// a partial graph.
+func TestStoreOpenRefusesUncoveredCorruptSegment(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	s.Graph().Add(rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	segs, _, err := listFiles(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("listFiles = %v, %v", segs, err)
+	}
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, Sync: SyncBatch}); err == nil {
+		t.Fatal("Open succeeded over an unrecoverable segment gap")
+	}
+}
+
+// TestStoreOpenFallsBackWithWALCoverage: a corrupt segment newer than the
+// intact one is skipped when the surviving WAL reaches back to the intact
+// epoch — replay rebuilds the full state, losslessly.
+func TestStoreOpenFallsBackWithWALCoverage(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	g := s.Graph()
+	g.Add(rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	epoch := s.Stats().Epoch
+	// Tail records past the checkpoint, still only in the WAL.
+	g.Add(rdf.Triple{S: iri("c"), P: iri("p"), O: iri("d")})
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotBytes(t, g)
+	s.Close()
+	// A rotted segment claiming a newer epoch than the intact one.
+	garbage := segmentPath(dir, epoch+10)
+	if err := os.WriteFile(garbage, []byte("not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir)
+	if got := snapshotBytes(t, s2.Graph()); !bytes.Equal(got, want) {
+		t.Fatal("fallback past corrupt newer segment lost records despite WAL coverage")
+	}
+	s2.Close()
+}
+
+// TestStoreJournalDropDiverges: when the WAL rejects an append while the
+// graph mutation still applies, the store must report the divergence, and
+// a successful checkpoint — which folds the full live graph into the new
+// segment — must make the dropped mutation durable and clear the flag.
+func TestStoreJournalDropDiverges(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	g := s.Graph()
+	g.Add(rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")})
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.wal.err = errors.New("injected disk failure")
+	s.mu.Unlock()
+	dropped := rdf.Triple{S: iri("c"), P: iri("p"), O: iri("d")}
+	g.Add(dropped)
+	st := s.Stats()
+	if st.JournalDropped != 1 || !st.Diverged {
+		t.Fatalf("drop not tracked: %+v", st)
+	}
+	if err := s.Sync(); err == nil {
+		t.Fatal("Sync acknowledged an update whose journal entry was dropped")
+	}
+	// Checkpoint retires the broken WAL; the new segment holds the dropped
+	// mutation, reconverging graph and disk.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Diverged {
+		t.Fatal("still diverged after a successful checkpoint")
+	}
+	if st.JournalDropped != 1 {
+		t.Fatalf("cumulative drop counter = %d, want 1", st.JournalDropped)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("fresh WAL still broken after checkpoint: %v", err)
+	}
+	want := snapshotBytes(t, g)
+	s.Close()
+	s2 := openTest(t, dir)
+	if !s2.Graph().Has(dropped) {
+		t.Fatal("dropped mutation not durable after checkpoint")
+	}
+	if got := snapshotBytes(t, s2.Graph()); !bytes.Equal(got, want) {
+		t.Fatal("reconverged store differs from live graph")
+	}
+	s2.Close()
+}
+
+// TestSegmentUndecodableSnapshotRejectedAtLoad: a segment whose container
+// checksum validates but whose embedded snapshot ReadBinary rejects must
+// fail at loadSegment (where Open can refuse it), not panic at first
+// Image() use.
+func TestSegmentUndecodableSnapshotRejectedAtLoad(t *testing.T) {
+	dir := t.TempDir()
+	// A well-formed container around snapshot bytes ReadBinary rejects.
+	if _, err := writeSegment(dir, 1, []byte("bogus snapshot")); err == nil {
+		t.Fatal("writeSegment accepted undecodable snapshot bytes")
+	}
+	// Craft the container by hand to simulate a format drift: valid CRC,
+	// invalid snapshot.
+	g := rdf.NewGraph()
+	g.Add(rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")})
+	var buf bytes.Buffer
+	epoch, err := g.SnapshotBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := writeSegment(dir, epoch, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(seg.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one byte inside the embedded snapshot's magic and re-seal the
+	// container CRC so only the snapshot decode can catch it.
+	raw[13+8] ^= 0xff
+	resealSegment(raw)
+	if err := os.WriteFile(seg.Path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadSegment(seg.Path); err == nil {
+		t.Fatal("loadSegment accepted a segment with an undecodable snapshot")
+	}
+}
+
+// resealSegment recomputes the container crc32 trailer over the (possibly
+// hand-corrupted) body, so tests can craft segments whose container
+// validates while the embedded snapshot does not.
+func resealSegment(raw []byte) {
+	binary.BigEndian.PutUint32(raw[len(raw)-4:], crc32.ChecksumIEEE(raw[:len(raw)-4]))
 }
