@@ -55,6 +55,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable storage directory (WAL + segment files); empty runs in-memory only")
 	walSync := flag.String("wal-sync", "batch", "WAL durability: off (no fsync), batch (fsync per update ack), always (fsync per record)")
 	checkpointInterval := flag.Duration("checkpoint-interval", 5*time.Minute, "background WAL compaction period when -data-dir is set (0 disables)")
+	traceMax := flag.Int("trace-retention", 0, "max completed traces the tail sampler retains for /api/traces (0 = default 512, negative disables)")
+	traceBytes := flag.Int64("trace-retention-bytes", 0, "byte bound on retained traces (0 = default 8MiB)")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 	if *version {
@@ -134,6 +136,11 @@ func main() {
 			ShapeLatencyThreshold: *sloShapeThreshold,
 		},
 		Store: dst,
+		TraceRetention: obs.TraceStoreConfig{
+			Disabled:  *traceMax < 0,
+			MaxTraces: max(*traceMax, 0),
+			MaxBytes:  *traceBytes,
+		},
 	})
 	defer srv.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

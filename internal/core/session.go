@@ -151,7 +151,33 @@ type Session struct {
 	// store backing the session's graph: mutating operations call it before
 	// reporting success, so an acknowledged mutation is on disk.
 	durability func() error
+	// traceSink, when non-nil, receives every completed RunAnalytics trace
+	// so the owner can retain it beyond last-trace-only (the server offers
+	// these to its tail-sampling trace store).
+	traceSink func(TraceEvent)
 }
+
+// TraceEvent describes one completed analytic run, delivered to the
+// session's trace sink after the trace is finished. The sink runs on the
+// calling goroutine and must not call back into the session.
+type TraceEvent struct {
+	Trace   *obs.Trace
+	Profile *sparql.Profile
+	// HIFUN is the analytic query text ("" when query building failed).
+	HIFUN string
+	// SPARQL is the generated SPARQL ("" for cache/cube hits and errors).
+	SPARQL string
+	Rows   int
+	// Source is how the answer was produced: "cache", "cube_rollup",
+	// "query", or "" when the run failed before an answer source was chosen.
+	Source    string
+	Duration  time.Duration
+	Err       error
+	RequestID string
+}
+
+// SetTraceSink installs the completed-trace hook (nil disables it).
+func (s *Session) SetTraceSink(sink func(TraceEvent)) { s.traceSink = sink }
 
 // SetDurability installs the store sync barrier called after mutating
 // operations (e.g. ApplyTransform). Pass nil when the session's graph is
@@ -422,17 +448,48 @@ func (s *Session) RunAnalytics() (*hifun.Answer, error) {
 // the generated SPARQL evaluation observe ctx's deadline/cancellation and
 // the session's Limits. Cache and cube-rollup hits are unaffected (they
 // never touch the engine).
-func (s *Session) RunAnalyticsCtx(qctx context.Context) (*hifun.Answer, error) {
+func (s *Session) RunAnalyticsCtx(qctx context.Context) (ans *hifun.Answer, err error) {
 	start := time.Now()
 	defer func() { runSeconds.Observe(time.Since(start).Seconds()) }()
 	tr := obs.NewTrace("run_analytics")
+	// Adopt the IDs the HTTP layer minted, so the retained trace matches
+	// the X-Trace-ID / X-Request-ID the client saw.
+	tr.SetID(obs.TraceIDFrom(qctx))
+	reqID := obs.RequestIDFrom(qctx)
+	if reqID != "" {
+		tr.Root().SetAttr("request_id", reqID)
+	}
 	s.lastTrace = tr
-	defer tr.Finish()
 	prof := sparql.NewProfile("run_analytics")
+	prof.SetTraceID(tr.ID())
 	s.lastProfile = prof
+	var q *hifun.Query
+	source := ""
+	defer func() {
+		tr.Finish()
+		if s.traceSink == nil {
+			return
+		}
+		ev := TraceEvent{
+			Trace:     tr,
+			Profile:   prof,
+			Source:    source,
+			Duration:  time.Since(start),
+			Err:       err,
+			RequestID: reqID,
+		}
+		if q != nil {
+			ev.HIFUN = q.String()
+		}
+		if ans != nil {
+			ev.SPARQL = ans.SPARQL
+			ev.Rows = len(ans.Rows)
+		}
+		s.traceSink(ev)
+	}()
 
 	bq := tr.Root().StartChild("build_query")
-	q, err := s.BuildHIFUNQuery()
+	q, err = s.BuildHIFUNQuery()
 	bq.Finish()
 	if err != nil {
 		return nil, err
@@ -443,7 +500,8 @@ func (s *Session) RunAnalyticsCtx(qctx context.Context) (*hifun.Answer, error) {
 	key := intentionKey + "\x00" + q.String()
 	if cached, ok := l.cache.Get(key); ok {
 		answerHits.Inc()
-		tr.Root().SetAttr("answer_source", "cache")
+		source = "cache"
+		tr.Root().SetAttr("answer_source", source)
 		prof.Record(time.Since(start), 1, len(cached.Rows))
 		l.answer = cached
 		return cached, nil
@@ -452,7 +510,8 @@ func (s *Session) RunAnalyticsCtx(qctx context.Context) (*hifun.Answer, error) {
 	// in memory instead of re-querying (see cube.go).
 	if rolled := l.tryCubeReuse(intentionKey, l.analytics); rolled != nil {
 		answerCubes.Inc()
-		tr.Root().SetAttr("answer_source", "cube_rollup")
+		source = "cube_rollup"
+		tr.Root().SetAttr("answer_source", source)
 		prof.Record(time.Since(start), 1, len(rolled.Rows))
 		l.ensureCache()
 		l.cache.Put(key, rolled, answerBytes(rolled))
@@ -460,11 +519,12 @@ func (s *Session) RunAnalyticsCtx(qctx context.Context) (*hifun.Answer, error) {
 		return rolled, nil
 	}
 	answerMisses.Inc()
-	tr.Root().SetAttr("answer_source", "query")
+	source = "query"
+	tr.Root().SetAttr("answer_source", source)
 	ctx := s.Context()
 	ctx.Trace = tr
 	ctx.Profile = prof
-	ans, err := ctx.ExecuteCtx(qctx, q)
+	ans, err = ctx.ExecuteCtx(qctx, q)
 	if err != nil {
 		return nil, err
 	}

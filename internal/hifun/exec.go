@@ -196,6 +196,7 @@ func (c *Context) ExecuteCtx(ctx context.Context, q *Query) (*Answer, error) {
 	start := time.Now()
 	defer func() { executeSeconds.Observe(time.Since(start).Seconds()) }()
 	root := c.Trace.Root()
+	c.Profile.SetTraceID(c.Trace.ID())
 
 	ts := root.StartChild("translate")
 	src, err := c.Translator().Translate(q)

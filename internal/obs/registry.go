@@ -475,12 +475,26 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1
 	sum    atomic.Uint64   // float64 bits, CAS-accumulated
 	count  atomic.Uint64
+	// exemplars holds the most recent exemplar per bucket (len(bounds)+1,
+	// last-writer-wins), rendered only by the OpenMetrics exposition.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar links one observation to the trace that produced it.
+type exemplar struct {
+	traceID string
+	value   float64
+	whenMS  int64 // unix milliseconds
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(b)+1),
+	}
 }
 
 // Observe records one value.
@@ -501,6 +515,25 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records v like Observe and additionally attaches traceID
+// as the observation's exemplar on the bucket it lands in. The exemplar is
+// last-writer-wins per bucket: cheap, bounded, and biased toward recency,
+// which is what a drill-down from a current alert wants.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.exemplars[i].Store(&exemplar{traceID: traceID, value: v, whenMS: nowUnixMilli()})
 }
 
 // Count returns the number of observations.

@@ -64,6 +64,7 @@ func (l *SlowQueryLog) Observe(kind, query, fingerprint, requestID string, dur t
 		slog.String("kind", kind),
 		slog.String("fingerprint", fingerprint),
 		slog.String("request_id", requestID),
+		slog.String("trace_id", tr.ID()),
 		slog.Duration("duration", dur),
 		slog.String("query", TruncateText(query, maxLoggedQuery)),
 		slog.String("plan", tr.Summary()),

@@ -13,6 +13,8 @@ import (
 // threads a possibly-nil trace through and pays one pointer test when
 // tracing is off.
 type Trace struct {
+	mu   sync.Mutex
+	id   string
 	root *Span
 }
 
@@ -22,9 +24,33 @@ type Trace struct {
 // are counted, not stored.
 const maxChildren = 128
 
-// NewTrace starts a trace whose root span is named name.
+// NewTrace starts a trace whose root span is named name. The trace is
+// minted a fresh ID; callers that already hold an ID (for example the one
+// the HTTP middleware stamped into X-Trace-ID) overwrite it with SetID.
 func NewTrace(name string) *Trace {
-	return &Trace{root: &Span{name: name, start: time.Now()}}
+	return &Trace{id: NewTraceID(), root: &Span{name: name, start: time.Now()}}
+}
+
+// ID returns the trace's identifier ("" for a nil trace or a SubTrace,
+// which borrows its parent's identity).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
+}
+
+// SetID replaces the trace's identifier. Empty IDs are ignored so callers
+// can pass through a possibly-absent upstream ID unconditionally.
+func (t *Trace) SetID(id string) {
+	if t == nil || id == "" {
+		return
+	}
+	t.mu.Lock()
+	t.id = id
+	t.mu.Unlock()
 }
 
 // Root returns the root span (nil for a nil trace).
@@ -129,9 +155,11 @@ func (s *Span) Duration() time.Duration {
 	return time.Since(s.start)
 }
 
-// SpanJSON is the wire form of a span subtree (GET /api/trace).
+// SpanJSON is the wire form of a span subtree (GET /api/trace). TraceID is
+// populated only at the root of an exported trace.
 type SpanJSON struct {
 	Name       string         `json:"name"`
+	TraceID    string         `json:"trace_id,omitempty"`
 	DurationMS float64        `json:"durationMs"`
 	Attrs      map[string]any `json:"attrs,omitempty"`
 	Dropped    int            `json:"droppedChildren,omitempty"`
@@ -143,7 +171,9 @@ func (t *Trace) Export() SpanJSON {
 	if t == nil {
 		return SpanJSON{}
 	}
-	return t.root.export()
+	out := t.root.export()
+	out.TraceID = t.ID()
+	return out
 }
 
 func (s *Span) export() SpanJSON {

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// Trace-ID minting and context plumbing. IDs must be cheap enough to mint
+// on every request (they sit on the HTTP hot path), unique within and
+// across process restarts, and plain lowercase hex so they survive header
+// and exposition-format round trips untouched.
+//
+// Format: 8 hex chars of per-process random prefix + 8 hex chars of an
+// atomic counter — 16 chars total. The prefix is drawn once from
+// crypto/rand at startup, so two processes (or two runs of one binary)
+// do not collide; the counter makes every ID within a process distinct
+// without a syscall per trace.
+
+var (
+	traceIDPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// Degrade to a fixed prefix; uniqueness within the process
+			// still holds via the counter.
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	traceIDSeq atomic.Uint64
+)
+
+// NewTraceID mints a process-unique 16-char lowercase-hex trace ID.
+func NewTraceID() string {
+	n := traceIDSeq.Add(1)
+	const digits = "0123456789abcdef"
+	var buf [16]byte
+	copy(buf[:8], traceIDPrefix)
+	for i := 15; i >= 8; i-- {
+		buf[i] = digits[n&0xf]
+		n >>= 4
+	}
+	return string(buf[:])
+}
+
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyTraceID
+)
+
+// WithTraceID returns a context carrying the trace ID minted (or accepted)
+// by the HTTP middleware, so layers below the handler — core sessions,
+// executors — can adopt it instead of minting their own.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyTraceID, id)
+}
+
+// TraceIDFrom extracts the trace ID from ctx ("" when absent).
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyTraceID).(string)
+	return id
+}
+
+// WithRequestID returns a context carrying the request ID from
+// X-Request-ID, for the same adoption pattern as WithTraceID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyRequestID, id)
+}
+
+// RequestIDFrom extracts the request ID from ctx ("" when absent).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}

@@ -157,6 +157,30 @@ func (w *Workload) Observe(rec QueryRecord, exemplar any) {
 	}
 }
 
+// P95Seconds reports the fingerprint's rolling p95 latency in seconds.
+// ok is false until the fingerprint has been observed at least a handful
+// of times — a p95 estimated from one or two runs would make the trace
+// store's outlier rule fire on noise.
+func (w *Workload) P95Seconds(fingerprintID string) (seconds float64, ok bool) {
+	if w == nil {
+		return 0, false
+	}
+	w.mu.Lock()
+	fs, found := w.byFP[fingerprintID]
+	var lat *Histogram
+	var n uint64
+	if found {
+		lat = fs.lat
+		n = fs.count
+	}
+	w.mu.Unlock()
+	const minSamples = 5
+	if !found || n < minSamples {
+		return 0, false
+	}
+	return lat.Quantile(0.95), true
+}
+
 // evictFingerprintLocked drops the least-recently-seen fingerprint when the
 // map is at capacity. Caller holds w.mu.
 func (w *Workload) evictFingerprintLocked() {

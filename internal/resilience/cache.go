@@ -15,6 +15,7 @@ type Answer struct {
 	Status      int
 	Rows        int
 	Shape       string // fingerprint ID, for per-shape metrics on replay
+	TraceID     string // trace retained for the execution that filled this entry
 	Version     uint64
 	When        time.Time
 }

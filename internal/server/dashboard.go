@@ -59,6 +59,12 @@ type dashboardData struct {
 	// occupancy and outcome counters, admission gate state, and the
 	// degraded-mode flag (see resilience.go).
 	Resilience resilienceCard
+	// TraceStats/Traces are the tail-sampling retention store's accounting
+	// and the newest retained traces; fingerprints throughout the page link
+	// into /api/traces so an SLO burn or slow shape drills down to concrete
+	// span waterfalls without any scripting.
+	TraceStats obs.TraceStoreStats
+	Traces     []obs.TraceSummary
 }
 
 // resilienceCard is the dashboard's view of the resilience layer.
@@ -117,6 +123,8 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		SLOs:         s.slos.Statuses(),
 		Alerts:       s.alerts.Snapshot(),
 		Resilience:   s.resilienceSnapshot(),
+		TraceStats:   s.traces.Stats(),
+		Traces:       s.traces.Search(obs.TraceQuery{Limit: dashboardTopK}),
 	}
 	db := s.sampler.DB()
 	data.ReqRate = db.RateSeries("rdfa_http_requests_total{", dashboardSparkN)
@@ -246,6 +254,16 @@ var dashboardTmpl = template.Must(template.New("dashboard").Funcs(template.FuncM
 		return fmt.Sprintf("%.2f", m[k])
 	},
 	"pct": func(v float64) string { return fmt.Sprintf("%.1f", 100*v) },
+	// shapeFP extracts the fingerprint from a per-shape objective name
+	// ("shape:<fp>"), or "" for process-wide objectives — the hook that
+	// turns SLO and alert rows into /api/traces drill-down links.
+	"shapeFP": func(name string) string {
+		if fp, ok := strings.CutPrefix(name, "shape:"); ok {
+			return fp
+		}
+		return ""
+	},
+	"trunc": func(s string) string { return obs.TruncateText(s, 96) },
 }).Parse(dashboardHTML))
 
 const dashboardHTML = `<!doctype html>
@@ -304,7 +322,7 @@ footer { margin-top: 2rem; font-size: 0.75rem; color: #666; }
 {{if .SLOs}}<table>
 <tr><th>objective</th><th>kind</th><th class="num">target %</th><th class="num">events</th><th class="num">good</th><th class="num">burn 5m</th><th class="num">burn 1h</th><th>budget left</th><th>severity</th></tr>
 {{range .SLOs}}<tr>
-<td><code>{{.Name}}</code></td><td>{{.Kind}}{{if .ThresholdMs}} ≤ {{ms .ThresholdMs}} ms{{end}}</td>
+<td>{{with shapeFP .Name}}<a href="/api/traces?fingerprint={{.}}"><code>shape:{{.}}</code></a>{{else}}<code>{{.Name}}</code>{{end}}</td><td>{{.Kind}}{{if .ThresholdMs}} ≤ {{ms .ThresholdMs}} ms{{end}}</td>
 <td class="num">{{pct .Target}}</td><td class="num">{{.Events}}</td><td class="num">{{.Good}}</td>
 <td class="num">{{burn .Burn "fast_short"}}</td><td class="num">{{burn .Burn "fast_long"}}</td>
 <td>{{gauge .BudgetRemaining}} {{pct .BudgetRemaining}}%</td>
@@ -317,7 +335,7 @@ footer { margin-top: 2rem; font-size: 0.75rem; color: #666; }
 {{if .Alerts.Active}}<table>
 <tr><th>objective</th><th>severity</th><th>since</th><th class="num">burn fast</th><th class="num">burn slow</th><th>message</th></tr>
 {{range .Alerts.Active}}<tr>
-<td><code>{{.Objective}}</code></td><td{{if eq .Severity "page"}} class="bad"{{else}} class="warn"{{end}}>{{.Severity}}</td>
+<td>{{with shapeFP .Objective}}<a href="/api/traces?fingerprint={{.}}"><code>shape:{{.}}</code></a>{{else}}<code>{{.Objective}}</code>{{end}}</td><td{{if eq .Severity "page"}} class="bad"{{else}} class="warn"{{end}}>{{.Severity}}</td>
 <td>{{.Since.Format "15:04:05"}}</td><td class="num">{{ms .BurnFast}}</td><td class="num">{{ms .BurnSlow}}</td><td>{{.Message}}</td>
 </tr>{{end}}
 </table>{{else}}<p>No alert firing.</p>{{end}}
@@ -335,7 +353,7 @@ footer { margin-top: 2rem; font-size: 0.75rem; color: #666; }
 {{if .TopSlow}}<table>
 <tr><th>fingerprint</th><th>kind</th><th>shape</th><th class="num">count</th><th class="num">p50 ms</th><th class="num">p95 ms</th><th class="num">worst ms</th><th class="num">avg rows</th><th class="num">max q-err</th><th>outcomes</th></tr>
 {{range .TopSlow}}<tr>
-<td><code>{{.ID}}</code></td><td>{{.Kind}}</td><td><code>{{.Shape}}</code></td>
+<td><a href="/api/traces?fingerprint={{.ID}}"><code>{{.ID}}</code></a></td><td>{{.Kind}}</td><td><code>{{.Shape}}</code></td>
 <td class="num">{{.Count}}</td><td class="num">{{ms .P50Ms}}</td><td class="num">{{ms .P95Ms}}</td>
 <td class="num">{{ms .WorstMs}}</td><td class="num">{{ms .AvgRows}}</td><td class="num">{{qe .MaxQError}}</td>
 <td>{{range $k, $v := .Outcomes}}{{$k}}={{$v}} {{end}}</td>
@@ -364,6 +382,25 @@ footer { margin-top: 2rem; font-size: 0.75rem; color: #666; }
 </tr>{{end}}
 </table>{{else}}<p>No queries recorded yet.</p>{{end}}
 
-<footer>Raw data: <a href="/api/workload">/api/workload</a> · <a href="/api/timeseries">/api/timeseries</a> · <a href="/api/alerts">/api/alerts</a> · <a href="/api/trace">/api/trace</a> · <a href="/metrics">/metrics</a></footer>
+<h2>Retained traces (tail-sampled, newest first)</h2>
+<div class="cards">
+<div class="card"><b>{{.TraceStats.Retained}}</b>retained{{if .TraceStats.ByReason}} ({{range $k, $v := .TraceStats.ByReason}}{{$k}}={{$v}} {{end}}){{end}}</div>
+<div class="card"><b>{{.TraceStats.Bytes}}</b>bytes held</div>
+<div class="card"><b>{{.TraceStats.DroppedSampled}}</b>sampled out</div>
+<div class="card"><b{{if gt .TraceStats.DroppedEvicted 0}} class="warn"{{end}}>{{.TraceStats.DroppedEvicted}}</b>evicted</div>
+</div>
+{{if .Traces}}<table>
+<tr><th>trace</th><th>kind</th><th>fingerprint</th><th>reason</th><th class="num">ms</th><th>outcome</th><th>cache</th><th>query</th></tr>
+{{range .Traces}}<tr>
+<td><a href="/api/traces/{{.ID}}"><code>{{.ID}}</code></a></td><td>{{.Kind}}</td>
+<td>{{if .FingerprintID}}<a href="/api/traces?fingerprint={{.FingerprintID}}"><code>{{.FingerprintID}}</code></a>{{end}}</td>
+<td>{{.Reason}}</td><td class="num">{{ms .DurationMS}}</td>
+<td{{if ne .Outcome "ok"}} class="bad"{{end}}>{{.Outcome}}</td><td>{{.Cache}}</td><td><code>{{trunc .Query}}</code></td>
+</tr>{{end}}
+</table>
+<p>Errors, timeouts and budget aborts are retained at 100%; the rest are each fingerprint's slowest runs, p95 outliers, and a residual sample. Search: <a href="/api/traces">/api/traces</a>.</p>
+{{else}}<p>No trace retained yet.</p>{{end}}
+
+<footer>Raw data: <a href="/api/workload">/api/workload</a> · <a href="/api/timeseries">/api/timeseries</a> · <a href="/api/alerts">/api/alerts</a> · <a href="/api/traces">/api/traces</a> · <a href="/api/trace">/api/trace</a> · <a href="/metrics">/metrics</a></footer>
 </body></html>
 `

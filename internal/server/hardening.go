@@ -37,9 +37,13 @@ var (
 
 // queryCtx derives the evaluation context for a request: the request's own
 // context (cancelled when the client disconnects) bounded by the server's
-// per-query wall-clock deadline, when one is configured.
+// per-query wall-clock deadline, when one is configured. The middleware's
+// request and trace IDs ride along so traces minted deeper in the stack
+// (core sessions, updates) adopt the IDs already on the wire.
 func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	ctx := r.Context()
+	ctx = obs.WithRequestID(ctx, requestID(r))
+	ctx = obs.WithTraceID(ctx, traceIDOf(r))
 	if s.cfg.QueryTimeout > 0 {
 		return context.WithTimeout(ctx, s.cfg.QueryTimeout)
 	}

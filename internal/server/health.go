@@ -100,6 +100,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // ---- telemetry history ----
 
+// timeseriesJSON is the GET /api/timeseries payload: the ring-buffer
+// export plus the exemplars currently attached to matching histogram
+// buckets, so a latency spike in the history links to retained traces.
+type timeseriesJSON struct {
+	obs.TimeseriesJSON
+	Exemplars []obs.ExemplarView `json:"exemplars,omitempty"`
+}
+
 // handleTimeseries serves the sampler's retained history:
 // ?series=<substring> filters keys, ?res=coarse selects the roll-up ring.
 // Counter series carry derived per-second rates next to the raw
@@ -107,7 +115,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
 	filter := r.URL.Query().Get("series")
 	res := r.URL.Query().Get("res")
-	writeJSON(w, s.sampler.DB().Export(filter, res))
+	writeJSON(w, timeseriesJSON{
+		TimeseriesJSON: s.sampler.DB().Export(filter, res),
+		Exemplars:      obs.Default.ExemplarsMatching(filter, 0),
+	})
 }
 
 // alertsJSON is the GET /api/alerts payload: the alert log plus every

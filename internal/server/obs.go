@@ -61,6 +61,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	r.Header.Set("X-Request-ID", id)
 	sw.Header().Set("X-Request-ID", id)
+	// Trace-ID middleware, same contract: accept a well-formed client
+	// X-Trace-ID (distributed callers correlate their own traces), mint one
+	// otherwise. Handlers thread it into the engine via queryCtx; cached
+	// answers overwrite the response header with the retained filler's ID.
+	tid := r.Header.Get("X-Trace-ID")
+	if !validRequestID(tid) {
+		tid = obs.NewTraceID()
+	}
+	r.Header.Set("X-Trace-ID", tid)
+	sw.Header().Set("X-Trace-ID", tid)
 	if r.Method == http.MethodPost {
 		if max := s.cfg.maxBodyBytes(); max > 0 {
 			r.Body = http.MaxBytesReader(sw, r.Body, max)
@@ -87,8 +97,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	dur := time.Since(start)
 	obs.Default.Counter("rdfa_http_requests_total",
 		"endpoint", endpoint, "status", strconv.Itoa(sw.status)).Inc()
-	obs.Default.Histogram("rdfa_http_request_seconds", nil,
-		"endpoint", endpoint).Observe(dur.Seconds())
+	lat := obs.Default.Histogram("rdfa_http_request_seconds", nil,
+		"endpoint", endpoint)
+	// Exemplar link: when the trace this request produced (or was served
+	// from — cached answers overwrite the response header) was retained,
+	// attach its ID to the latency observation so a p95 spike on /metrics
+	// or /api/timeseries resolves to a concrete span waterfall. Only IDs
+	// that will actually resolve through /api/traces are attached.
+	if tid := sw.Header().Get("X-Trace-ID"); s.traces.Contains(tid) {
+		lat.ObserveExemplar(dur.Seconds(), tid)
+	} else {
+		lat.Observe(dur.Seconds())
+	}
 	s.recordHTTPSLO(endpoint, sw.status, dur)
 }
 
@@ -118,40 +138,66 @@ func sloTrackedEndpoint(pattern string) bool {
 	return !strings.Contains(pattern, "/debug/")
 }
 
-// handleMetrics serves the whole registry in Prometheus text format.
+// handleMetrics serves the whole registry in Prometheus text format, or —
+// when the scraper asks for it via Accept — the OpenMetrics exposition,
+// which additionally carries trace-ID exemplars on histogram buckets. The
+// default stays byte-compatible 0.0.4 text so existing scrapers and parsers
+// are untouched.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if obs.AcceptsOpenMetrics(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+		obs.Default.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	obs.Default.WritePrometheus(w)
 }
 
 // traceJSON is the wire form of GET /api/trace: the span tree and operator
-// profile of the session's last analytic query and of the server's last
-// protocol-endpoint query, whichever exist.
+// profile of the newest analytic query and of the newest protocol-endpoint
+// query, whichever exist.
+//
+// Deprecated surface: /api/trace predates the retention store and keeps its
+// single-slot "latest of each kind" semantics as an alias over the store
+// (with the session's own last trace as fallback when retention is
+// disabled). New integrations should use GET /api/traces — search over
+// every retained trace — and GET /api/traces/{id}. The handler advertises
+// this via Deprecation and Link headers.
 type traceJSON struct {
-	Analytics        *obs.SpanJSON        `json:"analytics,omitempty"`
-	AnalyticsProfile *sparql.ProfNodeJSON `json:"analytics_profile,omitempty"`
-	SPARQL           *obs.SpanJSON        `json:"sparql,omitempty"`
-	SPARQLProfile    *sparql.ProfNodeJSON `json:"sparql_profile,omitempty"`
+	Analytics        *obs.SpanJSON `json:"analytics,omitempty"`
+	AnalyticsProfile any           `json:"analytics_profile,omitempty"`
+	SPARQL           *obs.SpanJSON `json:"sparql,omitempty"`
+	SPARQLProfile    any           `json:"sparql_profile,omitempty"`
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</api/traces>; rel="alternate"`)
 	var out traceJSON
-	s.mu.Lock()
-	sess := s.sessionFor(r)
-	if tr := sess.LastTrace(); tr != nil {
-		e := tr.Export()
-		out.Analytics = &e
-		out.AnalyticsProfile = sess.LastProfile().Export()
+	if d, ok := s.traces.Latest("analytics"); ok {
+		spans := d.Spans
+		out.Analytics = &spans
+		out.AnalyticsProfile = d.Profile
 	}
-	s.mu.Unlock()
-	// lastSparql is written by the lock-free /sparql path under traceMu.
-	s.traceMu.Lock()
-	if s.lastSparql != nil {
-		e := s.lastSparql.Export()
-		out.SPARQL = &e
-		out.SPARQLProfile = s.lastSparqlProf.Export()
+	if d, ok := s.traces.Latest("sparql"); ok {
+		spans := d.Spans
+		out.SPARQL = &spans
+		out.SPARQLProfile = d.Profile
 	}
-	s.traceMu.Unlock()
+	// Fallback for retention-disabled servers (and for analytic queries the
+	// sampler dropped): the session still holds its own last trace.
+	if out.Analytics == nil {
+		s.mu.Lock()
+		sess := s.sessionFor(r)
+		if tr := sess.LastTrace(); tr != nil {
+			e := tr.Export()
+			out.Analytics = &e
+			if p := sess.LastProfile().Export(); p != nil {
+				out.AnalyticsProfile = p
+			}
+		}
+		s.mu.Unlock()
+	}
 	if out.Analytics == nil && out.SPARQL == nil {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no query traced yet; POST /api/run or /sparql first"))
 		return

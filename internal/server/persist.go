@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rdfanalytics/internal/obs"
+	"rdfanalytics/internal/sparql"
 	"rdfanalytics/internal/store"
 )
 
@@ -14,7 +15,10 @@ import (
 
 // handleCheckpoint compacts the WAL into a fresh segment on demand
 // (operators call it before planned restarts to make the next replay
-// near-empty). Answers the resulting store stats.
+// near-empty). Answers the resulting store stats. The phases of the
+// checkpoint — snapshot encode, segment write, WAL swap — are recorded as
+// spans and the trace offered for retention, so a slow checkpoint is
+// inspectable through /api/traces like any slow query.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	st := s.cfg.Store
 	if st == nil {
@@ -22,7 +26,23 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	if err := st.Checkpoint(); err != nil {
+	tr := obs.NewTrace("checkpoint")
+	tr.SetID(traceIDOf(r))
+	if id := requestID(r); id != "" {
+		tr.Root().SetAttr("request_id", id)
+	}
+	err := st.CheckpointTraced(tr.Root())
+	tr.Finish()
+	outcome, msg := traceOutcome(err)
+	s.traces.Offer(obs.TraceCandidate{
+		Trace: tr, Kind: "checkpoint",
+		FingerprintID: sparql.FingerprintID("checkpoint"),
+		Shape:         "checkpoint",
+		RequestID:     requestID(r),
+		Duration:      time.Since(start),
+		Outcome:       outcome, Err: msg,
+	})
+	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -78,7 +98,7 @@ func registerStoreMetrics(st *store.Store) {
 	reg.GaugeFunc("rdfa_store_last_checkpoint_seconds", func() float64 {
 		return st.Stats().LastCheckpoint.Seconds()
 	})
-	reg.GaugeFunc("rdfa_store_replay_seconds", func() float64 {
+	reg.GaugeFunc("rdfa_store_last_replay_seconds", func() float64 {
 		return st.Stats().ReplayTime.Seconds()
 	})
 	reg.GaugeFunc("rdfa_store_replay_records", func() float64 {

@@ -161,7 +161,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, ctx context.
 	}
 
 	v, collapsed, err := s.flight.Do(ctx, key, s.cfg.QueryTimeout, func(execCtx context.Context) (any, error) {
-		return s.executeQuery(execCtx, q, raw, shape, fpID, key, requestID(r))
+		return s.executeQuery(execCtx, q, raw, shape, fpID, key, requestID(r), traceIDOf(r))
 	})
 	if err != nil {
 		var aerr *resilience.AdmitError
@@ -185,10 +185,13 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, ctx context.
 }
 
 // executeQuery is the singleflight leader body: admission, fault site,
-// engine execution, observability recording, rendering, and the
-// version-checked cache fill. execCtx is detached from any single caller's
-// request (see resilience.Group), bounded by the query timeout.
-func (s *Server) executeQuery(execCtx context.Context, q *sparql.Query, raw, shape, fpID, key, reqID string) (any, error) {
+// engine execution, observability recording (including the tail-sampling
+// retention offer), rendering, and the version-checked cache fill. execCtx
+// is detached from any single caller's request (see resilience.Group),
+// bounded by the query timeout. traceID is the leader's middleware-minted
+// trace ID; the retained trace and the cached answer both carry it, so
+// every response serving this execution can point at the same waterfall.
+func (s *Server) executeQuery(execCtx context.Context, q *sparql.Query, raw, shape, fpID, key, reqID, traceID string) (any, error) {
 	waitStart := time.Now()
 	release, aerr := s.gate.Acquire(execCtx, fpID, s.Degraded())
 	if aerr != nil {
@@ -201,10 +204,31 @@ func (s *Server) executeQuery(execCtx context.Context, q *sparql.Query, raw, sha
 
 	version := s.graph.Version()
 	start := time.Now()
+	tr := obs.NewTrace("sparql")
+	tr.SetID(traceID)
+	if reqID != "" {
+		tr.Root().SetAttr("request_id", reqID)
+	}
+	// Tail-sampling offer: fires on every exit path below, after the
+	// outcome and duration are known — exactly the information head
+	// sampling lacks. The store decides retention; this is a few map
+	// lookups when the trace is sampled out.
+	var retainProf any
+	offer := func(err error) {
+		tr.Finish()
+		outcome, msg := traceOutcome(err)
+		s.traces.Offer(obs.TraceCandidate{
+			Trace: tr, Profile: retainProf, Kind: "sparql",
+			FingerprintID: fpID, Shape: shape, Query: raw,
+			RequestID: reqID, Duration: time.Since(start),
+			Outcome: outcome, Cache: "miss", Err: msg,
+		})
+	}
 	// The chaos site sits inside the measured window so injected latency is
 	// indistinguishable from a genuinely slow execution downstream (slow-query
 	// log, workload profile, breaker cost EWMA).
 	if err := fault.InjectCtx(execCtx, "server.sparql.exec"); err != nil {
+		offer(err)
 		return nil, err
 	}
 	var body bytes.Buffer
@@ -212,7 +236,6 @@ func (s *Server) executeQuery(execCtx context.Context, q *sparql.Query, raw, sha
 	var execErr error
 	switch q.Form {
 	case sparql.FormSelect:
-		tr := obs.NewTrace("sparql")
 		prof := sparql.NewProfile("sparql")
 		res, err := sparql.ExecSelectCtx(execCtx, s.graph, q, sparql.Options{
 			Trace: tr, Limits: s.cfg.Limits, Profile: prof,
@@ -220,17 +243,14 @@ func (s *Server) executeQuery(execCtx context.Context, q *sparql.Query, raw, sha
 		})
 		execErr = err
 		dur := time.Since(start)
-		tr.Finish()
-		tr.Root().SetAttr("request_id", reqID)
-		s.traceMu.Lock()
-		s.lastSparql = tr
-		s.lastSparqlProf = prof
-		s.traceMu.Unlock()
 		s.slow.Observe("sparql", raw, fpID, reqID, dur, tr)
 		if res != nil {
 			rows = len(res.Rows)
 		}
 		s.recordWorkload("sparql", raw, shape, dur, rows, err, prof)
+		if exp := prof.Export(); exp != nil {
+			retainProf = exp
+		}
 		if err == nil {
 			res.Sort()
 			res.WriteJSON(&body)
@@ -243,6 +263,7 @@ func (s *Server) executeQuery(execCtx context.Context, q *sparql.Query, raw, sha
 		}
 	}
 	s.breakers.Observe(fpID, time.Since(start), abortedForBreaker(execCtx, execErr), time.Now())
+	offer(execErr)
 	if execErr != nil {
 		return nil, execErr
 	}
@@ -252,6 +273,7 @@ func (s *Server) executeQuery(execCtx context.Context, q *sparql.Query, raw, sha
 		Status:      http.StatusOK,
 		Rows:        rows,
 		Shape:       shape,
+		TraceID:     tr.ID(),
 		Version:     version,
 		When:        time.Now(),
 	}
@@ -268,10 +290,16 @@ func (s *Server) executeQuery(execCtx context.Context, q *sparql.Query, raw, sha
 // the regular middleware, so X-Request-ID and the per-endpoint latency/SLO
 // recording are already in place; here we additionally fold the serve into
 // the workload profiler so cached traffic stays visible in RED metrics and
-// per-shape SLOs.
+// per-shape SLOs, and point the response at the trace of the execution
+// that produced the answer (overwriting the middleware-minted ID — this
+// request did no execution of its own).
 func (s *Server) serveCachedAnswer(w http.ResponseWriter, ans *resilience.Answer, result, raw, shape string, start time.Time) {
 	w.Header().Set("X-Cache", result)
 	w.Header().Set("Content-Type", ans.ContentType)
+	if ans.TraceID != "" {
+		w.Header().Set("X-Trace-ID", ans.TraceID)
+		s.traces.RecordServe(ans.TraceID, result)
+	}
 	if ans.Status != 0 && ans.Status != http.StatusOK {
 		w.WriteHeader(ans.Status)
 	}
@@ -297,6 +325,10 @@ func (s *Server) execSelectCSV(w http.ResponseWriter, r *http.Request, ctx conte
 	defer release()
 	start := time.Now()
 	tr := obs.NewTrace("sparql")
+	tr.SetID(traceIDOf(r))
+	if id := requestID(r); id != "" {
+		tr.Root().SetAttr("request_id", id)
+	}
 	prof := sparql.NewProfile("sparql")
 	res, err := sparql.ExecSelectCtx(ctx, s.graph, q, sparql.Options{
 		Trace: tr, Limits: s.cfg.Limits, Profile: prof,
@@ -304,11 +336,6 @@ func (s *Server) execSelectCSV(w http.ResponseWriter, r *http.Request, ctx conte
 	})
 	dur := time.Since(start)
 	tr.Finish()
-	tr.Root().SetAttr("request_id", requestID(r))
-	s.traceMu.Lock()
-	s.lastSparql = tr
-	s.lastSparqlProf = prof
-	s.traceMu.Unlock()
 	s.slow.Observe("sparql", raw, fpID, requestID(r), dur, tr)
 	rows := 0
 	if res != nil {
@@ -316,6 +343,17 @@ func (s *Server) execSelectCSV(w http.ResponseWriter, r *http.Request, ctx conte
 	}
 	s.recordWorkload("sparql", raw, shape, dur, rows, err, prof)
 	s.breakers.Observe(fpID, dur, abortedForBreaker(ctx, err), time.Now())
+	outcome, msg := traceOutcome(err)
+	var retainProf any
+	if exp := prof.Export(); exp != nil {
+		retainProf = exp
+	}
+	s.traces.Offer(obs.TraceCandidate{
+		Trace: tr, Profile: retainProf, Kind: "sparql",
+		FingerprintID: fpID, Shape: shape, Query: raw,
+		RequestID: requestID(r), Duration: dur,
+		Outcome: outcome, Cache: "bypass", Err: msg,
+	})
 	if err != nil {
 		queryError(w, err)
 		return
@@ -347,6 +385,16 @@ func (s *Server) serveGraphQuery(w http.ResponseWriter, r *http.Request, ctx con
 	admissionAdmitted.Inc()
 	defer release()
 	start := time.Now()
+	tr := obs.NewTrace("sparql")
+	tr.SetID(traceIDOf(r))
+	if id := requestID(r); id != "" {
+		tr.Root().SetAttr("request_id", id)
+	}
+	if q.Form == sparql.FormConstruct {
+		tr.Root().SetAttr("form", "construct")
+	} else {
+		tr.Root().SetAttr("form", "describe")
+	}
 	var out *rdf.Graph
 	var err error
 	if q.Form == sparql.FormConstruct {
@@ -354,7 +402,16 @@ func (s *Server) serveGraphQuery(w http.ResponseWriter, r *http.Request, ctx con
 	} else {
 		out, err = sparql.DescribeCtx(ctx, s.graph, raw)
 	}
-	s.breakers.Observe(fpID, time.Since(start), abortedForBreaker(ctx, err), time.Now())
+	dur := time.Since(start)
+	tr.Finish()
+	s.breakers.Observe(fpID, dur, abortedForBreaker(ctx, err), time.Now())
+	outcome, msg := traceOutcome(err)
+	s.traces.Offer(obs.TraceCandidate{
+		Trace: tr, Kind: "sparql",
+		FingerprintID: fpID, Shape: shape, Query: raw,
+		RequestID: requestID(r), Duration: dur,
+		Outcome: outcome, Cache: "bypass", Err: msg,
+	})
 	if err != nil {
 		queryError(w, err)
 		return

@@ -43,18 +43,15 @@ type Server struct {
 	clock    uint64 // logical tick for LRU eviction; advanced under mu
 	mux      *http.ServeMux
 	cfg      Config
-	// traceMu guards lastSparql/lastSparqlProf: the /sparql read path runs
-	// without s.mu (graph reads are internally locked, so queries execute
-	// concurrently — a prerequisite for singleflight collapse), and only
-	// these two fields need cross-request coordination there.
-	traceMu sync.Mutex
-	// lastSparql is the trace of the most recent /sparql SELECT, for
-	// GET /api/trace (the interaction sessions keep their own).
-	lastSparql *obs.Trace
-	// lastSparqlProf is the operator profile of the same query, served
-	// alongside the trace.
-	lastSparqlProf *sparql.Profile
-	slow           *obs.SlowQueryLog
+	// traces is the tail-sampling retention store of completed traces:
+	// every errored/aborted execution, the slowest-N per fingerprint,
+	// latency outliers against the fingerprint's rolling p95, and a
+	// probabilistic residual (see obs.TraceStore). It carries its own lock
+	// because the /sparql read path runs without s.mu — graph reads are
+	// internally locked, so queries execute concurrently, a prerequisite
+	// for singleflight collapse.
+	traces *obs.TraceStore
+	slow   *obs.SlowQueryLog
 	// answers/flight/gate/breakers are the overload-resilience layer: the
 	// fingerprint answer cache, the singleflight group collapsing identical
 	// concurrent queries, the admission controller, and the per-fingerprint
@@ -170,6 +167,12 @@ type Config struct {
 	// POST /api/checkpoint triggers compaction, and rdfa_store_* metrics
 	// are exported.
 	Store *store.Store
+	// TraceRetention tunes the tail-sampling trace store backing
+	// GET /api/traces and metric exemplars. The zero value enables
+	// retention with the obs package defaults; set Disabled to turn the
+	// store off (trace-dependent surfaces degrade to the last-trace
+	// fallback).
+	TraceRetention obs.TraceStoreConfig
 }
 
 // SLOConfig declares the service-level objectives. A target of 0 disables
@@ -221,6 +224,13 @@ func NewWithConfig(g *rdf.Graph, ns string, cfg Config) *Server {
 	s.slow = obs.NewSlowQueryLog(logger, cfg.SlowQuery, obs.Default)
 	s.workload = obs.NewWorkload(256)
 	s.feedback = sparql.NewFeedbackStore()
+	// Tail-sampling trace retention: the outlier test borrows the workload
+	// profiler's rolling per-fingerprint p95 as its baseline.
+	trCfg := cfg.TraceRetention
+	if trCfg.P95 == nil {
+		trCfg.P95 = s.workload.P95Seconds
+	}
+	s.traces = obs.NewTraceStore(trCfg)
 	// Telemetry engine: runtime + build-info metrics feed the registry, the
 	// sampler retains everything in ring buffers, and the SLO set evaluates
 	// burn rates on every tick.
@@ -313,6 +323,8 @@ func NewWithConfig(g *rdf.Graph, ns string, cfg Config) *Server {
 	mux.HandleFunc("GET /api/answer.csv", s.handleAnswerCSV)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("GET /api/trace", s.handleTrace)
+	mux.HandleFunc("GET /api/traces", s.handleTraces)
+	mux.HandleFunc("GET /api/traces/{id}", s.handleTraceByID)
 	mux.HandleFunc("GET /api/workload", s.handleWorkload)
 	mux.HandleFunc("GET /api/timeseries", s.handleTimeseries)
 	mux.HandleFunc("GET /api/alerts", s.handleAlerts)
@@ -364,6 +376,9 @@ func (s *Server) sessionFor(r *http.Request) *core.Session {
 	sess := core.NewSession(s.graph, s.ns)
 	sess.SetLimits(s.cfg.Limits)
 	sess.SetFeedback(s.feedback)
+	// The sink fires inside RunAnalyticsCtx while the caller holds s.mu;
+	// retainAnalytics only touches the trace store (its own lock).
+	sess.SetTraceSink(s.retainAnalytics)
 	if s.cfg.Store != nil {
 		sess.SetDurability(s.cfg.Store.Sync)
 	}
@@ -589,8 +604,33 @@ func (s *Server) execUpdate(w http.ResponseWriter, r *http.Request, src string) 
 	defer cancel()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	start := time.Now()
+	tr := obs.NewTrace("update")
+	tr.SetID(obs.TraceIDFrom(ctx))
+	if id := requestID(r); id != "" {
+		tr.Root().SetAttr("request_id", id)
+	}
+	var updErr error
+	defer func() {
+		tr.Finish()
+		outcome, msg := traceOutcome(updErr)
+		s.traces.Offer(obs.TraceCandidate{
+			Trace:         tr,
+			Kind:          "update",
+			FingerprintID: sparql.FingerprintID("update " + src),
+			Shape:         "update",
+			Query:         src,
+			RequestID:     requestID(r),
+			Duration:      time.Since(start),
+			Outcome:       outcome,
+			Err:           msg,
+		})
+	}()
+	es := tr.Root().StartChild("exec")
 	res, err := sparql.ExecUpdateCtx(ctx, s.graph, src)
+	es.Finish()
 	if err != nil {
+		updErr = err
 		code := abortStatus(err, http.StatusBadRequest)
 		if code == http.StatusBadRequest {
 			httpError(w, code, err)
@@ -599,6 +639,8 @@ func (s *Server) execUpdate(w http.ResponseWriter, r *http.Request, src string) 
 		}
 		return
 	}
+	tr.Root().SetAttr("inserted", res.Inserted)
+	tr.Root().SetAttr("deleted", res.Deleted)
 	if res.Inserted > 0 || res.Deleted > 0 {
 		for _, e := range s.sessions {
 			e.sess.InvalidateCache()
@@ -607,7 +649,11 @@ func (s *Server) execUpdate(w http.ResponseWriter, r *http.Request, src string) 
 	// Group commit: the mutations were journaled as they applied; fsync the
 	// WAL before acknowledging so an acked update survives kill -9.
 	if s.cfg.Store != nil {
-		if err := s.cfg.Store.Sync(); err != nil {
+		gc := tr.Root().StartChild("group_commit")
+		err := s.cfg.Store.Sync()
+		gc.Finish()
+		if err != nil {
+			updErr = err
 			httpError(w, http.StatusInternalServerError,
 				fmt.Errorf("update applied but not durable: %w", err))
 			return
@@ -934,7 +980,6 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		shape = sparql.FingerprintQuery(ans.SPARQL)
 		rows = len(ans.Rows)
 	}
-	sess.LastTrace().Root().SetAttr("request_id", requestID(r))
 	s.slow.Observe("analytics", q.String(), sparql.FingerprintID(shape), requestID(r), dur, sess.LastTrace())
 	s.recordWorkload("analytics", q.String(), shape, dur, rows, err, sess.LastProfile())
 	if err != nil {

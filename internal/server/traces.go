@@ -1,0 +1,158 @@
+// The trace search API over the tail-sampling retention store
+// (obs.TraceStore): GET /api/traces searches retained traces by
+// fingerprint, duration, outcome, retention reason, kind and recency;
+// GET /api/traces/{id} returns one trace's full span waterfall and
+// operator profile. This file also owns the glue that feeds the store —
+// the per-layer retention offers share traceOutcome and the session trace
+// sink lives here.
+//
+// The drill-down this enables, with no scripting anywhere: an SLO alert
+// names an offending "shape:<fingerprint>" objective → /api/traces
+// ?fingerprint=<fp> lists the retained exemplar executions of that shape
+// (the errors and the slowest ones first, because those are what the
+// sampler keeps) → /api/traces/{id} shows where the time went, span by
+// span and operator by operator.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rdfanalytics/internal/core"
+	"rdfanalytics/internal/obs"
+	"rdfanalytics/internal/sparql"
+)
+
+// traceIDOf returns the trace ID the middleware stamped on the request.
+func traceIDOf(r *http.Request) string {
+	return r.Header.Get("X-Trace-ID")
+}
+
+// traceOutcome maps an execution error onto the retention outcome
+// taxonomy: "ok" for nil, otherwise the abort reason ("timeout",
+// "cancelled", "budget", …) with "error" as the fallback, plus the
+// message to retain.
+func traceOutcome(err error) (outcome, msg string) {
+	if err == nil {
+		return "ok", ""
+	}
+	outcome = sparql.AbortReason(err)
+	if outcome == "" {
+		outcome = "error"
+	}
+	return outcome, err.Error()
+}
+
+// retainAnalytics is the session trace sink: every completed
+// RunAnalyticsCtx — cache hit, cube roll-up or full execution — is
+// offered for retention. It runs while the caller holds s.mu, so it must
+// only touch the trace store (which has its own lock).
+func (s *Server) retainAnalytics(ev core.TraceEvent) {
+	// Analytic queries fingerprint by the generated SPARQL when available
+	// (it carries the full shape); the HIFUN text stands in on failure.
+	shape := "analytics " + ev.HIFUN
+	if ev.Err == nil && ev.SPARQL != "" {
+		shape = sparql.FingerprintQuery(ev.SPARQL)
+	}
+	outcome, msg := traceOutcome(ev.Err)
+	var prof any
+	if exp := ev.Profile.Export(); exp != nil {
+		prof = exp
+	}
+	s.traces.Offer(obs.TraceCandidate{
+		Trace:         ev.Trace,
+		Profile:       prof,
+		Kind:          "analytics",
+		FingerprintID: sparql.FingerprintID(shape),
+		Shape:         shape,
+		Query:         ev.HIFUN,
+		RequestID:     ev.RequestID,
+		Duration:      ev.Duration,
+		Outcome:       outcome,
+		Cache:         ev.Source,
+		Err:           msg,
+	})
+}
+
+// tracesJSON is the GET /api/traces payload: the matching summaries plus
+// the store's retention/drop accounting, so a consumer can tell an empty
+// result from a disabled or saturated store.
+type tracesJSON struct {
+	Traces []obs.TraceSummary  `json:"traces"`
+	Stats  obs.TraceStoreStats `json:"stats"`
+}
+
+// handleTraces searches retained traces. Query parameters:
+//
+//	fingerprint — exact fingerprint ID, or substring of the shape text
+//	min_ms      — minimum duration in milliseconds (float)
+//	outcome     — "ok", "timeout", "budget", "cancelled", "error"
+//	reason      — retention reason: "error", "slowest", "outlier", "residual"
+//	kind        — "sparql", "analytics", "update", "checkpoint"
+//	since       — RFC 3339 lower bound on retention time
+//	limit       — result cap (default 50, max 500)
+//
+// Results are newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		httpError(w, http.StatusConflict, errors.New("trace retention is disabled"))
+		return
+	}
+	q := r.URL.Query()
+	tq := obs.TraceQuery{
+		Fingerprint: q.Get("fingerprint"),
+		Outcome:     q.Get("outcome"),
+		Reason:      q.Get("reason"),
+		Kind:        q.Get("kind"),
+	}
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad min_ms %q (want non-negative milliseconds)", v))
+			return
+		}
+		tq.MinDuration = time.Duration(ms * float64(time.Millisecond))
+	}
+	if v := q.Get("since"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad since %q (want RFC 3339)", v))
+			return
+		}
+		tq.Since = t
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q (want a positive integer)", v))
+			return
+		}
+		tq.Limit = n
+	}
+	out := tracesJSON{Traces: s.traces.Search(tq), Stats: s.traces.Stats()}
+	if out.Traces == nil {
+		out.Traces = []obs.TraceSummary{}
+	}
+	writeJSON(w, out)
+}
+
+// handleTraceByID serves one retained trace in full: summary, span
+// waterfall, operator profile, and the serve counts accumulated while its
+// cached answer was replayed.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		httpError(w, http.StatusConflict, errors.New("trace retention is disabled"))
+		return
+	}
+	id := r.PathValue("id")
+	d, ok := s.traces.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound,
+			fmt.Errorf("no retained trace %q (never retained, or evicted since)", id))
+		return
+	}
+	writeJSON(w, d)
+}

@@ -178,6 +178,7 @@ func ExecSelectCtx(ctx context.Context, g *rdf.Graph, q *Query, opts Options) (*
 		if res != nil {
 			rows = len(res.Rows)
 		}
+		p.SetTraceID(opts.Trace.ID())
 		p.root.record(time.Since(start), 1, rows)
 		p.emitMetrics()
 		if err == nil && opts.Feedback != nil && opts.FingerprintID != "" {

@@ -64,6 +64,25 @@ func (p *Profile) Sub(op, label string) *Profile {
 	return &Profile{root: p.root.child(op, label)}
 }
 
+// SetTraceID links the profile's root node to an obs trace, so exported
+// profiles carry the ID of the span tree recorded alongside them. Empty
+// IDs and already-linked profiles are left untouched (a sub-profile's
+// caller may have linked the shared root first).
+func (p *Profile) SetTraceID(id string) {
+	if p == nil || p.root == nil || id == "" || p.root.TraceID != "" {
+		return
+	}
+	p.root.TraceID = id
+}
+
+// TraceID returns the linked trace ID ("" when unlinked or nil).
+func (p *Profile) TraceID() string {
+	if p == nil || p.root == nil {
+		return ""
+	}
+	return p.root.TraceID
+}
+
 // ProfNode is one operator of the profile tree. Fields accumulate across
 // invocations of the operator at this site. Nodes are written only by the
 // evaluation's orchestration goroutine (worker partitions never touch the
@@ -97,6 +116,9 @@ type ProfNode struct {
 	Replans int
 	// Dur totals wall time across calls.
 	Dur time.Duration
+	// TraceID links the profile to the obs trace of the execution that
+	// produced it (set on the root node only, by Profile.SetTraceID).
+	TraceID string
 
 	children []*ProfNode
 	index    map[string]*ProfNode
@@ -283,6 +305,7 @@ func fmtProfDur(d time.Duration) string {
 // ProfNodeJSON is the wire form of a profile node (GET /api/trace).
 type ProfNodeJSON struct {
 	Op         string         `json:"op"`
+	TraceID    string         `json:"trace_id,omitempty"`
 	Label      string         `json:"label,omitempty"`
 	Calls      int            `json:"calls"`
 	RowsIn     int64          `json:"rows_in"`
@@ -309,6 +332,7 @@ func (p *Profile) Export() *ProfNodeJSON {
 func (n *ProfNode) export() ProfNodeJSON {
 	out := ProfNodeJSON{
 		Op:         n.Op,
+		TraceID:    n.TraceID,
 		Label:      n.Label,
 		Calls:      n.Calls,
 		RowsIn:     n.RowsIn,

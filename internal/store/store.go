@@ -11,7 +11,18 @@ import (
 	"sync"
 	"time"
 
+	"rdfanalytics/internal/obs"
 	"rdfanalytics/internal/rdf"
+)
+
+// Latency histograms for the store's three stall-prone operations. The
+// families are registered at package init so scrapers always see them;
+// checkpoint stalls and fsync outliers show up in the TSDB and — via the
+// spans recorded by CheckpointTraced — in retained traces.
+var (
+	fsyncSeconds      = obs.Default.Histogram("rdfa_store_fsync_seconds", nil)
+	checkpointSeconds = obs.Default.Histogram("rdfa_store_checkpoint_seconds", nil)
+	replaySeconds     = obs.Default.Histogram("rdfa_store_replay_seconds", nil)
 )
 
 // Options configures Open.
@@ -204,6 +215,7 @@ func Open(opts Options) (*Store, error) {
 		s.wal = w
 	}
 	s.replayTime = time.Since(start)
+	replaySeconds.Observe(s.replayTime.Seconds())
 
 	s.g.SetJournal(s.journal)
 	if opts.CheckpointEvery > 0 {
@@ -323,10 +335,18 @@ func (s *Store) Bootstrap(g *rdf.Graph) error {
 // trigger and the background loop may race, and overlapping runs could
 // otherwise install segments out of epoch order, losing every record
 // between the two epochs.
-func (s *Store) Checkpoint() error {
+func (s *Store) Checkpoint() error { return s.CheckpointTraced(nil) }
+
+// CheckpointTraced is Checkpoint recording its phases — snapshot encode,
+// segment write, WAL swap — as child spans of parent (nil parent skips the
+// spans; the duration histogram is observed either way).
+func (s *Store) CheckpointTraced(parent *obs.Span) error {
 	s.cpMu.Lock()
 	defer s.cpMu.Unlock()
-	if err := s.checkpoint(); err != nil {
+	start := time.Now()
+	err := s.checkpoint(parent)
+	checkpointSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
 		s.mu.Lock()
 		s.checkpointErrors++
 		s.mu.Unlock()
@@ -335,7 +355,7 @@ func (s *Store) Checkpoint() error {
 	return nil
 }
 
-func (s *Store) checkpoint() error {
+func (s *Store) checkpoint(parent *obs.Span) error {
 	start := time.Now()
 	s.mu.Lock()
 	var curEpoch uint64
@@ -349,8 +369,13 @@ func (s *Store) checkpoint() error {
 	droppedAtCut := s.journalDropped
 	s.mu.Unlock()
 
+	snapSpan := parent.StartChild("snapshot_encode")
 	var buf bytes.Buffer
 	epoch, err := s.g.SnapshotBinary(&buf)
+	if snapSpan != nil {
+		snapSpan.SetAttr("bytes", buf.Len())
+		snapSpan.Finish()
+	}
 	if err != nil {
 		return err
 	}
@@ -360,13 +385,18 @@ func (s *Store) checkpoint() error {
 	// handle. curEpoch cannot change concurrently — only checkpoints
 	// install segments, and cpMu serializes them.
 	if hadSeg && epoch <= curEpoch {
+		parent.SetAttr("skipped", "no_new_records")
 		return nil
 	}
+	segSpan := parent.StartChild("segment_write")
 	seg, err := writeSegment(s.dir, epoch, buf.Bytes())
+	segSpan.Finish()
 	if err != nil {
 		return err
 	}
 
+	swapSpan := parent.StartChild("wal_swap")
+	defer swapSpan.Finish()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// cpMu makes an epoch regression impossible; refuse the install anyway

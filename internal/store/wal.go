@@ -24,6 +24,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
 	"rdfanalytics/internal/rdf"
 )
@@ -227,7 +228,8 @@ func (w *wal) append(rec record) error {
 
 // sync flushes buffered frames and, unless SyncOff, fsyncs. This is the
 // group-commit point: an update is acknowledged only after its WAL frames
-// are on disk.
+// are on disk. The fsync is timed into rdfa_store_fsync_seconds — a slow
+// device shows up there before it shows up as request latency.
 func (w *wal) sync() error {
 	if w.err != nil {
 		return w.err
@@ -239,7 +241,10 @@ func (w *wal) sync() error {
 	if w.mode == SyncOff {
 		return nil
 	}
-	if err := w.f.Sync(); err != nil {
+	start := time.Now()
+	err := w.f.Sync()
+	fsyncSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
 		w.err = err
 		return err
 	}

@@ -9,6 +9,12 @@
 #   * gauges never end in _total (a _seconds unit suffix is fine — e.g.
 #     rdfa_sampler_tick_seconds, like Prometheus's scrape_duration_seconds)
 #
+# A second, content-negotiated scrape checks the OpenMetrics exposition:
+# it must terminate with "# EOF", exemplars must only ever decorate
+# histogram bucket samples, and every exemplar must follow the OpenMetrics
+# grammar: ` # {trace_id="<id>"} <value> <timestamp>`. The default 0.0.4
+# exposition must stay exemplar-free.
+#
 # Needs only sh + curl + grep/awk.
 set -eu
 
@@ -115,5 +121,38 @@ if [ "$FAIL" -ne 0 ]; then
     exit 1
 fi
 
+# The default 0.0.4 exposition never carries exemplars.
+if printf '%s\n' "$METRICS" | grep -q '# {'; then
+    echo "metrics-lint: FAIL — exemplar syntax in the default 0.0.4 exposition" >&2
+    exit 1
+fi
+
+# OpenMetrics exposition: negotiated via Accept, terminated by # EOF, and
+# every exemplar matches the grammar on a histogram bucket sample.
+OM="$(curl -sf -H 'Accept: application/openmetrics-text; version=1.0.0' "$BASE/metrics")"
+if [ "$(printf '%s\n' "$OM" | tail -1)" != "# EOF" ]; then
+    echo "metrics-lint: FAIL — OpenMetrics exposition must end with # EOF" >&2
+    exit 1
+fi
+EXEMPLARS="$(printf '%s\n' "$OM" | grep -F ' # {' || true)"
+if [ -z "$EXEMPLARS" ]; then
+    echo "metrics-lint: FAIL — OpenMetrics scrape carries no exemplars after traffic" >&2
+    exit 1
+fi
+printf '%s\n' "$EXEMPLARS" | while read -r line; do
+    case "$line" in
+    rdfa_*_bucket\{*) ;;
+    *)
+        echo "metrics-lint: FAIL — exemplar on a non-bucket sample: $line" >&2
+        exit 1
+        ;;
+    esac
+    if ! printf '%s\n' "$line" | grep -Eq ' # \{trace_id="[A-Za-z0-9._-]{1,64}"\} [0-9.eE+-]+ [0-9]+\.[0-9]{3}$'; then
+        echo "metrics-lint: FAIL — exemplar violates the OpenMetrics grammar: $line" >&2
+        exit 1
+    fi
+done || exit 1
+
 COUNT="$(printf '%s\n' "$TYPES" | wc -l | tr -d ' ')"
-echo "metrics-lint: OK — $COUNT metric families follow the naming conventions"
+OM_EX="$(printf '%s\n' "$EXEMPLARS" | wc -l | tr -d ' ')"
+echo "metrics-lint: OK — $COUNT metric families follow the naming conventions; $OM_EX OpenMetrics exemplars well-formed"

@@ -2,7 +2,11 @@
 # obs-smoke: end-to-end check of the telemetry surface. Builds and starts the
 # server on a scratch port, drives one SPARQL query and one analytic query
 # through it, then asserts /metrics exposes the promised metric families and
-# /api/trace returns a span tree. Needs only sh + curl + grep.
+# /api/trace returns a span tree. The first /sparql query is fault-injected
+# slow (delay on the first exec activation only) so the tail sampler provably
+# retains it — the trace-retention section then walks the whole drill-down:
+# slow query -> /api/traces search -> span waterfall -> OpenMetrics exemplar
+# whose trace ID resolves back through the API. Needs only sh + curl + grep.
 set -eu
 
 PORT="${OBS_SMOKE_PORT:-18923}"
@@ -12,7 +16,8 @@ LOG="$(mktemp)"
 
 go build -o "$BIN" ./cmd/rdfanalytics
 
-"$BIN" -addr "127.0.0.1:$PORT" -data products-small -debug -sample-interval 200ms >"$LOG" 2>&1 &
+RDFA_FAULT='server.sparql.exec=delay:300ms@1' \
+    "$BIN" -addr "127.0.0.1:$PORT" -data products-small -debug -sample-interval 200ms >"$LOG" 2>&1 &
 PID=$!
 trap 'kill $PID 2>/dev/null; rm -f "$LOG"; rm -rf "$(dirname "$BIN")"' EXIT
 
@@ -29,6 +34,19 @@ until curl -sf "$BASE/api/stats" >/dev/null 2>&1; do
 done
 
 NS='http://example.org/products#'
+
+# The first /sparql exec hits the armed 300ms delay fault: a known-slow
+# execution the tail sampler must retain. Capture its trace ID from the
+# response headers.
+SLOW_HDRS="$(mktemp)"
+curl -sf -D "$SLOW_HDRS" "$BASE/sparql" --data-urlencode \
+    "query=SELECT ?s ?p WHERE { ?s ?p <${NS}Laptop> }" >/dev/null
+SLOW_TID="$(awk 'tolower($1) == "x-trace-id:" {print $2}' "$SLOW_HDRS" | tr -d '\r')"
+rm -f "$SLOW_HDRS"
+if [ -z "$SLOW_TID" ]; then
+    echo "obs-smoke: FAIL — /sparql response carries no X-Trace-ID" >&2
+    exit 1
+fi
 
 # One protocol query and one analytic query (click -> G -> Sigma -> run).
 curl -sf "$BASE/sparql" --data-urlencode \
@@ -82,6 +100,54 @@ for frag in run_analytics translate exec; do
     fi
 done
 
+# Trace retention: the fault-injected slow query must be searchable by
+# duration, its trace ID must fetch the full span waterfall, and its
+# fingerprint must round-trip as a search filter.
+SLOW="$(curl -sf "$BASE/api/traces?min_ms=200&kind=sparql")"
+if ! printf '%s' "$SLOW" | grep -q "\"id\":\"$SLOW_TID\""; then
+    echo "obs-smoke: FAIL — slow query $SLOW_TID not retained by /api/traces?min_ms=200: $SLOW" >&2
+    exit 1
+fi
+DETAIL="$(curl -sf "$BASE/api/traces/$SLOW_TID")"
+for frag in spans profile durationMs; do
+    if ! printf '%s' "$DETAIL" | grep -q "$frag"; then
+        echo "obs-smoke: FAIL — /api/traces/$SLOW_TID missing \"$frag\": $DETAIL" >&2
+        exit 1
+    fi
+done
+SLOW_FP="$(printf '%s' "$SLOW" | grep -o '"fingerprint":"[^"]*"' | head -1 | cut -d'"' -f4)"
+if [ -z "$SLOW_FP" ]; then
+    echo "obs-smoke: FAIL — retained trace has no fingerprint: $SLOW" >&2
+    exit 1
+fi
+if ! curl -sf "$BASE/api/traces?fingerprint=$SLOW_FP" | grep -q "\"id\":\"$SLOW_TID\""; then
+    echo "obs-smoke: FAIL — fingerprint filter $SLOW_FP lost trace $SLOW_TID" >&2
+    exit 1
+fi
+
+# The OpenMetrics exposition (content-negotiated; the default 0.0.4 scrape
+# stays exemplar-free) terminates with # EOF and links latency buckets to
+# retained traces via exemplars, and any exemplar's trace ID resolves.
+OM="$(curl -sf -H 'Accept: application/openmetrics-text; version=1.0.0' "$BASE/metrics")"
+if [ "$(printf '%s\n' "$OM" | tail -1)" != "# EOF" ]; then
+    echo "obs-smoke: FAIL — OpenMetrics exposition does not end with # EOF" >&2
+    exit 1
+fi
+EX_TID="$(printf '%s\n' "$OM" | grep '^rdfa_http_request_seconds_bucket' |
+    grep -o 'trace_id="[^"]*"' | head -1 | cut -d'"' -f2)"
+if [ -z "$EX_TID" ]; then
+    echo "obs-smoke: FAIL — no exemplar on rdfa_http_request_seconds buckets" >&2
+    exit 1
+fi
+if ! curl -sf "$BASE/api/traces/$EX_TID" >/dev/null; then
+    echo "obs-smoke: FAIL — exemplar trace ID $EX_TID does not resolve via /api/traces/{id}" >&2
+    exit 1
+fi
+if printf '%s\n' "$METRICS" | grep -q '# {'; then
+    echo "obs-smoke: FAIL — exemplar leaked into the default 0.0.4 /metrics exposition" >&2
+    exit 1
+fi
+
 # The workload profiler aggregated both query kinds.
 WORKLOAD="$(curl -sf "$BASE/api/workload")"
 for frag in fingerprints misestimates q_error; do
@@ -94,7 +160,7 @@ done
 # The dashboard renders as one self-contained HTML page: no scripts and no
 # external assets (every src/href must stay on this host).
 DASH="$(curl -sf "$BASE/debug/dashboard")"
-for frag in 'RDF-Analytics dashboard' 'Workload (RED)' 'Plan vs. actual' 'q-error'; do
+for frag in 'RDF-Analytics dashboard' 'Workload (RED)' 'Plan vs. actual' 'q-error' 'Retained traces'; do
     if ! printf '%s' "$DASH" | grep -q "$frag"; then
         echo "obs-smoke: FAIL — dashboard missing \"$frag\"" >&2
         exit 1
@@ -148,4 +214,4 @@ fi
 # -debug must mount pprof.
 curl -sf "$BASE/debug/pprof/cmdline" >/dev/null
 
-echo "obs-smoke: OK — metrics, timeseries, alerts, health, trace, workload, dashboard and pprof endpoints all healthy"
+echo "obs-smoke: OK — metrics, exemplars, timeseries, alerts, health, trace retention, workload, dashboard and pprof endpoints all healthy"
